@@ -1,0 +1,48 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation, prints the paper-style rows (so the run can be compared with the
+published numbers at a glance), and asserts the *qualitative* claims — who
+wins and roughly by how much — rather than exact values, since the substrate
+here is a scaled-down simulator rather than the authors' testbed.
+
+All benchmarks are deliberately scaled down (lower bottleneck rates, shorter
+durations, thousands rather than millions of requests) so the whole suite
+runs in minutes.  The scale knobs live in :data:`BENCH_SCALE` and can be
+raised for a closer-to-paper run.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Common scaled-down dimensions used by the benchmark scenarios.
+BENCH_SCALE = {
+    "bottleneck_mbps": 24.0,
+    "rtt_ms": 50.0,
+    "duration_s": 15.0,
+    "seed": 1,
+}
+
+
+def report(title: str, lines) -> None:
+    """Print a paper-vs-measured block that survives pytest's capture (-s not needed)."""
+    text = "\n".join([f"\n=== {title} ===", *lines])
+    # Write straight to stdout so `pytest benchmarks/ --benchmark-only -s` shows it,
+    # and to a side file so results are preserved even without -s.
+    print(text)
+    with open(os.path.join(os.path.dirname(__file__), "results.txt"), "a") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    path = os.path.join(os.path.dirname(__file__), "results.txt")
+    if os.path.exists(path):
+        os.remove(path)
+    yield

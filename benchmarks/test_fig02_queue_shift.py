@@ -1,0 +1,43 @@
+"""Figure 2: Bundler shifts queueing from the in-network bottleneck to the sendbox."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import run_queue_shift
+
+
+def _run():
+    without = run_queue_shift(
+        with_bundler=False,
+        bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+        rtt_ms=BENCH_SCALE["rtt_ms"],
+        duration_s=BENCH_SCALE["duration_s"],
+        num_flows=2,
+    )
+    with_b = run_queue_shift(
+        with_bundler=True,
+        bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+        rtt_ms=BENCH_SCALE["rtt_ms"],
+        duration_s=BENCH_SCALE["duration_s"],
+        num_flows=2,
+    )
+    return without, with_b
+
+
+def test_fig02_queue_shift(benchmark):
+    without, with_b = benchmark.pedantic(_run, rounds=1, iterations=1)
+    sq_bottleneck = without.mean_bottleneck_delay(5.0) * 1e3
+    sq_sendbox = without.mean_sendbox_delay(5.0) * 1e3
+    bu_bottleneck = with_b.mean_bottleneck_delay(5.0) * 1e3
+    bu_sendbox = with_b.mean_sendbox_delay(5.0) * 1e3
+    report(
+        "Figure 2 — queue location (mean queueing delay, ms)",
+        [
+            f"status quo : bottleneck={sq_bottleneck:6.1f}  sendbox={sq_sendbox:6.1f}",
+            f"bundler    : bottleneck={bu_bottleneck:6.1f}  sendbox={bu_sendbox:6.1f}",
+            "paper: queue builds at the bottleneck without Bundler and at the sendbox with it",
+        ],
+    )
+    # Without Bundler the queue is in the network; with Bundler it moves to the edge.
+    assert sq_bottleneck > sq_sendbox
+    assert bu_sendbox > bu_bottleneck
+    assert bu_bottleneck < sq_bottleneck / 2.0

@@ -1,0 +1,49 @@
+"""Figure 10: Bundler's behaviour as cross traffic comes and goes."""
+
+from conftest import report
+
+from repro.experiments import PhasedConfig, run_phased_cross_traffic
+
+
+def _run():
+    return run_phased_cross_traffic(
+        PhasedConfig(
+            bottleneck_mbps=24.0,
+            rtt_ms=50.0,
+            phase_duration_s=12.0,
+            bundle_load_fraction=0.6,
+            cross_bulk_flows=1,
+            cross_load_fraction=0.3,
+        )
+    )
+
+
+def test_fig10_cross_traffic_phases(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    phases = ("no cross traffic", "buffer-filling cross", "non-buffer-filling cross")
+    lines = []
+    medians = []
+    for i, name in enumerate(phases):
+        fct = result.phase_fct(i)
+        median = fct.median_slowdown() if len(fct) else float("nan")
+        medians.append(median)
+        lines.append(
+            f"phase {i} ({name:24s}): median slowdown={median:6.2f} "
+            f"in-network queue={result.phase_queue_delay_mean(i) * 1e3:6.1f} ms n={len(fct)}"
+        )
+    total = result.phase_boundaries[-1]
+    lines.append(
+        f"time in pass-through mode: {result.pass_through_seconds:.1f}s of {total:.0f}s "
+        "(paper: pass-through only while the buffer-filling flow is active)"
+    )
+    report("Figure 10 — cross-traffic phases", lines)
+
+    # Phase 1 (self-inflicted only): Bundler keeps the network queue small and
+    # short flows fast.  Phase 2 (buffer-filling cross traffic): it must revert
+    # to (slightly worse than) Status Quo — queueing and slowdowns rise.
+    assert result.phase_queue_delay_mean(0) < result.phase_queue_delay_mean(1)
+    assert medians[0] < medians[1]
+    # The detector must actually spend time letting traffic pass while the
+    # buffer-filling flow is active, and must not do so for the whole run.
+    assert result.pass_through_seconds > 0.2 * (total / 3.0)
+    assert result.pass_through_seconds < 0.95 * total

@@ -1,0 +1,42 @@
+"""Figure 13: two bundles competing at the same bottleneck (1:1 and 2:1 splits)."""
+
+from conftest import report
+
+from repro.experiments import run_competing_bundles
+
+
+def _run():
+    out = {}
+    for label, split in (("1:1", (0.5, 0.5)), ("2:1", (2 / 3, 1 / 3))):
+        out[label] = {
+            "bundler": run_competing_bundles(load_split=split, with_bundler=True, duration_s=12.0),
+            "status_quo": run_competing_bundles(load_split=split, with_bundler=False, duration_s=12.0),
+        }
+    return out
+
+
+def test_fig13_competing_bundles(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = []
+    for label, pair in results.items():
+        bundler_medians = pair["bundler"].median_slowdowns()
+        sq_medians = pair["status_quo"].median_slowdowns()
+        lines.append(
+            f"split {label}: bundler medians={['%.2f' % m for m in bundler_medians]} "
+            f"status-quo medians={['%.2f' % m for m in sq_medians]} "
+            f"shared-bottleneck queue (bundler)={pair['bundler'].bottleneck_mean_queue_delay_s * 1e3:.1f} ms"
+        )
+    lines.append("paper: both bundles improve median FCT versus the baseline in both splits")
+    report("Figure 13 — competing bundles", lines)
+
+    for label, pair in results.items():
+        bundler_medians = pair["bundler"].median_slowdowns()
+        sq_medians = pair["status_quo"].median_slowdowns()
+        # Each bundle does at least as well with Bundler as without it.
+        for with_b, without_b in zip(bundler_medians, sq_medians):
+            assert with_b <= without_b * 1.1
+        # With Bundler, the shared in-network queue stays smaller.
+        assert (
+            pair["bundler"].bottleneck_mean_queue_delay_s
+            <= pair["status_quo"].bottleneck_mean_queue_delay_s
+        )

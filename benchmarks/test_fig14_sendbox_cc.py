@@ -1,0 +1,47 @@
+"""Figure 14: the choice of congestion control algorithm at the sendbox."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import ScenarioConfig, run_scenario
+
+SENDBOX_CCS = ("copa", "basic_delay", "bbr")
+
+
+def _run():
+    results = {"status_quo": run_scenario(ScenarioConfig(
+        mode="status_quo",
+        bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+        rtt_ms=BENCH_SCALE["rtt_ms"],
+        duration_s=12.0,
+        seed=BENCH_SCALE["seed"],
+    ))}
+    for cc in SENDBOX_CCS:
+        cfg = ScenarioConfig(
+            mode="bundler_sfq",
+            sendbox_cc=cc,
+            bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+            rtt_ms=BENCH_SCALE["rtt_ms"],
+            duration_s=12.0,
+            seed=BENCH_SCALE["seed"],
+        )
+        results[f"bundler_{cc}"] = run_scenario(cfg)
+    return results
+
+
+def test_fig14_sendbox_congestion_control(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    medians = {name: res.fct_analysis().median_slowdown() for name, res in results.items()}
+    lines = [f"{name:22s} median slowdown={median:6.2f}" for name, median in medians.items()]
+    lines.append(
+        "paper: Copa and BasicDelay provide similar benefits over Status Quo; BBR is slightly "
+        "worse than Status Quo because it keeps a larger in-network queue"
+    )
+    report("Figure 14 — sendbox congestion control choice", lines)
+
+    # The delay-controlling algorithms must beat Status Quo.
+    assert medians["bundler_copa"] < medians["status_quo"]
+    assert medians["bundler_basic_delay"] < medians["status_quo"]
+    # Copa and BasicDelay land in the same ballpark.
+    assert medians["bundler_basic_delay"] < 2.5 * medians["bundler_copa"]
+    # BBR keeps bigger network queues, so it must not be the best option.
+    assert medians["bundler_bbr"] >= medians["bundler_copa"] * 0.9

@@ -1,0 +1,49 @@
+"""Figure 15: how much more an idealized TCP-terminating proxy could add."""
+
+from conftest import BENCH_SCALE, report
+
+from repro.experiments import ScenarioConfig, run_scenario
+
+
+def _run():
+    results = {}
+    for mode in ("bundler_sfq", "proxy"):
+        cfg = ScenarioConfig(
+            mode=mode,
+            bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+            rtt_ms=BENCH_SCALE["rtt_ms"],
+            load_fraction=0.8,
+            duration_s=12.0,
+            seed=BENCH_SCALE["seed"],
+        )
+        results[mode] = run_scenario(cfg)
+    return results
+
+
+def test_fig15_idealized_proxy(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = []
+    buckets = {}
+    for mode, res in results.items():
+        analysis = res.fct_analysis()
+        buckets[mode] = analysis.by_size_bucket()
+        per_bucket = "  ".join(
+            f"{label}={bucket.median_slowdown():.2f}" if len(bucket) else f"{label}=n/a"
+            for label, bucket in buckets[mode].items()
+        )
+        lines.append(f"{mode:12s} median slowdown by size: {per_bucket}")
+    lines.append(
+        "paper: terminating TCP adds nothing for short flows (they finish in a few RTTs either "
+        "way) but speeds up medium/long flows by skipping window growth"
+    )
+    report("Figure 15 — idealized TCP proxy emulation", lines)
+
+    short_bundler = buckets["bundler_sfq"]["<=10KB"]
+    short_proxy = buckets["proxy"]["<=10KB"]
+    mid_bundler = buckets["bundler_sfq"]["10KB-1MB"]
+    mid_proxy = buckets["proxy"]["10KB-1MB"]
+    assert len(short_bundler) and len(short_proxy) and len(mid_bundler) and len(mid_proxy)
+    # Short flows: no meaningful additional benefit from terminating connections.
+    assert short_proxy.median_slowdown() < short_bundler.median_slowdown() * 1.5
+    # Medium flows: the proxy's instant ramp-up helps.
+    assert mid_proxy.median_slowdown() < mid_bundler.median_slowdown() * 1.1

@@ -1,0 +1,45 @@
+"""Figure 16 / §8: the (emulated) real-Internet-paths study."""
+
+from conftest import report
+
+from repro.experiments import median_latency_reduction, run_internet_paths_study
+
+
+def _run():
+    # Two representative regions keep the benchmark fast; the full five-region
+    # study is available via run_internet_paths_study's default regions.
+    regions = {"south_carolina": 30.0, "frankfurt": 110.0}
+    return run_internet_paths_study(
+        regions=regions,
+        egress_limit_mbps=24.0,
+        duration_s=15.0,
+        num_probes=10,
+        num_bulk_flows=4,
+    )
+
+
+def test_fig16_internet_paths(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = []
+    for r in results:
+        lines.append(
+            f"{r.region:15s} {r.configuration:10s}: median probe RTT={r.median_probe_rtt_ms():7.1f} ms "
+            f"p99={r.p99_probe_rtt_ms():7.1f} ms  bulk={r.bulk_throughput_mbps:5.1f} Mbit/s"
+        )
+    reduction = median_latency_reduction(results)
+    lines.append(
+        f"overall median probe-RTT reduction (Bundler vs Status Quo): {reduction * 100:.0f}% "
+        "(paper: 57%)"
+    )
+    report("Figure 16 — emulated real-Internet paths", lines)
+
+    by_key = {(r.region, r.configuration): r for r in results}
+    for region in {r.region for r in results}:
+        base = by_key[(region, "base")]
+        status_quo = by_key[(region, "status_quo")]
+        bundler = by_key[(region, "bundler")]
+        # Bulk traffic inflates Status Quo probe latencies well above base...
+        assert status_quo.median_probe_rtt_ms() > base.median_probe_rtt_ms() * 1.3
+        # ...and Bundler brings them back down toward the base RTT.
+        assert bundler.median_probe_rtt_ms() < status_quo.median_probe_rtt_ms()
+    assert reduction > 0.2

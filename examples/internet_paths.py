@@ -1,0 +1,37 @@
+"""Emulated version of the paper's real-Internet-paths deployment (§8, Figure 16).
+
+One sending site pushes ten closed-loop 40-byte request/response probes and a
+handful of backlogged bulk flows toward several receiving regions, each with
+its own base RTT and an egress rate limit standing in for the cloud
+provider's rate limiter.  The script prints, per region, the probe RTT
+distribution for Base / Status Quo / Bundler.
+
+Run with::
+
+    python examples/internet_paths.py
+"""
+
+from repro.experiments import median_latency_reduction, run_internet_paths_study
+
+
+def main() -> None:
+    regions = {"south_carolina": 30.0, "oregon": 40.0, "frankfurt": 110.0}
+    results = run_internet_paths_study(
+        regions=regions,
+        egress_limit_mbps=24.0,
+        duration_s=15.0,
+        num_probes=10,
+        num_bulk_flows=4,
+    )
+    print("region           configuration   median RTT    p99 RTT   bulk throughput")
+    for r in results:
+        print(
+            f"{r.region:15s}  {r.configuration:12s} {r.median_probe_rtt_ms():9.1f} ms "
+            f"{r.p99_probe_rtt_ms():9.1f} ms  {r.bulk_throughput_mbps:7.1f} Mbit/s"
+        )
+    print(f"\nOverall median probe-RTT reduction from Bundler: "
+          f"{median_latency_reduction(results) * 100:.0f}%  (paper: 57%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Demonstrate the out-of-order-epoch multipath imbalance detector (§5.2, §7.6).
+
+Runs the same bundle over a single-path WAN and over a 4-way load-balanced
+WAN with imbalanced per-path delays, and prints the fraction of congestion
+ACKs that arrived out of order plus the controller's resulting mode.
+
+Run with::
+
+    python examples/multipath_detection.py
+"""
+
+from repro.experiments import run_multipath_point
+
+
+def main() -> None:
+    print("paths  out-of-order fraction  detector  final controller mode")
+    for paths in (1, 2, 4, 8):
+        point = run_multipath_point(num_paths=paths, bottleneck_mbps=24.0, rtt_ms=50.0,
+                                    duration_s=10.0)
+        print(
+            f"{paths:5d}  {point.out_of_order_fraction * 100:20.2f}%  "
+            f"{'triggered' if point.detector_triggered else 'quiet':9s}  {point.final_mode}"
+        )
+    print("\nThe paper reports <=0.4% out-of-order measurements on single paths and >=20% with "
+          "2-32 imbalanced paths, so a 5% threshold cleanly separates the regimes; when it "
+          "trips, Bundler disables its rate control (status-quo behaviour) rather than "
+          "reacting to meaningless aggregate delay measurements.")
+
+
+if __name__ == "__main__":
+    main()

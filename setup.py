@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` also works on environments whose
+setuptools predates PEP 660 editable-install support (legacy
+``setup.py develop`` path, e.g. offline machines without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

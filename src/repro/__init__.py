@@ -1,0 +1,35 @@
+"""Bundler: site-to-site Internet traffic control (EuroSys 2021) — Python reproduction.
+
+This package re-implements the Bundler system and the substrate needed to
+evaluate it:
+
+* :mod:`repro.net` — a packet-level discrete-event network simulator
+  (links, routers, ECMP, tracing) standing in for the paper's mahimahi
+  emulation and real WAN paths.
+* :mod:`repro.qdisc` — queueing disciplines (FIFO, SFQ, CoDel, FQ-CoDel,
+  DRR, strict priority, RED, and the token-bucket sendbox datapath).
+* :mod:`repro.cc` — congestion control: endhost window algorithms (Cubic,
+  Reno, BBR, Vegas) and bundle-level rate algorithms (Copa, Nimbus
+  BasicDelay, BBR), plus Nimbus elasticity detection.
+* :mod:`repro.transport` — TCP-like reliable flows, paced UDP streams and
+  closed-loop latency probes.
+* :mod:`repro.core` — the Bundler sendbox/receivebox pair: epoch-based
+  measurement, the inner control loop, cross-traffic and multipath
+  fallbacks.
+* :mod:`repro.workload` — heavy-tailed request workloads and traffic
+  generators.
+* :mod:`repro.metrics` — flow-completion-time / slowdown / latency analysis.
+* :mod:`repro.experiments` — scenario builders and runners reproducing every
+  figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(mode="bundler_sfq", seed=1))
+    print(result.median_slowdown())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

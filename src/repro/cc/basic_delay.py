@@ -1,0 +1,85 @@
+"""Nimbus "BasicDelay" rate control.
+
+BasicDelay is the simple delay-targeting rate controller from the Nimbus
+paper [Goyal et al.]: hold the self-inflicted queueing delay near a small
+target (a fraction of the propagation RTT) while matching the observed
+receive rate, so the bottleneck stays fully utilized with a small standing
+queue.  Figure 14 shows it providing benefits comparable to Copa when used
+as Bundler's sendbox algorithm.
+
+Control law (per measurement interval)::
+
+    qdelay      = rtt - min_rtt
+    target      = max(target_fraction * min_rtt, min_target)
+    mu_hat      = windowed max of the receive rate   (bottleneck estimate)
+    rate        = recv_rate + alpha * mu_hat * (target - qdelay) / target
+
+clamped to ``[min_rate, 2 * mu_hat]``.  When the queue is above target the
+rate drops below the receive rate and the queue drains; when below target it
+rises above the receive rate and the queue grows toward the target.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import BundleMeasurement, RateCongestionControl
+from repro.util.windowed import MaxFilter
+
+
+class BasicDelayRateControl(RateCongestionControl):
+    """Delay-threshold rate controller modelled on Nimbus's BasicDelay."""
+
+    def __init__(
+        self,
+        alpha: float = 0.8,
+        target_fraction: float = 0.1,
+        min_target_s: float = 0.002,
+        initial_rate_bps: float = 12e6,
+        min_rate_bps: float = 0.5e6,
+        bw_window_s: float = 5.0,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0.0 < target_fraction < 1.0:
+            raise ValueError("target_fraction must be in (0, 1)")
+        self.alpha = alpha
+        self.target_fraction = target_fraction
+        self.min_target_s = min_target_s
+        self._initial_rate = initial_rate_bps
+        self.min_rate_bps = min_rate_bps
+        self._mu_hat = MaxFilter(bw_window_s)
+        self._rate = initial_rate_bps
+
+    def initial_rate_bps(self) -> float:
+        return self._initial_rate
+
+    @property
+    def bottleneck_estimate_bps(self) -> Optional[float]:
+        """Current estimate of the bottleneck rate (windowed max receive rate)."""
+        return self._mu_hat.current()
+
+    def target_delay(self, min_rtt: float) -> float:
+        """Queueing-delay target for a path with the given propagation RTT."""
+        return max(self.target_fraction * min_rtt, self.min_target_s)
+
+    def on_measurement(self, measurement: BundleMeasurement) -> float:
+        now = measurement.now
+        if measurement.recv_rate > 0:
+            self._mu_hat.update(now, measurement.recv_rate)
+        mu = self._mu_hat.current(now)
+        if mu is None or mu <= 0 or measurement.rtt <= 0:
+            return self._rate
+        qdelay = measurement.queue_delay
+        target = self.target_delay(measurement.min_rtt)
+        # Clamp the normalized error: far above target the controller should
+        # drain firmly but not collapse to the minimum rate (which would
+        # starve its own measurements), and far below target it should not
+        # overshoot past the bottleneck estimate.
+        error = max(min((target - qdelay) / target, 1.0), -0.5)
+        rate = measurement.recv_rate + self.alpha * mu * error
+        self._rate = min(max(rate, self.min_rate_bps), 2.0 * mu)
+        return self._rate
+
+    def on_no_feedback(self, now: float) -> Optional[float]:
+        return None

@@ -1,0 +1,221 @@
+"""BBR congestion control, in window (endhost) and rate (sendbox) forms.
+
+BBR [Cardwell et al. 2016] models the path with two quantities — the
+bottleneck bandwidth (max delivery rate over a sliding window) and the
+round-trip propagation delay (min RTT) — and paces at ``gain × btl_bw``,
+cycling the gain to probe for more bandwidth and to drain the queue it
+created while probing.
+
+Two adapters share that logic:
+
+* :class:`BbrWindowCC` drives an endhost TCP flow (cwnd = cwnd_gain × BDP).
+* :class:`BbrRateControl` drives the bundle at the sendbox.  Figure 14 shows
+  this choice performing slightly *worse* than Status Quo, because BBR's
+  probing pushes packets into the network more aggressively than Copa or
+  BasicDelay and therefore leaves a larger in-network queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import BundleMeasurement, RateCongestionControl, WindowCongestionControl
+from repro.util.windowed import MaxFilter, MinFilter
+
+#: Pacing-gain cycle used in PROBE_BW (standard BBR values).
+PROBE_GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+STARTUP_GAIN = 2.885
+
+
+class _BbrModel:
+    """Shared BBR path model: windowed max bandwidth and min RTT, plus phases.
+
+    The phase machine follows the BBR v1 structure: STARTUP until the
+    bandwidth estimate plateaus, a one-RTT DRAIN, then PROBE_BW gain cycling,
+    periodically interrupted by a short PROBE_RTT during which the sender
+    shrinks its window so the standing queue drains and the minimum RTT can
+    be re-measured (without PROBE_RTT the min-RTT filter would slowly absorb
+    the self-inflicted queueing delay and the window would run away).
+    """
+
+    PROBE_RTT_INTERVAL = 10.0
+    PROBE_RTT_DURATION = 0.2
+
+    def __init__(self, bw_window_s: float = 2.0, rtt_window_s: float = 10.0) -> None:
+        self.btl_bw = MaxFilter(bw_window_s)
+        self.min_rtt = MinFilter(rtt_window_s)
+        self.phase = "startup"
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._cycle_index = 0
+        self._cycle_start = 0.0
+        self._probe_rtt_start = 0.0
+        self._last_probe_rtt_end = 0.0
+
+    def update(self, now: float, delivery_rate_bps: float, rtt: float) -> None:
+        if delivery_rate_bps > 0:
+            self.btl_bw.update(now, delivery_rate_bps)
+        if rtt > 0:
+            self.min_rtt.update(now, rtt)
+        self._advance_phase(now)
+
+    def _advance_phase(self, now: float) -> None:
+        bw = self.btl_bw.current(now) or 0.0
+        if self.phase == "probe_rtt":
+            if now - self._probe_rtt_start >= self.PROBE_RTT_DURATION:
+                self._last_probe_rtt_end = now
+                self.phase = "probe_bw"
+                self._cycle_index = 0
+                self._cycle_start = now
+            return
+        if self.phase not in ("startup", "drain") and (
+            now - self._last_probe_rtt_end >= self.PROBE_RTT_INTERVAL
+        ):
+            self.phase = "probe_rtt"
+            self._probe_rtt_start = now
+            return
+        if self.phase == "startup":
+            # Exit startup when bandwidth stops growing by >= 25% for 3 rounds.
+            if bw > self._full_bw * 1.25:
+                self._full_bw = bw
+                self._full_bw_rounds = 0
+            else:
+                self._full_bw_rounds += 1
+                if self._full_bw_rounds >= 3 and self._full_bw > 0:
+                    self.phase = "drain"
+                    self._cycle_start = now
+            self._last_probe_rtt_end = now
+        elif self.phase == "drain":
+            rtt = self.min_rtt.current(now) or 0.05
+            if now - self._cycle_start >= rtt:
+                self.phase = "probe_bw"
+                self._cycle_index = 0
+                self._cycle_start = now
+            self._last_probe_rtt_end = now
+
+    def pacing_gain(self, now: float) -> float:
+        if self.phase == "startup":
+            return STARTUP_GAIN
+        if self.phase == "drain":
+            return 1.0 / STARTUP_GAIN
+        if self.phase == "probe_rtt":
+            return 0.5
+        rtt = self.min_rtt.current(now) or 0.05
+        if now - self._cycle_start >= rtt:
+            steps = int((now - self._cycle_start) / rtt)
+            self._cycle_index = (self._cycle_index + steps) % len(PROBE_GAIN_CYCLE)
+            self._cycle_start = now
+        return PROBE_GAIN_CYCLE[self._cycle_index]
+
+    def bdp_bytes(self, now: float) -> Optional[float]:
+        bw = self.btl_bw.current(now)
+        rtt = self.min_rtt.current(now)
+        if bw is None or rtt is None:
+            return None
+        return bw * rtt / 8.0
+
+
+class BbrWindowCC(WindowCongestionControl):
+    """Endhost BBR approximation: cwnd follows cwnd_gain × BDP."""
+
+    def __init__(self, mss: int = 1500, cwnd_gain: float = 2.0, initial_cwnd_segments: int = 10) -> None:
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.mss = mss
+        self.cwnd_gain = cwnd_gain
+        self._cwnd = float(initial_cwnd_segments * mss)
+        self._model = _BbrModel()
+        # Delivery-rate samples are taken over an interval of a few
+        # milliseconds rather than per ACK: instantaneous per-ACK rates are
+        # wildly noisy (ACK compression, cumulative jumps after recovery) and
+        # would inflate the windowed-max bandwidth filter.
+        self._interval_start: Optional[float] = None
+        self._interval_bytes = 0.0
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self._cwnd
+
+    @property
+    def phase(self) -> str:
+        return self._model.phase
+
+    def _delivery_rate_sample(self, now: float, acked_bytes: int, rtt: float) -> Optional[float]:
+        if self._interval_start is None:
+            self._interval_start = now
+            self._interval_bytes = float(acked_bytes)
+            return None
+        self._interval_bytes += acked_bytes
+        min_interval = max(0.25 * rtt, 0.002) if rtt > 0 else 0.002
+        elapsed = now - self._interval_start
+        if elapsed < min_interval:
+            return None
+        rate = self._interval_bytes * 8.0 / elapsed
+        self._interval_start = now
+        self._interval_bytes = 0.0
+        return rate
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        if acked_bytes <= 0:
+            return
+        delivery_rate = self._delivery_rate_sample(now, acked_bytes, rtt)
+        self._model.update(now, delivery_rate if delivery_rate is not None else 0.0, rtt)
+        bdp = self._model.bdp_bytes(now)
+        if bdp is None:
+            # Still learning the path: behave like slow start (capped per ACK).
+            self._cwnd += min(acked_bytes, 2 * self.mss)
+            return
+        if self._model.phase == "probe_rtt":
+            # Drain the pipe so min RTT can be re-measured.
+            self._cwnd = 4.0 * self.mss
+            return
+        gain = STARTUP_GAIN if self._model.phase == "startup" else self.cwnd_gain
+        target = max(gain * bdp, 4.0 * self.mss)
+        if self._cwnd < target:
+            self._cwnd = min(target, self._cwnd + acked_bytes)
+        else:
+            self._cwnd = target
+
+    def on_loss(self, now: float) -> None:
+        # BBR does not react to isolated losses; the model bounds the window.
+        return None
+
+    def on_timeout(self, now: float, flight_bytes: float = 0.0) -> None:
+        self._cwnd = max(4.0 * self.mss, self._cwnd / 2.0)
+
+    def pacing_rate_bps(self) -> Optional[float]:
+        bw = self._model.btl_bw.current()
+        if bw is None:
+            return None
+        return self._model.pacing_gain(0.0) * bw
+
+
+class BbrRateControl(RateCongestionControl):
+    """Sendbox BBR: pace the bundle at ``pacing_gain × btl_bw``."""
+
+    def __init__(self, initial_rate_bps: float = 12e6, min_rate_bps: float = 1e6) -> None:
+        if initial_rate_bps <= 0:
+            raise ValueError("initial rate must be positive")
+        self._initial_rate = initial_rate_bps
+        self.min_rate_bps = min_rate_bps
+        self._model = _BbrModel()
+        self._rate = initial_rate_bps
+
+    def initial_rate_bps(self) -> float:
+        return self._initial_rate
+
+    @property
+    def phase(self) -> str:
+        return self._model.phase
+
+    def on_measurement(self, measurement: BundleMeasurement) -> float:
+        self._model.update(measurement.now, measurement.recv_rate, measurement.rtt)
+        bw = self._model.btl_bw.current(measurement.now)
+        if bw is None or bw <= 0:
+            return self._rate
+        gain = self._model.pacing_gain(measurement.now)
+        self._rate = max(gain * bw, self.min_rate_bps)
+        return self._rate
+
+    def on_no_feedback(self, now: float) -> Optional[float]:
+        return None

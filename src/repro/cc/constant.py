@@ -1,0 +1,57 @@
+"""Constant-window and constant-rate controllers.
+
+* :class:`ConstantWindowCC` pins the congestion window regardless of
+  feedback.  §7.5 emulates an *idealized TCP proxy* by configuring the
+  endhosts with a constant window of 450 packets (slightly above the
+  bandwidth-delay product) so their traffic ramps instantly, with the
+  sendbox absorbing the excess — this class is that emulation.
+* :class:`ConstantRateControl` pins the bundle rate; it is the "Bundler
+  disabled"/status-quo rate controller and a useful fixture in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import BundleMeasurement, RateCongestionControl, WindowCongestionControl
+
+
+class ConstantWindowCC(WindowCongestionControl):
+    """A congestion window that never changes (idealized-proxy endhost)."""
+
+    def __init__(self, mss: int = 1500, window_segments: int = 450) -> None:
+        if mss <= 0 or window_segments <= 0:
+            raise ValueError("mss and window_segments must be positive")
+        self.mss = mss
+        self._cwnd = float(window_segments * mss)
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self._cwnd
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        return None
+
+    def on_loss(self, now: float) -> None:
+        return None
+
+    def on_timeout(self, now: float, flight_bytes: float = 0.0) -> None:
+        return None
+
+
+class ConstantRateControl(RateCongestionControl):
+    """A bundle rate controller that always returns the same rate."""
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = rate_bps
+
+    def initial_rate_bps(self) -> float:
+        return self.rate_bps
+
+    def on_measurement(self, measurement: BundleMeasurement) -> float:
+        return self.rate_bps
+
+    def on_no_feedback(self, now: float) -> Optional[float]:
+        return None

@@ -1,0 +1,130 @@
+"""Copa congestion control, adapted to bundle-level rate control.
+
+Copa [Arun & Balakrishnan, NSDI 2018] targets a sending rate of
+``1 / (delta * dq)`` packets per second, where ``dq`` is the queueing delay
+(standing RTT minus minimum RTT).  The window moves toward the target with a
+velocity term that doubles while the direction of adjustment is consistent.
+
+Copa is the default algorithm at the sendbox in the paper's evaluation
+(§7.1): it keeps the bottleneck queue small (so the queue moves to the
+sendbox) while staying at the bundle's fair share of bottleneck bandwidth.
+This implementation keeps Copa's internal state as a congestion window (in
+packets) and converts it to a bundle rate using the standing RTT, which is
+how the prototype drives the token-bucket qdisc (effective rate =
+cwnd / RTT, §6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import BundleMeasurement, RateCongestionControl
+from repro.util.windowed import MinFilter
+
+
+class CopaRateControl(RateCongestionControl):
+    """Copa adapted as a bundle rate controller."""
+
+    def __init__(
+        self,
+        delta: float = 0.5,
+        mss: int = 1500,
+        initial_rate_bps: float = 12e6,
+        min_cwnd_packets: float = 4.0,
+        standing_window_s: float = 0.1,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.delta = delta
+        self.mss = mss
+        self._initial_rate = initial_rate_bps
+        self.min_cwnd_packets = min_cwnd_packets
+        # Standing RTT: the minimum RTT over a short recent window, which
+        # filters out transient spikes but tracks the current standing queue.
+        self._standing_rtt = MinFilter(standing_window_s)
+        self._cwnd_packets = 10.0
+        self._velocity = 1.0
+        self._direction = 0
+        self._direction_changes = 0
+        self._last_direction_time = 0.0
+        self._initialized = False
+
+    def initial_rate_bps(self) -> float:
+        return self._initial_rate
+
+    @property
+    def cwnd_packets(self) -> float:
+        return self._cwnd_packets
+
+    @property
+    def velocity(self) -> float:
+        return self._velocity
+
+    def _update_velocity(self, now: float, direction: int, rtt: float) -> None:
+        if direction == self._direction:
+            # Copa doubles the velocity only once the direction has stayed the
+            # same for several RTTs; reacting faster than that amplifies the
+            # feedback delay of the epoch measurements into oscillation.
+            if now - self._last_direction_time >= 3.0 * rtt:
+                self._velocity = min(self._velocity * 2.0, 64.0)
+                self._last_direction_time = now
+        else:
+            self._velocity = 1.0
+            self._direction = direction
+            self._last_direction_time = now
+
+    def on_measurement(self, measurement: BundleMeasurement) -> float:
+        now = measurement.now
+        rtt = measurement.rtt
+        min_rtt = measurement.min_rtt
+        if rtt <= 0 or min_rtt <= 0:
+            return self._current_rate(rtt if rtt > 0 else 0.05)
+        if not self._initialized:
+            # Seed the window from the initial rate so Copa does not start
+            # from a tiny window on a fat pipe.
+            self._cwnd_packets = max(
+                self.min_cwnd_packets, self._initial_rate * rtt / (8.0 * self.mss)
+            )
+            self._initialized = True
+        standing = self._standing_rtt.update(now, rtt)
+        queueing_delay = max(standing - min_rtt, 0.0)
+
+        if queueing_delay <= 1e-6:
+            target_rate_pps = float("inf")
+        else:
+            target_rate_pps = 1.0 / (self.delta * queueing_delay)
+        current_rate_pps = self._cwnd_packets / standing
+
+        acked_packets = max(measurement.acked_bytes / self.mss, 1.0)
+        # Cap the per-update step: the bundle controller runs every 10 ms but
+        # measurements lag by roughly an RTT, so unbounded per-tick steps turn
+        # that delay into oscillation.
+        step = min(
+            (self._velocity / (self.delta * self._cwnd_packets)) * acked_packets,
+            0.05 * self._cwnd_packets + 1.0,
+        )
+        if current_rate_pps <= target_rate_pps:
+            self._update_velocity(now, +1, standing)
+            self._cwnd_packets += step
+        else:
+            self._update_velocity(now, -1, standing)
+            self._cwnd_packets -= step
+        if measurement.loss_detected:
+            # Copa reacts mildly to loss (it is not loss-based), but a missing
+            # epoch indicates the queue overflowed: step the window down.
+            self._cwnd_packets *= 0.9
+        self._cwnd_packets = max(self._cwnd_packets, self.min_cwnd_packets)
+        # The qdisc enforces "cwnd worth of data per current RTT" (§6.1): using
+        # the *current* RTT rather than the standing minimum gives the loop a
+        # self-damping property — as the queue (and thus the RTT) grows, the
+        # enforced rate for a fixed window automatically falls.
+        return self._current_rate(rtt)
+
+    def _current_rate(self, rtt: float) -> float:
+        rtt = max(rtt, 1e-3)
+        return self._cwnd_packets * self.mss * 8.0 / rtt
+
+    def on_no_feedback(self, now: float) -> Optional[float]:
+        return None

@@ -1,0 +1,65 @@
+"""TCP NewReno congestion control (endhost).
+
+The classic AIMD loop: slow start doubles the window every RTT until it
+crosses ``ssthresh``; congestion avoidance then adds one segment per RTT;
+duplicate-ACK loss halves the window; a retransmission timeout collapses it
+to one segment.  §7.4 uses Reno endhosts to show Bundler's benefits are not
+specific to Cubic.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import WindowCongestionControl
+
+
+class RenoCC(WindowCongestionControl):
+    """NewReno-style AIMD window control."""
+
+    def __init__(
+        self,
+        mss: int = 1500,
+        initial_cwnd_segments: int = 10,
+        initial_ssthresh_segments: int = 10_000,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.mss = mss
+        self._cwnd = float(initial_cwnd_segments * mss)
+        self._ssthresh = float(initial_ssthresh_segments * mss)
+        self.in_recovery_until = 0.0
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self._cwnd
+
+    @property
+    def ssthresh_bytes(self) -> float:
+        return self._ssthresh
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        if acked_bytes <= 0:
+            return
+        if self._cwnd < self._ssthresh:
+            # Slow start with appropriate byte counting (RFC 3465): growth per
+            # ACK is capped so a large cumulative ACK after loss recovery
+            # cannot inflate the window in one step.
+            self._cwnd += min(acked_bytes, 2 * self.mss)
+        else:
+            # Congestion avoidance: ~1 MSS per RTT of acknowledged data.
+            self._cwnd += self.mss * self.mss / self._cwnd * (acked_bytes / self.mss)
+        self._cwnd = max(self._cwnd, float(self.mss))
+
+    def on_loss(self, now: float) -> None:
+        # One window reduction per round trip: ignore further losses that
+        # arrive while we are still recovering from the previous one.
+        if now < self.in_recovery_until:
+            return
+        self._ssthresh = max(self._cwnd / 2.0, 2.0 * self.mss)
+        self._cwnd = self._ssthresh
+        self.in_recovery_until = now + 0.1
+
+    def on_timeout(self, now: float, flight_bytes: float = 0.0) -> None:
+        reference = max(self._cwnd, flight_bytes)
+        self._ssthresh = max(reference / 2.0, 2.0 * self.mss)
+        self._cwnd = float(self.mss)
+        self.in_recovery_until = now

@@ -1,0 +1,73 @@
+"""TCP Vegas congestion control (endhost).
+
+Vegas is the canonical delay-based endhost controller [Brakmo et al. 1994];
+the paper cites it as the class of algorithm that "competes poorly with
+buffer-filling loss-based schemes" (§4.3), which is exactly the problem
+Bundler's Nimbus-based cross-traffic detection exists to solve.  It is
+included both for completeness and to let tests demonstrate the
+delay-vs-loss competition effect directly.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import WindowCongestionControl
+
+
+class VegasCC(WindowCongestionControl):
+    """Vegas: keep between ``alpha`` and ``beta`` packets queued in the network."""
+
+    def __init__(
+        self,
+        mss: int = 1500,
+        alpha: float = 2.0,
+        beta: float = 4.0,
+        initial_cwnd_segments: int = 10,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        if alpha <= 0 or beta <= alpha:
+            raise ValueError("need 0 < alpha < beta")
+        self.mss = mss
+        self.alpha = alpha
+        self.beta = beta
+        self._cwnd = float(initial_cwnd_segments * mss)
+        self._ssthresh = float("inf")
+        self._base_rtt = float("inf")
+        self._last_adjust = 0.0
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self._cwnd
+
+    @property
+    def base_rtt(self) -> float:
+        return self._base_rtt
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        if acked_bytes <= 0 or rtt <= 0:
+            return
+        self._base_rtt = min(self._base_rtt, rtt)
+        if self._cwnd < self._ssthresh:
+            # Vegas slow start is half-rate; cap growth per ACK as elsewhere.
+            self._cwnd += min(acked_bytes / 2.0, float(self.mss))
+        # Adjust once per RTT.
+        if now - self._last_adjust < rtt:
+            return
+        self._last_adjust = now
+        expected = self._cwnd / self._base_rtt
+        actual = self._cwnd / rtt
+        diff_packets = (expected - actual) * self._base_rtt / self.mss
+        if diff_packets < self.alpha:
+            self._cwnd += self.mss
+        elif diff_packets > self.beta:
+            self._cwnd -= self.mss
+        self._cwnd = max(self._cwnd, 2.0 * self.mss)
+
+    def on_loss(self, now: float) -> None:
+        self._cwnd = max(self._cwnd * 0.75, 2.0 * self.mss)
+        self._ssthresh = self._cwnd
+
+    def on_timeout(self, now: float, flight_bytes: float = 0.0) -> None:
+        reference = max(self._cwnd, flight_bytes)
+        self._ssthresh = max(reference / 2.0, 2.0 * self.mss)
+        self._cwnd = float(2 * self.mss)

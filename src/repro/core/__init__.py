@@ -1,0 +1,59 @@
+"""Bundler core: the paper's contribution.
+
+The pieces map directly onto Figure 3 of the paper:
+
+* :mod:`repro.core.epoch` — epoch boundary identification and epoch-size
+  control (§4.5).
+* :mod:`repro.core.feedback` — the out-of-band congestion ACK and
+  epoch-size-update messages exchanged between the boxes (§4.4).
+* :mod:`repro.core.measurement` — the sendbox measurement module that turns
+  epoch feedback into RTT / send-rate / receive-rate signals (§4.5).
+* :mod:`repro.core.receivebox` — the receivebox: passive byte counting and
+  congestion ACK generation (§6).
+* :mod:`repro.core.sendbox` — the sendbox datapath (token bucket + operator
+  scheduling policy) and control-plane event loop (§6).
+* :mod:`repro.core.controller` — the per-bundle control loop: the delay
+  congestion controller, Nimbus cross-traffic detection, the pass-through
+  PI controller, and multipath fallback (§4.3, §5).
+* :mod:`repro.core.passthrough` — the PI controller that holds the 10 ms
+  standing queue while letting traffic pass (§5.1).
+* :mod:`repro.core.multipath` — the out-of-order-epoch imbalance detector
+  (§5.2).
+* :mod:`repro.core.bundle` — bundle identity and classification helpers.
+* :mod:`repro.core.config` — :class:`~repro.core.config.BundlerConfig`.
+
+:func:`install_bundler` wires a sendbox/receivebox pair onto a
+:class:`~repro.net.topology.SiteToSite` topology in one call; it is the main
+entry point used by examples and experiments.
+"""
+
+from repro.core.config import BundlerConfig
+from repro.core.bundle import Bundle, source_address_classifier
+from repro.core.controller import BundleController, BundlerMode
+from repro.core.epoch import EpochSizeController, is_epoch_boundary, round_down_power_of_two
+from repro.core.feedback import CongestionAck, EpochSizeUpdate
+from repro.core.measurement import BundleMeasurementEngine
+from repro.core.multipath import MultipathDetector
+from repro.core.passthrough import PiQueueController
+from repro.core.receivebox import Receivebox
+from repro.core.sendbox import Sendbox, BundlerPair, install_bundler
+
+__all__ = [
+    "BundlerConfig",
+    "Bundle",
+    "BundleController",
+    "BundlerMode",
+    "BundleMeasurementEngine",
+    "CongestionAck",
+    "EpochSizeUpdate",
+    "EpochSizeController",
+    "MultipathDetector",
+    "PiQueueController",
+    "Receivebox",
+    "Sendbox",
+    "BundlerPair",
+    "install_bundler",
+    "is_epoch_boundary",
+    "round_down_power_of_two",
+    "source_address_classifier",
+]

@@ -1,0 +1,79 @@
+"""Epoch boundary identification and epoch-size control (§4.5).
+
+Bundler samples a subset of packets as *epoch boundaries*: both boxes hash
+the same invariant header subset of every packet and treat a packet as a
+boundary when its hash is a multiple of the epoch size ``N``.  The sendbox
+adapts ``N`` so boundaries are spaced roughly a quarter of an RTT apart:
+``N = epoch_rtt_fraction * minRTT * send_rate`` (in packets), rounded *down*
+to a power of two.
+
+The power-of-two rounding is the key robustness trick: if the receivebox is
+still using a stale epoch size, the set of packets it samples is guaranteed
+to be either a superset or a subset of the sendbox's — a superset produces
+extra feedback the sendbox ignores (it has no matching record), and a subset
+just means some sendbox records go unanswered and the next measurement spans
+a longer epoch.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+
+
+def round_down_power_of_two(n: int) -> int:
+    """Largest power of two less than or equal to ``n`` (minimum 1)."""
+    if n < 1:
+        return 1
+    return 1 << (int(n).bit_length() - 1)
+
+
+def is_epoch_boundary(header_hash: int, epoch_size: int) -> bool:
+    """True if a packet with this header hash is an epoch boundary for ``epoch_size``."""
+    if epoch_size < 1:
+        raise ValueError("epoch_size must be >= 1")
+    return header_hash % epoch_size == 0
+
+
+def packet_is_epoch_boundary(packet: Packet, epoch_size: int) -> bool:
+    """Convenience wrapper applying :func:`is_epoch_boundary` to a packet."""
+    return is_epoch_boundary(packet.header_hash(), epoch_size)
+
+
+class EpochSizeController:
+    """Chooses the epoch size from the current minRTT and sending rate."""
+
+    def __init__(
+        self,
+        rtt_fraction: float = 0.25,
+        mss: int = 1500,
+        min_size: int = 1,
+        max_size: int = 8192,
+        initial_size: int = 16,
+    ) -> None:
+        if not 0.0 < rtt_fraction <= 1.0:
+            raise ValueError("rtt_fraction must be in (0, 1]")
+        if min_size < 1 or max_size < min_size:
+            raise ValueError("need 1 <= min_size <= max_size")
+        self.rtt_fraction = rtt_fraction
+        self.mss = mss
+        self.min_size = round_down_power_of_two(min_size)
+        self.max_size = round_down_power_of_two(max_size)
+        self.current_size = max(
+            self.min_size, min(round_down_power_of_two(initial_size), self.max_size)
+        )
+
+    def compute(self, min_rtt_s: float, send_rate_bps: float) -> int:
+        """Epoch size (packets, power of two) for the given path conditions."""
+        if min_rtt_s <= 0 or send_rate_bps <= 0:
+            return self.current_size
+        packets_per_epoch = self.rtt_fraction * min_rtt_s * send_rate_bps / 8.0 / self.mss
+        size = round_down_power_of_two(int(packets_per_epoch))
+        return max(self.min_size, min(size, self.max_size))
+
+    def update(self, min_rtt_s: float, send_rate_bps: float) -> bool:
+        """Recompute the epoch size; returns True if it changed."""
+        new_size = self.compute(min_rtt_s, send_rate_bps)
+        if new_size != self.current_size:
+            self.current_size = new_size
+            return True
+        return False

@@ -1,0 +1,188 @@
+"""Sendbox measurement engine (§4.5, Figure 4).
+
+For every epoch boundary packet the sendbox transmits, it records the
+packet's header hash, the transmit time and the bundle's cumulative sent
+byte count.  When the matching congestion ACK arrives from the receivebox
+(carrying the same hash and the receivebox's cumulative received byte
+count), the engine computes:
+
+* the RTT between the boxes: ``ack_arrival - t_sent``;
+* the send rate over the epoch: ``Δbytes_sent / Δt_sent`` between this
+  boundary and the previously acknowledged one;
+* the receive rate over the epoch: ``Δbytes_received / Δack_arrival``.
+
+Signals handed to the congestion controller are averaged over a sliding
+window of epochs spanning roughly one RTT, which also makes them robust to
+mild reordering.  ACKs that arrive "out of order" (for a boundary sent
+earlier than one already acknowledged) are counted separately — their
+fraction is the §5.2 multipath-imbalance signal — and excluded from rate
+computation.  Boundary records that go unacknowledged for longer than the
+feedback timeout are treated as lost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cc.base import BundleMeasurement
+from repro.util.windowed import SlidingWindow
+
+
+@dataclass
+class BoundaryRecord:
+    """State the sendbox keeps for one in-flight epoch boundary packet."""
+
+    boundary_hash: int
+    t_sent: float
+    bytes_sent: int
+
+
+@dataclass
+class _AckedBoundary:
+    t_sent: float
+    bytes_sent: int
+    ack_time: float
+    bytes_received: int
+
+
+class BundleMeasurementEngine:
+    """Turns epoch boundary records plus congestion ACKs into congestion signals."""
+
+    def __init__(
+        self,
+        *,
+        window_rtts: float = 1.0,
+        feedback_timeout_s: float = 2.0,
+        initial_window_s: float = 0.1,
+        max_outstanding: int = 4096,
+    ) -> None:
+        self.window_rtts = window_rtts
+        self.feedback_timeout_s = feedback_timeout_s
+        self.max_outstanding = max_outstanding
+        self._outstanding: "OrderedDict[int, BoundaryRecord]" = OrderedDict()
+        self._last_acked: Optional[_AckedBoundary] = None
+        self._rtt_window = SlidingWindow(initial_window_s)
+        self._send_rate_window = SlidingWindow(initial_window_s)
+        self._recv_rate_window = SlidingWindow(initial_window_s)
+        self.min_rtt: Optional[float] = None
+        self.total_acked_bytes = 0
+        self._acked_bytes_since_last_read = 0.0
+        self.in_order_acks = 0
+        self.out_of_order_acks = 0
+        self.ignored_acks = 0
+        self.lost_boundaries = 0
+        self._loss_since_last_read = False
+
+    # -- datapath inputs ------------------------------------------------------
+
+    def on_boundary_sent(self, now: float, boundary_hash: int, bytes_sent: int) -> None:
+        """Record an epoch boundary packet leaving the sendbox."""
+        self._expire(now)
+        if boundary_hash in self._outstanding:
+            # Hash collision with an in-flight boundary (rare): keep the older
+            # record so the eventual ACK matches the first transmission.
+            return
+        self._outstanding[boundary_hash] = BoundaryRecord(boundary_hash, now, bytes_sent)
+        while len(self._outstanding) > self.max_outstanding:
+            self._outstanding.popitem(last=False)
+
+    def on_congestion_ack(self, now: float, boundary_hash: int, bytes_received: int) -> Optional[float]:
+        """Process a congestion ACK; returns the RTT sample, if one was taken."""
+        self._expire(now)
+        record = self._outstanding.pop(boundary_hash, None)
+        if record is None:
+            # The receivebox sampled a superset of our boundaries (stale,
+            # smaller epoch size) or the record already expired; ignore.
+            self.ignored_acks += 1
+            return None
+        rtt = now - record.t_sent
+        if rtt <= 0:
+            self.ignored_acks += 1
+            return None
+        out_of_order = self._last_acked is not None and record.t_sent < self._last_acked.t_sent
+        if out_of_order:
+            self.out_of_order_acks += 1
+        else:
+            self.in_order_acks += 1
+        self.min_rtt = rtt if self.min_rtt is None else min(self.min_rtt, rtt)
+        self._set_window(self.window_rtts * max(self.min_rtt, rtt))
+        self._rtt_window.add(now, rtt)
+
+        if not out_of_order and self._last_acked is not None:
+            dt_sent = record.t_sent - self._last_acked.t_sent
+            dt_ack = now - self._last_acked.ack_time
+            dbytes_sent = record.bytes_sent - self._last_acked.bytes_sent
+            dbytes_recv = bytes_received - self._last_acked.bytes_received
+            if dt_sent > 0 and dbytes_sent >= 0:
+                self._send_rate_window.add(now, dbytes_sent * 8.0 / dt_sent)
+            if dt_ack > 0 and dbytes_recv >= 0:
+                self._recv_rate_window.add(now, dbytes_recv * 8.0 / dt_ack)
+                self._acked_bytes_since_last_read += dbytes_recv
+                self.total_acked_bytes += dbytes_recv
+        if not out_of_order:
+            self._last_acked = _AckedBoundary(
+                t_sent=record.t_sent,
+                bytes_sent=record.bytes_sent,
+                ack_time=now,
+                bytes_received=bytes_received,
+            )
+        return rtt
+
+    # -- outputs ------------------------------------------------------------------
+
+    def current_measurement(self, now: float) -> Optional[BundleMeasurement]:
+        """Congestion signals over the current window, or ``None`` before any feedback."""
+        self._expire(now)
+        # Evict samples that have aged out of the window even if no new
+        # feedback arrived; otherwise a starved bundle would keep reacting to
+        # stale (typically inflated) RTT samples forever.
+        self._rtt_window.evict(now)
+        self._send_rate_window.evict(now)
+        self._recv_rate_window.evict(now)
+        rtt = self._rtt_window.mean()
+        send_rate = self._send_rate_window.mean()
+        recv_rate = self._recv_rate_window.mean()
+        if rtt is None or self.min_rtt is None:
+            return None
+        measurement = BundleMeasurement(
+            now=now,
+            rtt=rtt,
+            min_rtt=self.min_rtt,
+            send_rate=send_rate if send_rate is not None else 0.0,
+            recv_rate=recv_rate if recv_rate is not None else 0.0,
+            acked_bytes=self._acked_bytes_since_last_read,
+            loss_detected=self._loss_since_last_read,
+        )
+        self._acked_bytes_since_last_read = 0.0
+        self._loss_since_last_read = False
+        return measurement
+
+    def out_of_order_fraction(self) -> float:
+        """Fraction of acknowledged boundaries that arrived out of order."""
+        total = self.in_order_acks + self.out_of_order_acks
+        if total == 0:
+            return 0.0
+        return self.out_of_order_acks / total
+
+    @property
+    def outstanding_boundaries(self) -> int:
+        """Number of boundary packets awaiting feedback."""
+        return len(self._outstanding)
+
+    # -- internal ---------------------------------------------------------------------
+
+    def _set_window(self, window_s: float) -> None:
+        window_s = max(window_s, 1e-3)
+        self._rtt_window.set_window(window_s)
+        self._send_rate_window.set_window(window_s)
+        self._recv_rate_window.set_window(window_s)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.feedback_timeout_s
+        expired = [h for h, rec in self._outstanding.items() if rec.t_sent < cutoff]
+        for h in expired:
+            del self._outstanding[h]
+            self.lost_boundaries += 1
+            self._loss_since_last_read = True

@@ -1,0 +1,78 @@
+"""Multipath imbalance detection (§5.2, §7.6).
+
+When a load balancer spreads a bundle's flows over paths with very
+different queueing delays, the sendbox's epoch measurements interleave
+samples from different paths and aggregate delay-based rate control stops
+making sense.  The tell-tale signal is *out-of-order congestion ACKs*:
+feedback for an epoch boundary sent earlier arriving after feedback for a
+later boundary.
+
+The detector keeps a sliding window of recent (in-order / out-of-order)
+observations and reports imbalance when the out-of-order fraction exceeds a
+threshold.  The paper finds an order-of-magnitude separation between the
+single-path case (at most 0.4%) and imbalanced multipath cases (at least
+20%), making a 5% threshold robust.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class MultipathDetector:
+    """Sliding-window out-of-order fraction with a trigger threshold."""
+
+    def __init__(
+        self,
+        threshold: float = 0.05,
+        window_s: float = 5.0,
+        min_samples: int = 50,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        self.threshold = threshold
+        self.window_s = window_s
+        self.min_samples = min_samples
+        self._samples: Deque[Tuple[float, bool]] = deque()
+        self.total_samples = 0
+        self.total_out_of_order = 0
+
+    def record(self, now: float, out_of_order: bool) -> None:
+        """Record one congestion-ACK ordering observation."""
+        self._samples.append((now, out_of_order))
+        self.total_samples += 1
+        if out_of_order:
+            self.total_out_of_order += 1
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def fraction(self, now: float = None) -> float:
+        """Out-of-order fraction over the sliding window."""
+        if now is not None:
+            self._evict(now)
+        if not self._samples:
+            return 0.0
+        return sum(1 for _, ooo in self._samples if ooo) / len(self._samples)
+
+    def lifetime_fraction(self) -> float:
+        """Out-of-order fraction over the entire run (used by §7.6's sweep)."""
+        if self.total_samples == 0:
+            return 0.0
+        return self.total_out_of_order / self.total_samples
+
+    def imbalanced(self, now: float = None) -> bool:
+        """True when enough samples exist and the windowed fraction exceeds the threshold."""
+        if now is not None:
+            self._evict(now)
+        if len(self._samples) < self.min_samples:
+            return False
+        return self.fraction() > self.threshold

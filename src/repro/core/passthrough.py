@@ -1,0 +1,80 @@
+"""Pass-through mode standing-queue PI controller (§5.1).
+
+When Nimbus detects buffer-filling cross traffic, Bundler "lets the traffic
+pass": it stops using the delay-based rate and instead lets the endhost
+congestion controllers compete on their own.  But it cannot simply open the
+rate limiter completely — the Nimbus up-pulse needs packets to send, so the
+sendbox must keep a small standing queue (the area under the up-pulse,
+≈8 ms of bottleneck bandwidth, padded to a 10 ms target).
+
+The paper regulates the queue with a PI controller on the base rate::
+
+    dr/dt = alpha * (q(t) - q_T) + beta * dq/dt
+
+with ``alpha = beta = 10``.  Both the queue ``q`` and its target ``q_T`` are
+expressed in seconds of delay at the current rate; the update is scaled by a
+rate scale (the bottleneck estimate) to give it rate units.  If the queue is
+above target the rate rises so the queue drains; if the queue is shrinking
+the derivative term damps the response.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PiQueueController:
+    """PI controller that holds the sendbox queue at a small delay target."""
+
+    def __init__(
+        self,
+        alpha: float = 10.0,
+        beta: float = 10.0,
+        target_queue_s: float = 0.010,
+        min_rate_bps: float = 1e6,
+        max_rate_bps: Optional[float] = None,
+    ) -> None:
+        if alpha <= 0 or beta < 0:
+            raise ValueError("alpha must be positive and beta non-negative")
+        if target_queue_s <= 0:
+            raise ValueError("target_queue_s must be positive")
+        self.alpha = alpha
+        self.beta = beta
+        self.target_queue_s = target_queue_s
+        self.min_rate_bps = min_rate_bps
+        self.max_rate_bps = max_rate_bps
+        self._rate: Optional[float] = None
+        self._last_queue: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def reset(self, initial_rate_bps: float) -> None:
+        """(Re-)enter pass-through mode starting from ``initial_rate_bps``."""
+        if initial_rate_bps <= 0:
+            raise ValueError("initial rate must be positive")
+        self._rate = initial_rate_bps
+        self._last_queue = None
+        self._last_time = None
+
+    @property
+    def rate_bps(self) -> Optional[float]:
+        """Current pass-through base rate (``None`` until :meth:`reset` is called)."""
+        return self._rate
+
+    def update(self, now: float, queue_delay_s: float, rate_scale_bps: float) -> float:
+        """Advance the controller one step and return the new base rate."""
+        if self._rate is None:
+            self.reset(max(rate_scale_bps, self.min_rate_bps))
+        dt = 0.0 if self._last_time is None else max(now - self._last_time, 0.0)
+        dq = 0.0
+        if self._last_queue is not None and dt > 0:
+            dq = (queue_delay_s - self._last_queue) / dt
+        error = queue_delay_s - self.target_queue_s
+        # dr/dt in units of the rate scale per second.
+        rate_derivative = (self.alpha * error + self.beta * dq) * rate_scale_bps
+        self._rate = self._rate + rate_derivative * dt
+        self._rate = max(self._rate, self.min_rate_bps)
+        if self.max_rate_bps is not None:
+            self._rate = min(self._rate, self.max_rate_bps)
+        self._last_queue = queue_delay_s
+        self._last_time = now
+        return self._rate

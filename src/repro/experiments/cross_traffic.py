@@ -1,0 +1,319 @@
+"""Cross-traffic experiments (§7.3): Figures 10, 11 and 12.
+
+* :func:`run_phased_cross_traffic` (Figure 10): three consecutive phases —
+  no cross traffic, buffer-filling (backlogged Cubic) cross traffic, then
+  non-buffer-filling (heavy-tailed request) cross traffic — while the bundle
+  carries the standard workload.  The result records per-phase throughput,
+  in-network queueing delay, short-flow slowdowns, and the time Bundler
+  spent in pass-through mode (the grey shading in the paper's figure).
+* :func:`run_short_cross_traffic_sweep` (Figure 11): the bundle offers a
+  fixed load while finite, mostly-short cross traffic sweeps its offered
+  load upward; compares Status Quo and Bundler FCTs.
+* :func:`run_elastic_cross_sweep` (Figure 12): the bundle carries a fixed
+  number of backlogged flows against a varying number of competing
+  buffer-filling flows; reports the bundle's throughput share (the paper
+  measures a 12–22% throughput reduction versus its fair share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import BundlerConfig, install_bundler
+from repro.core.controller import BundlerMode
+from repro.metrics.fct import FctAnalysis, filter_by_time
+from repro.net.simulator import Simulator
+from repro.net.topology import SiteToSite, build_site_to_site
+from repro.net.trace import TimeSeries
+from repro.transport.flow import FlowRecord
+from repro.util.rng import derive_seed, make_rng
+from repro.util.units import mbps_to_bps, ms_to_s
+from repro.workload.generators import BackloggedFlows, PacedStreams, RequestWorkload
+
+
+@dataclass
+class PhasedCrossTrafficResult:
+    """Outcome of the Figure 10 experiment."""
+
+    phase_boundaries: Sequence[float]
+    records: List[FlowRecord]
+    bottleneck_queue_delay: TimeSeries
+    bundle_throughput: TimeSeries
+    mode_history: Optional[TimeSeries]
+    pass_through_seconds: float
+    config: "PhasedConfig"
+
+    def phase_records(self, phase: int) -> List[FlowRecord]:
+        start = self.phase_boundaries[phase]
+        end = self.phase_boundaries[phase + 1]
+        return filter_by_time(self.records, start, end)
+
+    def phase_fct(self, phase: int) -> FctAnalysis:
+        return FctAnalysis.from_records(
+            self.phase_records(phase),
+            rtt_s=ms_to_s(self.config.rtt_ms),
+            bottleneck_bps=mbps_to_bps(self.config.bottleneck_mbps),
+        )
+
+    def phase_queue_delay_mean(self, phase: int) -> float:
+        start = self.phase_boundaries[phase]
+        end = self.phase_boundaries[phase + 1]
+        return self.bottleneck_queue_delay.between(start, end).mean() or 0.0
+
+
+@dataclass
+class PhasedConfig:
+    """Parameters of the phased cross-traffic experiment."""
+
+    bottleneck_mbps: float = 24.0
+    rtt_ms: float = 50.0
+    phase_duration_s: float = 20.0
+    bundle_load_fraction: float = 0.6
+    cross_bulk_flows: int = 1
+    cross_load_fraction: float = 0.3
+    with_bundler: bool = True
+    sendbox_cc: str = "copa"
+    seed: int = 1
+    num_servers: int = 6
+
+
+def run_phased_cross_traffic(config: Optional[PhasedConfig] = None) -> PhasedCrossTrafficResult:
+    """Run the three-phase cross-traffic scenario of Figure 10."""
+    config = config or PhasedConfig()
+    sim = Simulator()
+    topo = build_site_to_site(
+        sim,
+        bottleneck_mbps=config.bottleneck_mbps,
+        rtt_ms=config.rtt_ms,
+        num_servers=config.num_servers,
+        num_clients=1,
+        num_cross_pairs=max(config.cross_bulk_flows, 2),
+    )
+    pair = None
+    if config.with_bundler:
+        pair = install_bundler(
+            topo,
+            BundlerConfig(
+                sendbox_cc=config.sendbox_cc,
+                scheduler="sfq",
+                enable_nimbus=True,
+                initial_rate_bps=mbps_to_bps(config.bottleneck_mbps) / 2.0,
+            ),
+        )
+
+    rng = make_rng(derive_seed(config.seed, "fig10"))
+    total = 3 * config.phase_duration_s
+    workload = RequestWorkload(
+        sim,
+        topo.packet_factory,
+        topo.servers,
+        topo.clients,
+        offered_load_bps=config.bundle_load_fraction * mbps_to_bps(config.bottleneck_mbps),
+        rng=rng,
+        duration_s=total,
+    ).start()
+
+    # Phase 2: buffer-filling (backlogged Cubic) cross traffic.
+    bulk_pairs = list(zip(topo.cross_senders[: config.cross_bulk_flows],
+                          topo.cross_receivers[: config.cross_bulk_flows]))
+    bulk = BackloggedFlows(sim, topo.packet_factory, bulk_pairs, endhost_cc="cubic")
+    sim.at(config.phase_duration_s, lambda: bulk.start())
+    sim.at(2 * config.phase_duration_s, bulk.stop)
+
+    # Phase 3: non-buffer-filling cross traffic (request workload from the
+    # cross hosts, same heavy-tailed distribution).
+    cross_rng = make_rng(derive_seed(config.seed, "fig10-cross"))
+    cross_requests = RequestWorkload(
+        sim,
+        topo.packet_factory,
+        topo.cross_senders,
+        topo.cross_receivers,
+        offered_load_bps=config.cross_load_fraction * mbps_to_bps(config.bottleneck_mbps),
+        rng=cross_rng,
+        duration_s=config.phase_duration_s,
+    )
+    sim.at(2 * config.phase_duration_s, lambda: cross_requests.start(at=sim.now))
+
+    sim.run(until=total + 3.0)
+
+    mode_history = None
+    pass_seconds = 0.0
+    if pair is not None:
+        state = pair.sendbox.bundles.get(0)
+        if state is not None:
+            mode_history = state.controller.mode_history
+            pass_seconds = state.controller.time_in_mode(BundlerMode.PASS_THROUGH, total)
+
+    return PhasedCrossTrafficResult(
+        phase_boundaries=(0.0, config.phase_duration_s, 2 * config.phase_duration_s, total),
+        records=workload.records(include_incomplete=True),
+        bottleneck_queue_delay=topo.bottleneck_link.monitor.delay,
+        bundle_throughput=topo.sendbox_link.rate_monitor.series_bps(),
+        mode_history=mode_history,
+        pass_through_seconds=pass_seconds,
+        config=config,
+    )
+
+
+@dataclass
+class CrossSweepPoint:
+    """One point of the Figure 11 sweep."""
+
+    cross_load_mbps: float
+    mode: str
+    median_slowdown: float
+    p99_slowdown: float
+    completed: int
+
+
+def run_short_cross_traffic_sweep(
+    *,
+    bottleneck_mbps: float = 24.0,
+    rtt_ms: float = 50.0,
+    bundle_load_fraction: float = 0.5,
+    cross_load_fractions: Sequence[float] = (0.125, 0.25, 0.375),
+    modes: Sequence[str] = ("status_quo", "bundler"),
+    duration_s: float = 15.0,
+    seed: int = 1,
+    sendbox_cc: str = "copa",
+) -> List[CrossSweepPoint]:
+    """Figure 11: bundle FCTs versus increasing short-flow cross-traffic load."""
+    points: List[CrossSweepPoint] = []
+    for mode in modes:
+        for cross_fraction in cross_load_fractions:
+            sim = Simulator()
+            topo = build_site_to_site(
+                sim,
+                bottleneck_mbps=bottleneck_mbps,
+                rtt_ms=rtt_ms,
+                num_servers=6,
+                num_clients=1,
+                num_cross_pairs=4,
+            )
+            if mode == "bundler":
+                install_bundler(
+                    topo,
+                    BundlerConfig(
+                        sendbox_cc=sendbox_cc,
+                        scheduler="sfq",
+                        enable_nimbus=True,
+                        initial_rate_bps=mbps_to_bps(bottleneck_mbps) / 2.0,
+                    ),
+                )
+            rng = make_rng(derive_seed(seed, f"fig11-{mode}-{cross_fraction}"))
+            workload = RequestWorkload(
+                sim,
+                topo.packet_factory,
+                topo.servers,
+                topo.clients,
+                offered_load_bps=bundle_load_fraction * mbps_to_bps(bottleneck_mbps),
+                rng=rng,
+                duration_s=duration_s,
+            ).start()
+            cross_rng = make_rng(derive_seed(seed, f"fig11-cross-{mode}-{cross_fraction}"))
+            RequestWorkload(
+                sim,
+                topo.packet_factory,
+                topo.cross_senders,
+                topo.cross_receivers,
+                offered_load_bps=cross_fraction * mbps_to_bps(bottleneck_mbps),
+                rng=cross_rng,
+                duration_s=duration_s,
+            ).start()
+            sim.run(until=duration_s + 3.0)
+            analysis = FctAnalysis.from_records(
+                workload.records(),
+                rtt_s=ms_to_s(rtt_ms),
+                bottleneck_bps=mbps_to_bps(bottleneck_mbps),
+                warmup_s=1.0,
+            )
+            points.append(
+                CrossSweepPoint(
+                    cross_load_mbps=cross_fraction * bottleneck_mbps,
+                    mode=mode,
+                    median_slowdown=analysis.median_slowdown(),
+                    p99_slowdown=analysis.percentile_slowdown(99),
+                    completed=len(analysis),
+                )
+            )
+    return points
+
+
+@dataclass
+class ElasticSweepPoint:
+    """One point of the Figure 12 sweep."""
+
+    competing_flows: int
+    mode: str
+    bundle_throughput_mbps: float
+    cross_throughput_mbps: float
+    fair_share_mbps: float
+
+    @property
+    def throughput_vs_fair_share(self) -> float:
+        """Bundle throughput relative to its fair share (1.0 = exactly fair)."""
+        if self.fair_share_mbps <= 0:
+            return 0.0
+        return self.bundle_throughput_mbps / self.fair_share_mbps
+
+
+def run_elastic_cross_sweep(
+    *,
+    bottleneck_mbps: float = 24.0,
+    rtt_ms: float = 50.0,
+    bundle_flows: int = 5,
+    competing_flow_counts: Sequence[int] = (2, 5, 10),
+    modes: Sequence[str] = ("status_quo", "bundler"),
+    duration_s: float = 30.0,
+    sendbox_cc: str = "copa",
+) -> List[ElasticSweepPoint]:
+    """Figure 12: bundle throughput against persistent buffer-filling cross flows."""
+    points: List[ElasticSweepPoint] = []
+    for mode in modes:
+        for competing in competing_flow_counts:
+            sim = Simulator()
+            topo = build_site_to_site(
+                sim,
+                bottleneck_mbps=bottleneck_mbps,
+                rtt_ms=rtt_ms,
+                num_servers=bundle_flows,
+                num_clients=1,
+                num_cross_pairs=competing,
+            )
+            if mode == "bundler":
+                install_bundler(
+                    topo,
+                    BundlerConfig(
+                        sendbox_cc=sendbox_cc,
+                        scheduler="sfq",
+                        enable_nimbus=True,
+                        initial_rate_bps=mbps_to_bps(bottleneck_mbps) / 2.0,
+                    ),
+                )
+            bundle = BackloggedFlows(
+                sim,
+                topo.packet_factory,
+                [(s, topo.clients[0]) for s in topo.servers],
+                endhost_cc="cubic",
+            ).start()
+            cross = BackloggedFlows(
+                sim,
+                topo.packet_factory,
+                list(zip(topo.cross_senders, topo.cross_receivers)),
+                endhost_cc="cubic",
+            ).start(at=0.5)
+            sim.run(until=duration_s)
+            bundle_mbps = bundle.mean_throughput_bps(duration_s) / 1e6
+            cross_mbps = cross.mean_throughput_bps(duration_s) / 1e6
+            fair = bottleneck_mbps * bundle_flows / (bundle_flows + competing)
+            points.append(
+                ElasticSweepPoint(
+                    competing_flows=competing,
+                    mode=mode,
+                    bundle_throughput_mbps=bundle_mbps,
+                    cross_throughput_mbps=cross_mbps,
+                    fair_share_mbps=fair,
+                )
+            )
+    return points

@@ -1,0 +1,257 @@
+"""The workhorse evaluation scenario (§7.1) and its configuration.
+
+A scenario is: the site-to-site topology at a given bottleneck rate and RTT,
+a heavy-tailed request workload offered at a fraction of the bottleneck
+rate, and one of several *modes* describing who controls queueing and how:
+
+``status_quo``
+    No Bundler; the bottleneck is a drop-tail FIFO (what the paper calls
+    "Status Quo").
+``bundler_sfq`` / ``bundler_fifo`` / ``bundler_fq_codel`` / ``bundler_prio``
+    Bundler installed at the site edges with the given scheduling policy at
+    the sendbox (SFQ is the paper's default).
+``in_network_sfq``
+    No Bundler, but the bottleneck router itself runs fair queueing — the
+    undeployable "In-Network" upper bound of Figure 9.
+``proxy``
+    The §7.5 idealized TCP-terminating proxy emulation: Bundler with SFQ
+    plus constant-window endhosts and a deep sendbox buffer.
+
+The default dimensions are scaled down from the paper's (which used
+1,000,000 requests per run at 96 Mbit/s) so that a full figure's worth of
+configurations runs in seconds on a laptop; the scale knobs are all explicit
+fields of :class:`ScenarioConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.core import BundlerConfig, install_bundler
+from repro.core.controller import BundlerMode
+from repro.cc import make_window_cc
+from repro.metrics.fct import FctAnalysis
+from repro.net.simulator import Simulator
+from repro.net.topology import SiteToSite, build_site_to_site
+from repro.net.trace import TimeSeries
+from repro.qdisc.sfq import SfqQdisc
+from repro.transport.flow import FlowRecord
+from repro.transport.proxy import idealized_proxy_window, proxy_buffer_packets
+from repro.util.rng import derive_seed, make_rng
+from repro.util.units import mbps_to_bps, ms_to_s
+from repro.workload.flowsize import EmpiricalSizeDistribution, internet_core_cdf
+from repro.workload.generators import RequestWorkload
+
+#: Modes that install a Bundler pair, mapped to the sendbox scheduler they use.
+BUNDLER_MODES: Dict[str, str] = {
+    "bundler_sfq": "sfq",
+    "bundler_fifo": "fifo",
+    "bundler_fq_codel": "fq_codel",
+    "bundler_prio": "prio",
+    "bundler_drr": "drr",
+    "proxy": "sfq",
+}
+
+ALL_MODES = ("status_quo", "in_network_sfq", *BUNDLER_MODES.keys())
+
+
+@dataclass
+class ScenarioConfig:
+    """Configuration of one evaluation run."""
+
+    mode: str = "bundler_sfq"
+    bottleneck_mbps: float = 24.0
+    rtt_ms: float = 50.0
+    load_fraction: float = 0.875
+    duration_s: float = 30.0
+    warmup_s: float = 2.0
+    num_servers: int = 8
+    num_clients: int = 1
+    max_requests: Optional[int] = None
+    seed: int = 1
+    endhost_cc: str = "cubic"
+    sendbox_cc: str = "copa"
+    enable_nimbus: bool = True
+    size_distribution: Optional[EmpiricalSizeDistribution] = None
+    bundler_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Classifier for strict-priority runs: maps flow size (bytes) to a class.
+    priority_class_for_size: Optional[Callable[[int], int]] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ALL_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {ALL_MODES}")
+        if not 0.0 < self.load_fraction < 1.5:
+            raise ValueError("load_fraction should be a sensible fraction of the bottleneck")
+        if self.duration_s <= self.warmup_s:
+            raise ValueError("duration must exceed warmup")
+
+    @property
+    def offered_load_bps(self) -> float:
+        return self.load_fraction * mbps_to_bps(self.bottleneck_mbps)
+
+    def with_mode(self, mode: str) -> "ScenarioConfig":
+        """Copy of this config with a different mode (same seed and workload)."""
+        return replace(self, mode=mode)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment needs from one scenario run."""
+
+    config: ScenarioConfig
+    records: List[FlowRecord]
+    requests_issued: int
+    bottleneck_queue_delay: TimeSeries
+    sendbox_queue_delay: TimeSeries
+    bottleneck_throughput: TimeSeries
+    bottleneck_drops: int
+    sendbox_drops: int
+    bundler_mode_history: Optional[TimeSeries] = None
+    bundler_rate_history: Optional[TimeSeries] = None
+    bundler_min_rtt: Optional[float] = None
+    out_of_order_fraction: Optional[float] = None
+
+    def fct_analysis(self, warmup_s: Optional[float] = None) -> FctAnalysis:
+        """Slowdown analysis over the completed, post-warm-up flows."""
+        warmup = self.config.warmup_s if warmup_s is None else warmup_s
+        return FctAnalysis.from_records(
+            self.records,
+            rtt_s=ms_to_s(self.config.rtt_ms),
+            bottleneck_bps=mbps_to_bps(self.config.bottleneck_mbps),
+            warmup_s=warmup,
+        )
+
+    def median_slowdown(self) -> float:
+        return self.fct_analysis().median_slowdown()
+
+    def completion_fraction(self) -> float:
+        """Fraction of issued requests that completed within the run."""
+        if self.requests_issued == 0:
+            return 0.0
+        return len([r for r in self.records if r.completed]) / self.requests_issued
+
+
+def _default_priority_classifier(size_bytes: int) -> int:
+    """Small requests are high priority (class 0), bulk requests are class 1."""
+    return 0 if size_bytes <= 100_000 else 1
+
+
+def _build_topology(config: ScenarioConfig) -> SiteToSite:
+    sim = Simulator()
+    bottleneck_qdisc_factory = None
+    if config.mode == "in_network_sfq":
+        bottleneck_qdisc_factory = lambda: SfqQdisc()
+    return build_site_to_site(
+        sim,
+        bottleneck_mbps=config.bottleneck_mbps,
+        rtt_ms=config.rtt_ms,
+        num_servers=config.num_servers,
+        num_clients=config.num_clients,
+        bottleneck_qdisc_factory=bottleneck_qdisc_factory,
+    )
+
+
+def _bundler_config(config: ScenarioConfig) -> BundlerConfig:
+    scheduler = BUNDLER_MODES[config.mode]
+    overrides = dict(config.bundler_overrides)
+    kwargs = dict(
+        sendbox_cc=config.sendbox_cc,
+        scheduler=scheduler,
+        enable_nimbus=config.enable_nimbus,
+        initial_rate_bps=mbps_to_bps(config.bottleneck_mbps) / 2.0,
+    )
+    if config.mode == "proxy":
+        kwargs["sendbox_queue_packets"] = proxy_buffer_packets(
+            mbps_to_bps(config.bottleneck_mbps), ms_to_s(config.rtt_ms), config.num_servers
+        )
+    kwargs.update(overrides)
+    return BundlerConfig(**kwargs)
+
+
+def _endhost_cc_factory(config: ScenarioConfig) -> Callable[[], object]:
+    if config.mode == "proxy":
+        window = idealized_proxy_window(
+            mbps_to_bps(config.bottleneck_mbps), ms_to_s(config.rtt_ms)
+        )
+        return lambda: idealized_proxy_window(
+            mbps_to_bps(config.bottleneck_mbps), ms_to_s(config.rtt_ms)
+        )
+    return lambda: make_window_cc(config.endhost_cc)
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build the topology and workload for ``config``, run it, and collect results."""
+    topo = _build_topology(config)
+    sim = topo.sim
+
+    bundler_pair = None
+    if config.mode in BUNDLER_MODES:
+        bundler_pair = install_bundler(topo, _bundler_config(config))
+
+    rng = make_rng(derive_seed(config.seed, "workload"))
+    workload = RequestWorkload(
+        sim,
+        topo.packet_factory,
+        topo.servers,
+        topo.clients,
+        offered_load_bps=config.offered_load_bps,
+        rng=rng,
+        size_distribution=config.size_distribution,
+        endhost_cc_factory=_endhost_cc_factory(config),
+        max_requests=config.max_requests,
+        duration_s=config.duration_s,
+    )
+    if config.mode == "bundler_prio":
+        classifier = config.priority_class_for_size or _default_priority_classifier
+        # Wrap request issuing so each flow's traffic class reflects its size.
+        original_issue = workload._issue_request
+
+        def issue_with_class() -> None:
+            original_issue()
+            if workload.flows:
+                flow = workload.flows[-1]
+                flow.traffic_class = classifier(flow.size_bytes or 0)
+                flow.sender.traffic_class = flow.traffic_class
+
+        workload._issue_request = issue_with_class  # type: ignore[assignment]
+
+    workload.start()
+    # Let flows that started near the end drain: run a little past the
+    # workload duration so their completions are recorded.
+    sim.run(until=config.duration_s + 5.0)
+
+    mode_history = None
+    rate_history = None
+    min_rtt = None
+    ooo_fraction = None
+    if bundler_pair is not None:
+        state = bundler_pair.sendbox.bundles.get(0)
+        if state is not None:
+            mode_history = state.controller.mode_history
+            rate_history = state.controller.rate_history
+            min_rtt = state.measurement.min_rtt
+            ooo_fraction = state.measurement.out_of_order_fraction()
+
+    return ScenarioResult(
+        config=config,
+        records=workload.records(include_incomplete=True),
+        requests_issued=workload.requests_issued,
+        bottleneck_queue_delay=topo.bottleneck_links[0].monitor.delay,
+        sendbox_queue_delay=topo.sendbox_link.monitor.delay,
+        bottleneck_throughput=topo.bottleneck_links[0].rate_monitor.series_bps(),
+        bottleneck_drops=sum(l.packets_dropped for l in topo.bottleneck_links),
+        sendbox_drops=topo.sendbox_link.packets_dropped,
+        bundler_mode_history=mode_history,
+        bundler_rate_history=rate_history,
+        bundler_min_rtt=min_rtt,
+        out_of_order_fraction=ooo_fraction,
+    )
+
+
+def run_scenarios(configs: List[ScenarioConfig]) -> Dict[str, ScenarioResult]:
+    """Run several configurations and key the results by mode name."""
+    results: Dict[str, ScenarioResult] = {}
+    for config in configs:
+        results[config.mode] = run_scenario(config)
+    return results

@@ -1,0 +1,78 @@
+"""Plain-text reporting.
+
+The benchmark harness prints paper-style rows ("configuration → median
+slowdown / p99 slowdown") so a run can be compared against the published
+numbers at a glance.  :class:`Table` is a tiny fixed-width table formatter
+with no external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+class Table:
+    """Fixed-width text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_comparison(
+    title: str,
+    results: Dict[str, Dict[str, float]],
+    *,
+    metrics: Iterable[str] = ("median", "p99"),
+) -> str:
+    """Render a {configuration: {metric: value}} mapping as a table."""
+    metric_list = list(metrics)
+    table = Table(["configuration", *metric_list], title=title)
+    for config, values in results.items():
+        table.add_row(config, *[values.get(metric, float("nan")) for metric in metric_list])
+    return table.render()
+
+
+def paper_expectation_note(expectation: str, measured: str) -> str:
+    """One-line paper-vs-measured note used in benchmark output."""
+    return f"paper: {expectation} | measured: {measured}"

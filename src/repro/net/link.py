@@ -1,0 +1,152 @@
+"""Links: rate + propagation delay + a queueing discipline.
+
+A :class:`Link` is unidirectional.  Packets handed to :meth:`Link.send` are
+enqueued into the link's qdisc; the link serializes packets at its configured
+rate and delivers them to the downstream node after the propagation delay.
+
+The qdisc is pluggable (anything implementing the interface in
+:mod:`repro.qdisc.base`), which is how both the plain bottleneck (drop-tail
+FIFO, or fair queueing for the "In-Network" baseline) and the Bundler sendbox
+(token bucket + scheduling policy) are modelled.
+
+Shaping qdiscs (the token bucket) may decline to release a packet even when
+they have a backlog; in that case the link re-polls the qdisc at the time the
+qdisc reports the next packet could become available.  Control-plane code
+that changes a qdisc's rate must call :meth:`Link.kick` so a waiting link
+notices the new schedule immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.packet import Packet
+from repro.net.simulator import CancelToken, Simulator
+from repro.net.trace import QueueMonitor, RateMonitor
+
+
+class Link:
+    """A unidirectional link between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay: float,
+        qdisc,
+        *,
+        monitor: Optional[QueueMonitor] = None,
+        rate_monitor: Optional[RateMonitor] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.qdisc = qdisc
+        self.dst_node = None
+        self.monitor = monitor or QueueMonitor(enabled=False)
+        self.rate_monitor = rate_monitor or RateMonitor()
+        self._busy = False
+        self._retry_token: Optional[CancelToken] = None
+        self._transmit_hooks: List[Callable[[Packet, float], None]] = []
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    def connect(self, dst_node) -> "Link":
+        """Attach the downstream node; returns ``self`` for chaining."""
+        self.dst_node = dst_node
+        return self
+
+    def add_transmit_hook(self, hook: Callable[[Packet, float], None]) -> None:
+        """Register a callback invoked when a packet begins transmission.
+
+        The Bundler sendbox uses this to record ``t_sent`` for epoch boundary
+        packets at the moment they leave the shaping queue (§4.5 / Figure 4).
+        """
+        self._transmit_hooks.append(hook)
+
+    # -- datapath ---------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a packet for transmission.  Returns False if it was dropped."""
+        now = self.sim.now
+        packet.enqueued_at = now
+        accepted = self.qdisc.enqueue(packet, now)
+        if not accepted:
+            self.packets_dropped += 1
+            self.monitor.on_drop(now)
+            return False
+        self.monitor.on_enqueue(now, self.qdisc.backlog_bytes)
+        if not self._busy:
+            self._try_transmit()
+        return True
+
+    def kick(self) -> None:
+        """Re-evaluate the transmit schedule (call after changing qdisc rates)."""
+        if not self._busy:
+            self._try_transmit()
+
+    def _cancel_retry(self) -> None:
+        if self._retry_token is not None:
+            self._retry_token.cancel()
+            self._retry_token = None
+
+    def _try_transmit(self) -> None:
+        if self._busy:
+            return
+        self._cancel_retry()
+        now = self.sim.now
+        packet = self.qdisc.dequeue(now)
+        if packet is None:
+            if len(self.qdisc) > 0:
+                ready = self.qdisc.next_ready_time(now)
+                if ready is not None:
+                    # Never re-poll at the exact current time: a qdisc whose
+                    # accounting momentarily disagrees with its contents would
+                    # otherwise livelock the event loop.
+                    self._retry_token = self.sim.at(max(ready, now + 1e-6), self._try_transmit)
+            return
+        wait = now - packet.enqueued_at
+        self.monitor.on_dequeue(now, wait, self.qdisc.backlog_bytes)
+        for hook in self._transmit_hooks:
+            hook(packet, now)
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.rate_bps
+        self.sim.schedule(tx_time, lambda: self._finish_transmit(packet))
+
+    def _finish_transmit(self, packet: Packet) -> None:
+        now = self.sim.now
+        self._busy = False
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self.rate_monitor.on_delivery(now, packet.size)
+        if self.dst_node is not None:
+            self.sim.schedule(self.delay, lambda: self.dst_node.receive(packet, self))
+        self._try_transmit()
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently queued at this link."""
+        return self.qdisc.backlog_bytes
+
+    @property
+    def backlog_packets(self) -> int:
+        """Packets currently queued at this link."""
+        return len(self.qdisc)
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of capacity used over ``duration`` seconds of simulation."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return (self.bytes_sent * 8.0 / duration) / self.rate_bps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.rate_bps / 1e6:.1f}Mbit/s, {self.delay * 1e3:.1f}ms)"

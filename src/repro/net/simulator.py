@@ -1,0 +1,157 @@
+"""Discrete-event simulation core.
+
+The simulator is a classic calendar queue built on :mod:`heapq`.  Every
+component (links, transports, Bundler control planes, workload generators)
+schedules callbacks on a shared :class:`Simulator` instance.  Simulated time
+is a float number of seconds.
+
+Two scheduling idioms are supported:
+
+* one-shot callbacks via :meth:`Simulator.schedule` / :meth:`Simulator.at`;
+* recurring timers via :meth:`Simulator.every`, which is how the sendbox
+  control plane gets invoked every 10 ms (§6.2) and how monitors sample
+  queue state.
+
+Events scheduled for the same instant fire in insertion order, which keeps
+runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class CancelToken:
+    """Handle returned by scheduling calls; allows cancelling a pending event."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the associated callback from running."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-driven simulation clock and scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, CancelToken, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (useful for profiling tests)."""
+        return self._events_processed
+
+    def at(self, time: float, callback: Callable[[], None]) -> CancelToken:
+        """Schedule ``callback`` to run at absolute simulated ``time``.
+
+        Scheduling in the past raises ``ValueError`` — such bugs otherwise
+        silently reorder the event stream.
+        """
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event in the past (now={self._now:.9f}, requested={time:.9f})"
+            )
+        token = CancelToken()
+        heapq.heappush(self._queue, (max(time, self._now), next(self._counter), token, callback))
+        return token
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> CancelToken:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.at(self._now + delay, callback)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> CancelToken:
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        Parameters
+        ----------
+        interval:
+            Seconds between invocations; must be positive.
+        start:
+            Absolute time of the first invocation (defaults to ``now + interval``).
+        end:
+            If given, no invocation is scheduled at or after this time.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        token = CancelToken()
+        first = (self._now + interval) if start is None else start
+
+        def tick(when: float) -> None:
+            if token.cancelled:
+                return
+            if end is not None and when >= end:
+                return
+            callback()
+            self.at(when + interval, lambda: tick(when + interval))
+
+        self.at(first, lambda: tick(first))
+        return token
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this value (events at
+            exactly ``until`` still run).  If ``None``, run until the event
+            queue drains.
+        max_events:
+            Safety limit on the number of events to execute.
+
+        Returns
+        -------
+        float
+            The simulated time at which the run stopped.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                time, _, token, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if token.cancelled:
+                    continue
+                self._now = time
+                callback()
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)

@@ -1,0 +1,104 @@
+"""CoDel — Controlled Delay AQM [Nichols & Jacobson 2012].
+
+CoDel tracks the *sojourn time* of each packet through the queue.  When the
+sojourn time has exceeded ``target`` for at least one ``interval``, CoDel
+enters a dropping state and drops head packets at increasing frequency
+(``interval / sqrt(count)``) until the sojourn time falls back below the
+target.
+
+Used standalone as an AQM, and as the per-flow queue inside FQ-CoDel (§7.2
+reports Bundler+FQ-CoDel reducing median end-to-end RTTs by 97%).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+from repro.qdisc.base import Qdisc
+
+
+class CoDelState:
+    """The CoDel dropping-state machine, reusable by FQ-CoDel sub-queues."""
+
+    def __init__(self, target: float = 0.005, interval: float = 0.1) -> None:
+        if target <= 0 or interval <= 0:
+            raise ValueError("target and interval must be positive")
+        self.target = target
+        self.interval = interval
+        self.first_above_time = 0.0
+        self.drop_next = 0.0
+        self.count = 0
+        self.lastcount = 0
+        self.dropping = False
+
+    def control_law(self, t: float) -> float:
+        return t + self.interval / math.sqrt(max(self.count, 1))
+
+    def should_drop(self, sojourn: float, now: float, backlog_bytes: int) -> bool:
+        """One step of the CoDel decision for the packet at the head."""
+        if sojourn < self.target or backlog_bytes <= 1500:
+            self.first_above_time = 0.0
+            if self.dropping:
+                self.dropping = False
+            return False
+        if self.first_above_time == 0.0:
+            self.first_above_time = now + self.interval
+            return False
+        if not self.dropping:
+            if now >= self.first_above_time:
+                self.dropping = True
+                # Resume drop frequency close to where we left off if the
+                # previous dropping state was recent (standard CoDel hysteresis).
+                delta = self.count - self.lastcount
+                self.count = delta if (delta > 1 and now - self.drop_next < 16 * self.interval) else 1
+                self.lastcount = self.count
+                self.drop_next = self.control_law(now)
+                return True
+            return False
+        if now >= self.drop_next:
+            self.count += 1
+            self.drop_next = self.control_law(now)
+            return True
+        return False
+
+
+class CoDelQdisc(Qdisc):
+    """Single-queue CoDel."""
+
+    DEFAULT_LIMIT_PACKETS = 1000
+
+    def __init__(
+        self,
+        target: float = 0.005,
+        interval: float = 0.1,
+        limit_packets: Optional[int] = None,
+        limit_bytes: Optional[int] = None,
+    ) -> None:
+        if limit_packets is None and limit_bytes is None:
+            limit_packets = self.DEFAULT_LIMIT_PACKETS
+        super().__init__(limit_packets=limit_packets, limit_bytes=limit_bytes)
+        self._queue: Deque[Packet] = deque()
+        self.state = CoDelState(target=target, interval=interval)
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self._would_exceed_limit(packet):
+            self._account_drop(packet)
+            return False
+        packet.meta["codel_enqueue_time"] = now
+        self._queue.append(packet)
+        self._account_enqueue(packet)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        while self._queue:
+            packet = self._queue.popleft()
+            sojourn = now - packet.meta.get("codel_enqueue_time", now)
+            if self.state.should_drop(sojourn, now, self.backlog_bytes):
+                self._account_drop(packet, was_queued=True)
+                continue
+            self._account_dequeue(packet)
+            return packet
+        return None

@@ -1,0 +1,49 @@
+"""Drop-tail FIFO.
+
+This is the Status Quo bottleneck queue in the evaluation: packets are
+served in arrival order, and arrivals that would exceed the configured limit
+are dropped at the tail.  It is also what "Bundler with FIFO" uses as the
+sendbox scheduling policy in Figure 9.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+from repro.qdisc.base import Qdisc
+
+
+class FifoQdisc(Qdisc):
+    """First-in first-out, drop-tail queue."""
+
+    #: Default queue limit, in packets.  1000 packets mirrors the default
+    #: Linux ``pfifo`` txqueuelen and is deep enough to hold several
+    #: bandwidth-delay products at the scaled-down link rates we simulate.
+    DEFAULT_LIMIT_PACKETS = 1000
+
+    def __init__(
+        self,
+        limit_packets: Optional[int] = None,
+        limit_bytes: Optional[int] = None,
+    ) -> None:
+        if limit_packets is None and limit_bytes is None:
+            limit_packets = self.DEFAULT_LIMIT_PACKETS
+        super().__init__(limit_packets=limit_packets, limit_bytes=limit_bytes)
+        self._queue: Deque[Packet] = deque()
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self._would_exceed_limit(packet):
+            self._account_drop(packet)
+            return False
+        self._queue.append(packet)
+        self._account_enqueue(packet)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._account_dequeue(packet)
+        return packet

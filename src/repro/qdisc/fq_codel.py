@@ -1,0 +1,134 @@
+"""FQ-CoDel — fair queueing with CoDel per-flow AQM.
+
+FQ-CoDel hashes flows into buckets, serves them with a deficit round-robin
+scheduler that favors "new" flows (flows that just became active get a quick
+first service), and runs the CoDel drop law independently on every bucket.
+The paper reports that Bundler configured with FQ-CoDel at the sendbox cuts
+median end-to-end RTTs by 97% and 99th-percentile RTTs by 89% (§7.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.net.packet import Packet
+from repro.qdisc.base import Qdisc
+from repro.qdisc.codel import CoDelState
+
+
+class _FlowQueue:
+    __slots__ = ("queue", "deficit", "codel")
+
+    def __init__(self, quantum: int, target: float, interval: float) -> None:
+        self.queue: Deque[Packet] = deque()
+        self.deficit = quantum
+        self.codel = CoDelState(target=target, interval=interval)
+
+
+class FqCoDelQdisc(Qdisc):
+    """Flow-queueing CoDel, modelled on the Linux ``fq_codel`` qdisc."""
+
+    DEFAULT_LIMIT_PACKETS = 10240
+
+    def __init__(
+        self,
+        buckets: int = 1024,
+        quantum: int = 1514,
+        target: float = 0.005,
+        interval: float = 0.1,
+        limit_packets: Optional[int] = None,
+        limit_bytes: Optional[int] = None,
+    ) -> None:
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if limit_packets is None and limit_bytes is None:
+            limit_packets = self.DEFAULT_LIMIT_PACKETS
+        super().__init__(limit_packets=limit_packets, limit_bytes=limit_bytes)
+        self.buckets = buckets
+        self.quantum = quantum
+        self.target = target
+        self.interval = interval
+        self._flows: Dict[int, _FlowQueue] = {}
+        self._new_flows: Deque[int] = deque()
+        self._old_flows: Deque[int] = deque()
+
+    def _bucket_for(self, packet: Packet) -> int:
+        return packet.flow_hash() % self.buckets
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self._would_exceed_limit(packet):
+            dropped = self._drop_from_longest()
+            if dropped is None:
+                self._account_drop(packet)
+                return False
+        bucket = self._bucket_for(packet)
+        flow = self._flows.get(bucket)
+        if flow is None:
+            flow = _FlowQueue(self.quantum, self.target, self.interval)
+            self._flows[bucket] = flow
+        packet.meta["codel_enqueue_time"] = now
+        was_empty = not flow.queue
+        flow.queue.append(packet)
+        self._account_enqueue(packet)
+        if was_empty and bucket not in self._new_flows and bucket not in self._old_flows:
+            flow.deficit = self.quantum
+            self._new_flows.append(bucket)
+        return True
+
+    def _drop_from_longest(self) -> Optional[Packet]:
+        longest_bucket = None
+        longest_len = 0
+        for bucket, flow in self._flows.items():
+            if len(flow.queue) > longest_len:
+                longest_bucket = bucket
+                longest_len = len(flow.queue)
+        if longest_bucket is None:
+            return None
+        victim = self._flows[longest_bucket].queue.pop()
+        self._account_drop(victim, was_queued=True)
+        return victim
+
+    def _next_active_bucket(self) -> Optional[int]:
+        if self._new_flows:
+            return self._new_flows[0]
+        if self._old_flows:
+            return self._old_flows[0]
+        return None
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        while True:
+            use_new = bool(self._new_flows)
+            active = self._new_flows if use_new else self._old_flows
+            if not active:
+                return None
+            bucket = active[0]
+            flow = self._flows[bucket]
+            if not flow.queue:
+                # Empty flow rotates out; new flows that drained move to old
+                # status so a later burst does not get priority forever.
+                active.popleft()
+                continue
+            if flow.deficit <= 0:
+                flow.deficit += self.quantum
+                active.popleft()
+                self._old_flows.append(bucket)
+                continue
+            packet = flow.queue.popleft()
+            sojourn = now - packet.meta.get("codel_enqueue_time", now)
+            if flow.codel.should_drop(sojourn, now, self.backlog_bytes):
+                self._account_drop(packet, was_queued=True)
+                continue
+            flow.deficit -= packet.size
+            self._account_dequeue(packet)
+            if not flow.queue:
+                active.popleft()
+                if use_new:
+                    self._old_flows.append(bucket)
+            return packet
+
+    def active_flows(self) -> int:
+        """Number of flow buckets currently holding packets."""
+        return sum(1 for flow in self._flows.values() if flow.queue)

@@ -1,0 +1,79 @@
+"""Strict priority scheduling.
+
+Packets are classified into priority bands by their ``traffic_class`` field
+(band 0 is the highest priority).  The scheduler always serves the
+lowest-numbered non-empty band, so high-priority traffic sees the queue of
+lower-priority traffic only while a single lower-priority packet finishes
+transmitting.
+
+§7.2 uses this policy to show that Bundler can strictly prioritize one
+traffic class over another, cutting the favored class's median FCT by 65%.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.net.packet import Packet
+from repro.qdisc.base import Qdisc
+
+
+class PrioQdisc(Qdisc):
+    """Strict-priority bands with drop-tail per band."""
+
+    DEFAULT_LIMIT_PACKETS = 4000
+
+    def __init__(
+        self,
+        bands: int = 3,
+        limit_packets: Optional[int] = None,
+        limit_bytes: Optional[int] = None,
+        classifier: Optional[Callable[[Packet], int]] = None,
+    ) -> None:
+        if bands <= 0:
+            raise ValueError("bands must be positive")
+        if limit_packets is None and limit_bytes is None:
+            limit_packets = self.DEFAULT_LIMIT_PACKETS
+        super().__init__(limit_packets=limit_packets, limit_bytes=limit_bytes)
+        self.bands = bands
+        self.classifier = classifier or (lambda pkt: pkt.traffic_class)
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(bands)]
+
+    def _band_for(self, packet: Packet) -> int:
+        band = self.classifier(packet)
+        return min(max(int(band), 0), self.bands - 1)
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self._would_exceed_limit(packet):
+            # Under overload, protect high-priority traffic: drop from the
+            # lowest-priority non-empty band rather than the arrival, unless
+            # the arrival itself is lowest priority.
+            band = self._band_for(packet)
+            victim_band = self._lowest_priority_nonempty()
+            if victim_band is None or victim_band < band:
+                self._account_drop(packet)
+                return False
+            victim = self._queues[victim_band].pop()
+            self._account_drop(victim, was_queued=True)
+        self._queues[self._band_for(packet)].append(packet)
+        self._account_enqueue(packet)
+        return True
+
+    def _lowest_priority_nonempty(self) -> Optional[int]:
+        for band in range(self.bands - 1, -1, -1):
+            if self._queues[band]:
+                return band
+        return None
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        for queue in self._queues:
+            if queue:
+                packet = queue.popleft()
+                self._account_dequeue(packet)
+                return packet
+        return None
+
+    def band_backlog(self, band: int) -> int:
+        """Packets queued in ``band``."""
+        return len(self._queues[band])

@@ -1,0 +1,89 @@
+"""Random Early Detection (RED) [Floyd & Jacobson 1993].
+
+RED drops arriving packets with a probability that rises linearly with the
+exponentially-weighted average queue size between a minimum and maximum
+threshold.  It is included as an additional in-network AQM baseline for
+experiments that compare what an operator could do *if* they controlled the
+bottleneck router (the "In-Network" family of configurations).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+from repro.qdisc.base import Qdisc
+
+
+class RedQdisc(Qdisc):
+    """Byte-mode RED with EWMA average queue tracking."""
+
+    DEFAULT_LIMIT_PACKETS = 1000
+
+    def __init__(
+        self,
+        min_threshold_bytes: int = 30000,
+        max_threshold_bytes: int = 90000,
+        max_drop_probability: float = 0.1,
+        ewma_weight: float = 0.002,
+        limit_packets: Optional[int] = None,
+        limit_bytes: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if min_threshold_bytes <= 0 or max_threshold_bytes <= min_threshold_bytes:
+            raise ValueError("thresholds must satisfy 0 < min < max")
+        if not 0.0 < max_drop_probability <= 1.0:
+            raise ValueError("max_drop_probability must be in (0, 1]")
+        if not 0.0 < ewma_weight <= 1.0:
+            raise ValueError("ewma_weight must be in (0, 1]")
+        if limit_packets is None and limit_bytes is None:
+            limit_packets = self.DEFAULT_LIMIT_PACKETS
+        super().__init__(limit_packets=limit_packets, limit_bytes=limit_bytes)
+        self.min_threshold_bytes = min_threshold_bytes
+        self.max_threshold_bytes = max_threshold_bytes
+        self.max_drop_probability = max_drop_probability
+        self.ewma_weight = ewma_weight
+        self._avg_queue = 0.0
+        self._queue: Deque[Packet] = deque()
+        self._rng = random.Random(seed)
+        self.early_drops = 0
+
+    def _update_average(self) -> None:
+        self._avg_queue = (
+            (1.0 - self.ewma_weight) * self._avg_queue + self.ewma_weight * self.backlog_bytes
+        )
+
+    def _drop_probability(self) -> float:
+        if self._avg_queue <= self.min_threshold_bytes:
+            return 0.0
+        if self._avg_queue >= self.max_threshold_bytes:
+            return 1.0
+        span = self.max_threshold_bytes - self.min_threshold_bytes
+        return self.max_drop_probability * (self._avg_queue - self.min_threshold_bytes) / span
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        self._update_average()
+        if self._would_exceed_limit(packet):
+            self._account_drop(packet)
+            return False
+        if self._rng.random() < self._drop_probability():
+            self.early_drops += 1
+            self._account_drop(packet)
+            return False
+        self._queue.append(packet)
+        self._account_enqueue(packet)
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._account_dequeue(packet)
+        return packet
+
+    @property
+    def average_queue_bytes(self) -> float:
+        """Current EWMA of the queue size in bytes."""
+        return self._avg_queue

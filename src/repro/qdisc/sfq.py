@@ -1,0 +1,100 @@
+"""Stochastic Fairness Queueing (SFQ).
+
+SFQ [McKenney 1990] hashes each flow into one of a fixed number of buckets
+and serves the non-empty buckets round-robin, one packet at a time.  This is
+the default sendbox scheduling policy in the paper's evaluation (§7.1): when
+Bundler shifts the bottleneck queue to the sendbox, SFQ prevents short flows
+from waiting behind long ones, which is where the 28–97% median-FCT
+improvements come from.
+
+As in the Linux implementation, flows that hash to the same bucket share its
+fate; with the default 1024 buckets collisions are rare at the flow counts
+used in the evaluation.  Optionally the hash can be "perturbed" periodically
+to break long-lived collisions; the perturbation interval is in seconds of
+simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+from repro.qdisc.base import Qdisc
+
+
+class SfqQdisc(Qdisc):
+    """Hash-bucketed round-robin fair queueing."""
+
+    DEFAULT_LIMIT_PACKETS = 4000
+
+    def __init__(
+        self,
+        buckets: int = 1024,
+        limit_packets: Optional[int] = None,
+        limit_bytes: Optional[int] = None,
+        perturb_interval: Optional[float] = None,
+    ) -> None:
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        if limit_packets is None and limit_bytes is None:
+            limit_packets = self.DEFAULT_LIMIT_PACKETS
+        super().__init__(limit_packets=limit_packets, limit_bytes=limit_bytes)
+        self.buckets = buckets
+        self.perturb_interval = perturb_interval
+        self._perturbation = 0
+        self._last_perturb = 0.0
+        # Active buckets in round-robin order: bucket_id -> deque of packets.
+        self._active: "OrderedDict[int, Deque[Packet]]" = OrderedDict()
+
+    def _bucket_for(self, packet: Packet, now: float) -> int:
+        if self.perturb_interval is not None and now - self._last_perturb >= self.perturb_interval:
+            self._perturbation += 1
+            self._last_perturb = now
+        return (packet.flow_hash() ^ (self._perturbation * 0x9E3779B9)) % self.buckets
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self._would_exceed_limit(packet):
+            # Linux SFQ drops from the longest per-flow queue on overflow and
+            # then accepts the arrival, so one heavy flow cannot squeeze out
+            # light ones.
+            victim_bucket = self._longest_bucket()
+            if victim_bucket is None:
+                self._account_drop(packet)
+                return False
+            victim_queue = self._active[victim_bucket]
+            victim = victim_queue.pop()
+            self._account_drop(victim, was_queued=True)
+            if not victim_queue:
+                del self._active[victim_bucket]
+        bucket = self._bucket_for(packet, now)
+        if bucket not in self._active:
+            self._active[bucket] = deque()
+        self._active[bucket].append(packet)
+        self._account_enqueue(packet)
+        return True
+
+    def _longest_bucket(self) -> Optional[int]:
+        longest = None
+        longest_len = 0
+        for bucket, queue in self._active.items():
+            if len(queue) > longest_len:
+                longest = bucket
+                longest_len = len(queue)
+        return longest
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._active:
+            return None
+        bucket, queue = next(iter(self._active.items()))
+        packet = queue.popleft()
+        # Rotate: move this bucket to the tail (or remove it if now empty).
+        del self._active[bucket]
+        if queue:
+            self._active[bucket] = queue
+        self._account_dequeue(packet)
+        return packet
+
+    def active_flows(self) -> int:
+        """Number of buckets with queued packets."""
+        return len(self._active)

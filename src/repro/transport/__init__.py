@@ -1,0 +1,35 @@
+"""Endhost transports.
+
+Bundler explicitly does *not* terminate or modify end-to-end connections
+(§4.4), so the evaluation needs realistic endhost behaviour to react to the
+queues Bundler moves around.  This subpackage provides:
+
+* :mod:`repro.transport.tcp` — a TCP-like reliable transport: slow start and
+  congestion avoidance via a pluggable window controller
+  (:mod:`repro.cc`), cumulative ACKs, duplicate-ACK fast retransmit, and
+  retransmission timeouts.
+* :mod:`repro.transport.flow` — the :class:`~repro.transport.flow.TcpFlow`
+  convenience wrapper that wires a sender and receiver onto two hosts and
+  records flow-completion times.
+* :mod:`repro.transport.udp` — application-limited (paced) UDP streams and
+  the closed-loop 40-byte request/response probes used in the real-Internet
+  experiment (§8).
+* :mod:`repro.transport.proxy` — helpers for the idealized TCP-terminating
+  proxy emulation of §7.5.
+"""
+
+from repro.transport.flow import TcpFlow, FlowRecord, next_flow_id, next_port
+from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.transport.udp import ClosedLoopPinger, PacedUdpStream, UdpEchoServer
+
+__all__ = [
+    "TcpFlow",
+    "FlowRecord",
+    "TcpSender",
+    "TcpReceiver",
+    "PacedUdpStream",
+    "ClosedLoopPinger",
+    "UdpEchoServer",
+    "next_flow_id",
+    "next_port",
+]

@@ -1,0 +1,58 @@
+"""Idealized TCP-terminating proxy emulation (§7.5).
+
+The paper deliberately does not terminate connections at the Bundler
+(§4.4), but §7.5 asks how much additional benefit a proxy-based design
+could provide.  The authors emulate an *idealized* proxy by configuring the
+endhosts with a constant congestion window slightly larger than the
+bandwidth-delay product (450 packets in their setup) and enlarging the
+sendbox buffer so it can absorb the resulting queue.  That way medium and
+long flows skip window growth entirely — the upper bound on what a real
+split-TCP proxy could achieve.
+
+This module packages that emulation: :func:`idealized_proxy_window` returns
+the constant-window controller for the endhosts, and
+:func:`proxy_buffer_packets` sizes the sendbox queue.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cc.constant import ConstantWindowCC
+from repro.util.units import bdp_packets
+
+#: Window used in the paper's emulation, in packets.
+PAPER_PROXY_WINDOW_PACKETS = 450
+
+
+def idealized_proxy_window(
+    bottleneck_bps: float,
+    rtt_s: float,
+    *,
+    mss: int = 1500,
+    headroom: float = 1.2,
+) -> ConstantWindowCC:
+    """Constant-window endhost controller for the idealized-proxy emulation.
+
+    The window is the path bandwidth-delay product times ``headroom``
+    (slightly larger than the BDP, as in the paper), expressed in packets.
+    """
+    window_packets = max(int(math.ceil(bdp_packets(bottleneck_bps, rtt_s, mss) * headroom)), 4)
+    return ConstantWindowCC(mss=mss, window_segments=window_packets)
+
+
+def proxy_buffer_packets(
+    bottleneck_bps: float,
+    rtt_s: float,
+    num_flows: int,
+    *,
+    mss: int = 1500,
+    headroom: float = 1.2,
+) -> int:
+    """Sendbox buffer (packets) needed to absorb the constant-window endhosts.
+
+    Each flow can have up to one constant window outstanding, and all of the
+    excess beyond the path BDP queues at the sendbox.
+    """
+    per_flow = int(math.ceil(bdp_packets(bottleneck_bps, rtt_s, mss) * headroom))
+    return max(per_flow * max(num_flows, 1) * 2, 1000)

@@ -1,0 +1,498 @@
+"""TCP-like reliable transport.
+
+This is a deliberately compact but behaviourally faithful TCP model:
+
+* the sender keeps ``pipe <= cwnd`` where the congestion window comes from a
+  pluggable :class:`~repro.cc.base.WindowCongestionControl` (Cubic by
+  default, matching §7.1) and ``pipe`` is the SACK-adjusted amount of data
+  in flight;
+* the receiver acknowledges every data segment cumulatively and reports
+  selective-acknowledgement (SACK) blocks for out-of-order data;
+* a segment is marked lost once three segments' worth of data above it has
+  been selectively acknowledged (SACK-based fast retransmit), triggering a
+  single window reduction per round trip;
+* a retransmission timeout (RFC 6298-style SRTT/RTTVAR estimator with
+  exponential backoff) acts as the last-resort recovery mechanism;
+* retransmitted segments are excluded from RTT sampling (Karn's rule).
+
+Segments are modelled as whole packets of up to ``mss`` payload bytes;
+header overhead is not modelled separately (the evaluation's quantities are
+all relative, so a constant per-packet overhead would cancel out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cc.base import WindowCongestionControl
+from repro.cc.cubic import CubicCC
+from repro.net.node import Host
+from repro.net.packet import Packet, PacketFactory
+from repro.net.simulator import CancelToken, Simulator
+
+#: ACK packet size in bytes (pure ACK, no payload).
+ACK_SIZE = 40
+
+#: Minimum and initial retransmission timeouts, seconds.
+MIN_RTO = 0.2
+INITIAL_RTO = 1.0
+MAX_RTO = 60.0
+
+#: A segment is declared lost once this many bytes above it have been SACKed.
+REORDER_BYTES = 3 * 1500
+
+#: Maximum number of SACK blocks carried in one ACK.  Real TCP is limited to
+#: 3-4 blocks per ACK and relies on the scoreboard accumulating across many
+#: ACKs; carrying the (merged) block list directly keeps the simulated sender's
+#: scoreboard exact without modelling that accumulation packet-by-packet.
+MAX_SACK_BLOCKS = 256
+
+
+@dataclass
+class _SegmentState:
+    """Sender-side bookkeeping for one transmitted, not-yet-acked segment."""
+
+    seq: int
+    size: int
+    sent_time: float
+    retransmitted: bool = False
+    sacked: bool = False
+    lost: bool = False
+
+
+class TcpSender:
+    """Sending side of a TCP-like connection with SACK loss recovery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        factory: PacketFactory,
+        *,
+        flow_id: int,
+        port: int,
+        dst_address: int,
+        dst_port: int,
+        size_bytes: Optional[int],
+        cc: Optional[WindowCongestionControl] = None,
+        mss: int = 1500,
+        traffic_class: int = 0,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.factory = factory
+        self.flow_id = flow_id
+        self.port = port
+        self.dst_address = dst_address
+        self.dst_port = dst_port
+        self.size_bytes = size_bytes
+        self.cc = cc if cc is not None else CubicCC(mss=mss)
+        self.mss = mss
+        self.traffic_class = traffic_class
+        self.on_complete = on_complete
+
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.completed = False
+        self.started = False
+        self.start_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.packets_sent = 0
+
+        self._segments: Dict[int, _SegmentState] = {}
+        self._has_lost = False
+        self._has_sacked = False
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = INITIAL_RTO
+        self._rto_timer: Optional[CancelToken] = None
+        self._recovery_until = -1  # end (snd_nxt) of the current loss-recovery window
+
+        host.register_agent(port, self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting."""
+        if self.started:
+            return
+        self.started = True
+        self.start_time = self.sim.now
+        self._try_send()
+
+    def stop(self) -> None:
+        """Stop a backlogged (unbounded) flow and release its port."""
+        self.size_bytes = self.snd_nxt
+        self._finish_if_done()
+        self._cancel_rto()
+        self.host.deregister_agent(self.port)
+
+    @property
+    def bytes_acked(self) -> int:
+        return self.snd_una
+
+    @property
+    def inflight_bytes(self) -> int:
+        """Bytes sent and not yet cumulatively acknowledged."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def pipe_bytes(self) -> int:
+        """SACK-adjusted estimate of bytes currently in the network."""
+        return sum(s.size for s in self._segments.values() if not s.sacked and not s.lost)
+
+    @property
+    def srtt(self) -> Optional[float]:
+        """Smoothed RTT estimate of this connection."""
+        return self._srtt
+
+    def _remaining_bytes(self) -> Optional[int]:
+        if self.size_bytes is None:
+            return None
+        return max(self.size_bytes - self.snd_nxt, 0)
+
+    # -- sending ----------------------------------------------------------------
+
+    def _next_new_segment_size(self) -> int:
+        remaining = self._remaining_bytes()
+        if remaining is None:
+            return self.mss
+        return min(self.mss, remaining)
+
+    def _try_send(self) -> None:
+        if self.completed:
+            return
+        # Compute the SACK-adjusted pipe once per call and maintain it locally
+        # while sending; recomputing it for every transmitted packet would make
+        # the sender quadratic in the window size.
+        pipe = self.pipe_bytes
+        budget_guard = 0
+        while budget_guard < 100_000:
+            budget_guard += 1
+            # First priority: retransmit segments marked lost.
+            lost = self._next_lost_segment()
+            if lost is not None:
+                if pipe + lost.size > self.cc.cwnd_bytes and pipe > 0:
+                    break
+                self._retransmit_segment(lost)
+                pipe += lost.size
+                continue
+            # Then send new data.
+            seg = self._next_new_segment_size()
+            if seg <= 0:
+                break
+            if pipe + seg > self.cc.cwnd_bytes:
+                break
+            self._transmit_new(self.snd_nxt, seg)
+            self.snd_nxt += seg
+            pipe += seg
+        self._arm_rto()
+
+    def _next_lost_segment(self) -> Optional[_SegmentState]:
+        if not self._has_lost:
+            return None
+        best: Optional[_SegmentState] = None
+        for state in self._segments.values():
+            if state.lost and not state.sacked and (best is None or state.seq < best.seq):
+                best = state
+        if best is None:
+            self._has_lost = False
+        return best
+
+    def _make_packet(self, seq: int, size: int) -> Packet:
+        return self.factory.make(
+            flow_id=self.flow_id,
+            src=self.host.address,
+            dst=self.dst_address,
+            src_port=self.port,
+            dst_port=self.dst_port,
+            seq=seq,
+            size=size,
+            traffic_class=self.traffic_class,
+            created_at=self.sim.now,
+            payload={"len": size},
+        )
+
+    def _transmit_new(self, seq: int, size: int) -> None:
+        now = self.sim.now
+        self._segments[seq] = _SegmentState(seq=seq, size=size, sent_time=now)
+        self.packets_sent += 1
+        self.host.send(self._make_packet(seq, size))
+
+    def _retransmit_segment(self, state: _SegmentState) -> None:
+        state.lost = False  # back in flight; may be marked lost again later
+        state.retransmitted = True
+        state.sent_time = self.sim.now
+        self.retransmissions += 1
+        self.packets_sent += 1
+        self.host.send(self._make_packet(state.seq, state.size))
+
+    # -- receiving ACKs ------------------------------------------------------------
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        if not packet.is_ack or packet.flow_id != self.flow_id:
+            return
+        payload = packet.payload or {}
+        ack = int(payload.get("ack", 0))
+        sack_blocks: List[Tuple[int, int]] = list(payload.get("sack", ()))
+
+        newly_acked = 0
+        if ack > self.snd_una:
+            newly_acked = ack - self.snd_una
+            self._sample_rtt(ack, now)
+            for seq in [s for s in self._segments if s < ack]:
+                del self._segments[seq]
+            self.snd_una = ack
+            self._arm_rto(reset=True)
+
+        self._apply_sack(sack_blocks)
+        lost_found = self._detect_losses()
+        if lost_found and self.snd_una >= self._recovery_until:
+            # At most one congestion-window reduction per window of data.
+            self.cc.on_loss(now)
+            self._recovery_until = self.snd_nxt
+
+        if newly_acked > 0:
+            self.cc.on_ack(now, newly_acked, self._srtt or 0.0)
+            self._finish_if_done()
+        if not self.completed:
+            self._try_send()
+
+    def _apply_sack(self, blocks: List[Tuple[int, int]]) -> None:
+        if not blocks or not self._segments:
+            return
+        self._has_sacked = True
+        # Both the segment list and the SACK blocks are sorted by sequence
+        # number, so one linear merge marks every covered segment.
+        blocks = sorted(blocks)
+        block_idx = 0
+        for seq in sorted(self._segments):
+            state = self._segments[seq]
+            while block_idx < len(blocks) and blocks[block_idx][1] < seq + state.size:
+                block_idx += 1
+            if block_idx >= len(blocks):
+                break
+            start, end = blocks[block_idx]
+            if not state.sacked and start <= seq and seq + state.size <= end:
+                state.sacked = True
+
+    def _detect_losses(self) -> bool:
+        """SACK- and time-based loss detection.
+
+        A never-retransmitted segment is lost once three segments' worth of
+        data above it has been SACKed (classic SACK fast retransmit).  A
+        retransmitted segment is only re-declared lost on a time basis (its
+        retransmission has had ample time to be acknowledged), which recovers
+        lost retransmissions without waiting for the RTO and without the
+        retransmission storms that re-applying the SACK rule would cause.
+        """
+        if not self._segments:
+            return False
+        if not self._has_sacked and not self._has_lost and self.retransmissions == 0:
+            # Fast path: nothing has ever been SACKed or retransmitted, so no
+            # loss evidence can exist yet.
+            return False
+        now = self.sim.now
+        reorder_window = 1.5 * (self._srtt if self._srtt is not None else INITIAL_RTO)
+        highest_sacked = max(
+            (s.seq + s.size for s in self._segments.values() if s.sacked), default=None
+        )
+        found = False
+        for state in self._segments.values():
+            if state.sacked or state.lost:
+                continue
+            if state.retransmitted:
+                if now - state.sent_time > reorder_window:
+                    state.lost = True
+                    found = True
+                continue
+            if highest_sacked is not None and state.seq + REORDER_BYTES <= highest_sacked:
+                state.lost = True
+                found = True
+        if found:
+            self._has_lost = True
+        return found
+
+    def _sample_rtt(self, ack: int, now: float) -> None:
+        # Use the send time of the highest segment covered by this ACK that
+        # was not retransmitted (Karn's algorithm).
+        candidates = [
+            s for s in self._segments.values() if s.seq < ack and not s.retransmitted
+        ]
+        if not candidates:
+            return
+        newest = max(candidates, key=lambda s: s.seq)
+        rtt = now - newest.sent_time
+        if rtt <= 0:
+            return
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = min(max(self._srtt + 4.0 * self._rttvar, MIN_RTO), MAX_RTO)
+
+    # -- timers --------------------------------------------------------------------
+
+    def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _arm_rto(self, reset: bool = False) -> None:
+        if self.completed or self.inflight_bytes <= 0:
+            self._cancel_rto()
+            return
+        if reset or self._rto_timer is None:
+            self._cancel_rto()
+            self._rto_timer = self.sim.schedule(self._rto, self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.completed or self.inflight_bytes <= 0:
+            return
+        now = self.sim.now
+        self.timeouts += 1
+        self.cc.on_timeout(now, flight_bytes=self.inflight_bytes)
+        self._rto = min(self._rto * 2.0, MAX_RTO)
+        # Everything in flight is suspect after a timeout: clear SACK state and
+        # mark all outstanding segments lost so they are retransmitted under
+        # the (now tiny) congestion window.
+        for state in self._segments.values():
+            state.sacked = False
+            state.lost = True
+            state.retransmitted = False
+        self._has_lost = bool(self._segments)
+        self._has_sacked = False
+        self._recovery_until = self.snd_nxt
+        # _try_send re-arms the (backed-off) RTO once it has queued the
+        # retransmissions; scheduling it again here would leak a second timer.
+        self._try_send()
+
+    # -- completion -------------------------------------------------------------------
+
+    def _finish_if_done(self) -> None:
+        if self.completed or self.size_bytes is None:
+            return
+        if self.snd_una >= self.size_bytes:
+            self.completed = True
+            self.complete_time = self.sim.now
+            self._cancel_rto()
+            if self.on_complete is not None:
+                self.on_complete(self.sim.now)
+
+
+class TcpReceiver:
+    """Receiving side: cumulative ACKs with SACK blocks for out-of-order data."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        factory: PacketFactory,
+        *,
+        flow_id: int,
+        port: int,
+        expected_bytes: Optional[int] = None,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.factory = factory
+        self.flow_id = flow_id
+        self.port = port
+        self.expected_bytes = expected_bytes
+        self.on_complete = on_complete
+
+        self.rcv_nxt = 0
+        self.bytes_received = 0
+        self.packets_received = 0
+        self.complete_time: Optional[float] = None
+        self.completed = False
+        # Out-of-order data as a sorted list of disjoint [start, end) ranges.
+        self._ranges: List[List[int]] = []
+
+        host.register_agent(port, self)
+
+    # -- out-of-order range bookkeeping ------------------------------------------
+
+    def _insert_range(self, start: int, end: int) -> None:
+        merged: List[List[int]] = []
+        placed = False
+        for lo, hi in self._ranges:
+            if end < lo and not placed:
+                merged.append([start, end])
+                placed = True
+            if hi < start or end < lo:
+                merged.append([lo, hi])
+            else:
+                start = min(start, lo)
+                end = max(end, hi)
+        if not placed:
+            merged.append([start, end])
+        merged.sort()
+        # Merge adjacent/overlapping ranges produced by the insertion.
+        result: List[List[int]] = []
+        for lo, hi in merged:
+            if result and lo <= result[-1][1]:
+                result[-1][1] = max(result[-1][1], hi)
+            else:
+                result.append([lo, hi])
+        self._ranges = result
+
+    def _advance_cumulative(self) -> None:
+        while self._ranges and self._ranges[0][0] <= self.rcv_nxt:
+            lo, hi = self._ranges.pop(0)
+            self.rcv_nxt = max(self.rcv_nxt, hi)
+
+    def sack_blocks(self) -> List[Tuple[int, int]]:
+        """Current out-of-order ranges, newest-capped to the SACK block limit."""
+        return [(lo, hi) for lo, hi in self._ranges[:MAX_SACK_BLOCKS]]
+
+    # -- datapath -------------------------------------------------------------------
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        if packet.is_ack or packet.flow_id != self.flow_id:
+            return
+        self.packets_received += 1
+        self.bytes_received += packet.size
+        seq, size = packet.seq, packet.size
+        if seq == self.rcv_nxt:
+            self.rcv_nxt += size
+            self._advance_cumulative()
+        elif seq > self.rcv_nxt:
+            self._insert_range(seq, seq + size)
+        else:
+            # Duplicate of already-delivered data; ACK it again.
+            pass
+        self._send_ack(packet)
+        self._finish_if_done()
+
+    def _send_ack(self, data_packet: Packet) -> None:
+        ack = self.factory.make(
+            flow_id=self.flow_id,
+            src=self.host.address,
+            dst=data_packet.src,
+            src_port=self.port,
+            dst_port=data_packet.src_port,
+            seq=self.rcv_nxt,
+            size=ACK_SIZE,
+            is_ack=True,
+            created_at=self.sim.now,
+            payload={"ack": self.rcv_nxt, "sack": self.sack_blocks()},
+        )
+        self.host.send(ack)
+
+    def _finish_if_done(self) -> None:
+        if self.completed or self.expected_bytes is None:
+            return
+        if self.rcv_nxt >= self.expected_bytes:
+            self.completed = True
+            self.complete_time = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self.sim.now)

@@ -1,0 +1,209 @@
+"""UDP-style transports: paced streams and closed-loop request/response probes.
+
+Two behaviours from the paper are modelled here:
+
+* *Application-limited (paced) traffic* such as video streams: a
+  :class:`PacedUdpStream` emits packets at a fixed rate regardless of
+  network feedback.  §7.3 uses such traffic as the "non-buffer-filling"
+  cross traffic that Bundler should tolerate without giving up control.
+* *Closed-loop latency probes* (§8): a :class:`ClosedLoopPinger` sends a
+  40-byte request and issues the next request only when the matching
+  40-byte response returns, recording the request/response RTT.  The echo
+  side is :class:`UdpEchoServer`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.node import Host
+from repro.net.packet import Packet, PacketFactory
+from repro.net.simulator import Simulator
+from repro.transport.flow import next_flow_id, next_port
+
+PROBE_SIZE = 40
+
+
+class PacedUdpStream:
+    """Sends fixed-size packets at a constant bit rate (application-limited)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        src_host: Host,
+        dst_host: Host,
+        *,
+        rate_bps: float,
+        packet_size: int = 1200,
+        traffic_class: int = 0,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        self.sim = sim
+        self.factory = factory
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.traffic_class = traffic_class
+        self.flow_id = next_flow_id()
+        self.port = next_port()
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._running = False
+
+    @property
+    def interval(self) -> float:
+        """Seconds between packet transmissions at the configured rate."""
+        return self.packet_size * 8.0 / self.rate_bps
+
+    def start(self, duration: Optional[float] = None) -> "PacedUdpStream":
+        """Start pacing packets; stop after ``duration`` seconds if given."""
+        self._running = True
+        stop_at = None if duration is None else self.sim.now + duration
+
+        def emit() -> None:
+            if not self._running:
+                return
+            if stop_at is not None and self.sim.now >= stop_at:
+                self._running = False
+                return
+            packet = self.factory.make(
+                flow_id=self.flow_id,
+                src=self.src_host.address,
+                dst=self.dst_host.address,
+                src_port=self.port,
+                dst_port=self.port,
+                seq=self.packets_sent,
+                size=self.packet_size,
+                traffic_class=self.traffic_class,
+                created_at=self.sim.now,
+            )
+            self.src_host.send(packet)
+            self.packets_sent += 1
+            self.bytes_sent += self.packet_size
+            self.sim.schedule(self.interval, emit)
+
+        emit()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+
+class UdpEchoServer:
+    """Replies to every request with an equally-sized response."""
+
+    def __init__(self, sim: Simulator, host: Host, factory: PacketFactory, port: int) -> None:
+        self.sim = sim
+        self.host = host
+        self.factory = factory
+        self.port = port
+        self.requests_served = 0
+        host.register_agent(port, self)
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        self.requests_served += 1
+        reply = self.factory.make(
+            flow_id=packet.flow_id,
+            src=self.host.address,
+            dst=packet.src,
+            src_port=self.port,
+            dst_port=packet.src_port,
+            seq=packet.seq,
+            size=packet.size,
+            created_at=now,
+            payload={"echo_of": packet.pkt_id},
+        )
+        self.host.send(reply)
+
+
+class ClosedLoopPinger:
+    """Closed-loop request/response probe measuring application-level RTTs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        src_host: Host,
+        dst_host: Host,
+        *,
+        echo_port: Optional[int] = None,
+        probe_size: int = PROBE_SIZE,
+        traffic_class: int = 0,
+        timeout_s: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.factory = factory
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.probe_size = probe_size
+        self.traffic_class = traffic_class
+        self.timeout_s = timeout_s
+        self.flow_id = next_flow_id()
+        self.port = next_port()
+        self.echo_port = echo_port if echo_port is not None else self.port
+        self.rtts: List[float] = []
+        self.losses = 0
+        self._seq = 0
+        self._outstanding_seq: Optional[int] = None
+        self._outstanding_sent_at: Optional[float] = None
+        self._running = False
+        # The echo server is created lazily on the destination host if the
+        # caller did not set one up already on ``echo_port``.
+        if echo_port is None:
+            self.echo_server = UdpEchoServer(sim, dst_host, factory, self.echo_port)
+        else:
+            self.echo_server = None
+        src_host.register_agent(self.port, self)
+
+    def start(self) -> "ClosedLoopPinger":
+        self._running = True
+        self._send_request()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _send_request(self) -> None:
+        if not self._running:
+            return
+        self._outstanding_sent_at = self.sim.now
+        self._outstanding_seq = self._seq
+        request = self.factory.make(
+            flow_id=self.flow_id,
+            src=self.src_host.address,
+            dst=self.dst_host.address,
+            src_port=self.port,
+            dst_port=self.echo_port,
+            seq=self._seq,
+            size=self.probe_size,
+            traffic_class=self.traffic_class,
+            created_at=self.sim.now,
+        )
+        self._seq += 1
+        self.src_host.send(request)
+        self.sim.schedule(self.timeout_s, lambda seq=request.seq: self._on_timeout(seq))
+
+    def _on_timeout(self, seq: int) -> None:
+        # If the outstanding request (or its response) was dropped, give up on
+        # it and issue a fresh one; a closed-loop client would otherwise hang
+        # forever the first time a 40-byte probe hits a full queue.
+        if not self._running or self._outstanding_seq != seq:
+            return
+        self.losses += 1
+        self._outstanding_seq = None
+        self._outstanding_sent_at = None
+        self._send_request()
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        if self._outstanding_sent_at is None or packet.seq != self._outstanding_seq:
+            return
+        self.rtts.append(now - self._outstanding_sent_at)
+        self._outstanding_sent_at = None
+        self._outstanding_seq = None
+        if self._running:
+            self._send_request()

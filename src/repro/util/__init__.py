@@ -1,0 +1,51 @@
+"""Utility primitives shared across the Bundler reproduction.
+
+This subpackage holds small, dependency-free building blocks:
+
+* :mod:`repro.util.fnv` — the FNV-1a non-cryptographic hash used for epoch
+  boundary identification (§6.1 of the paper).
+* :mod:`repro.util.units` — explicit unit conversions (Mbit/s, bytes,
+  milliseconds) so that simulation code never mixes units silently.
+* :mod:`repro.util.windowed` — sliding-window and exponentially-weighted
+  statistics used by the measurement module and congestion controllers.
+* :mod:`repro.util.rng` — seeded random-number helpers for reproducible
+  experiments.
+"""
+
+from repro.util.fnv import fnv1a_32, fnv1a_64
+from repro.util.units import (
+    BYTES_PER_PACKET,
+    bits_to_bytes,
+    bytes_to_bits,
+    mbps_to_bps,
+    bps_to_mbps,
+    ms_to_s,
+    s_to_ms,
+)
+from repro.util.windowed import (
+    EWMA,
+    MaxFilter,
+    MinFilter,
+    SlidingWindow,
+    TimeWindowedSum,
+)
+from repro.util.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "fnv1a_32",
+    "fnv1a_64",
+    "BYTES_PER_PACKET",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "mbps_to_bps",
+    "bps_to_mbps",
+    "ms_to_s",
+    "s_to_ms",
+    "EWMA",
+    "MaxFilter",
+    "MinFilter",
+    "SlidingWindow",
+    "TimeWindowedSum",
+    "make_rng",
+    "spawn_rngs",
+]

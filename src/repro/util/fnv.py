@@ -1,0 +1,67 @@
+"""FNV-1a hashing.
+
+The Bundler prototype uses the FNV hash (a fast, non-cryptographic hash with
+a low collision rate) to decide whether a packet is an epoch boundary
+(§4.5, §6.1).  The hash is computed over a subset of the packet header that
+is identical at the sendbox and the receivebox and differs between packets
+(the paper's prototype uses the IPv4 IP ID, destination IP and destination
+port).
+
+Both the 32-bit and 64-bit variants are provided.  The epoch machinery uses
+the 32-bit variant, matching the prototype's choice of a cheap four-multiply
+hash.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_FNV32_OFFSET = 0x811C9DC5
+_FNV32_PRIME = 0x01000193
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x00000100000001B3
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_32(data: bytes) -> int:
+    """Return the 32-bit FNV-1a hash of ``data``."""
+    h = _FNV32_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV32_PRIME) & _MASK32
+    return h
+
+
+def fnv1a_64(data: bytes) -> int:
+    """Return the 64-bit FNV-1a hash of ``data``."""
+    h = _FNV64_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV64_PRIME) & _MASK64
+    return h
+
+
+def hash_fields(fields: Iterable[int], bits: int = 32) -> int:
+    """Hash a sequence of integer header fields.
+
+    Each field is serialized as a 4-byte big-endian integer before hashing so
+    that the byte stream is unambiguous (``(1, 23)`` and ``(12, 3)`` hash
+    differently).
+
+    Parameters
+    ----------
+    fields:
+        Integer header field values (for example ``(ip_id, dst_ip, dst_port)``).
+    bits:
+        Either 32 or 64; selects the FNV variant.
+    """
+    buf = bytearray()
+    for field in fields:
+        buf.extend(int(field).to_bytes(4, "big", signed=False))
+    if bits == 32:
+        return fnv1a_32(bytes(buf))
+    if bits == 64:
+        return fnv1a_64(bytes(buf))
+    raise ValueError(f"unsupported hash width: {bits} (expected 32 or 64)")

@@ -1,0 +1,61 @@
+"""Explicit unit conversions.
+
+All simulator-internal quantities use SI base units: seconds for time,
+bytes for data volume, and bits per second for rates.  Experiment
+configuration, on the other hand, is naturally expressed in milliseconds and
+megabits per second (as the paper does: "96 Mbit/s bottleneck, 50 ms RTT").
+These helpers keep the conversions explicit at the boundary.
+"""
+
+from __future__ import annotations
+
+#: Default packet (MSS + headers) size in bytes, used throughout the
+#: simulator when a flow does not specify its own segment size.
+BYTES_PER_PACKET = 1500
+
+
+def mbps_to_bps(mbps: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return mbps * 1e6
+
+
+def bps_to_mbps(bps: float) -> float:
+    """Convert bits per second to megabits per second."""
+    return bps / 1e6
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * 8.0
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return num_bits / 8.0
+
+
+def ms_to_s(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms / 1e3
+
+
+def s_to_ms(s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return s * 1e3
+
+
+def transmission_time(size_bytes: float, rate_bps: float) -> float:
+    """Time in seconds to serialize ``size_bytes`` onto a ``rate_bps`` link."""
+    if rate_bps <= 0:
+        raise ValueError("link rate must be positive")
+    return bytes_to_bits(size_bytes) / rate_bps
+
+
+def bdp_bytes(rate_bps: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in bytes for a path of ``rate_bps`` and ``rtt_s``."""
+    return bits_to_bytes(rate_bps * rtt_s)
+
+
+def bdp_packets(rate_bps: float, rtt_s: float, pkt_bytes: int = BYTES_PER_PACKET) -> float:
+    """Bandwidth-delay product expressed in packets of ``pkt_bytes``."""
+    return bdp_bytes(rate_bps, rtt_s) / pkt_bytes

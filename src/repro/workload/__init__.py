@@ -1,0 +1,36 @@
+"""Workload generation.
+
+The paper's main workload (§7.1) is a many-threaded client issuing requests
+whose sizes are drawn from an Internet-core-router trace: heavy tailed, with
+97.6% of requests at or below 10 KB and the largest 0.002% between 5 MB and
+100 MB, offered at ~87% of the bottleneck rate.  This subpackage provides:
+
+* :mod:`repro.workload.flowsize` — empirical flow-size distributions,
+  including a synthetic stand-in for the CAIDA trace with the published
+  summary statistics.
+* :mod:`repro.workload.arrivals` — Poisson arrival processes parameterized
+  by offered load.
+* :mod:`repro.workload.generators` — traffic generators that drive the
+  transports: the request/response workload, backlogged bulk flows, paced
+  streams, and closed-loop latency probes.
+"""
+
+from repro.workload.flowsize import EmpiricalSizeDistribution, internet_core_cdf
+from repro.workload.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.workload.generators import (
+    BackloggedFlows,
+    ClosedLoopProbes,
+    PacedStreams,
+    RequestWorkload,
+)
+
+__all__ = [
+    "EmpiricalSizeDistribution",
+    "internet_core_cdf",
+    "PoissonArrivals",
+    "arrival_rate_for_load",
+    "RequestWorkload",
+    "BackloggedFlows",
+    "PacedStreams",
+    "ClosedLoopProbes",
+]

@@ -1,0 +1,302 @@
+"""Traffic generators that drive the transports during an experiment.
+
+* :class:`RequestWorkload` — the §7.1 workload: requests arrive (Poisson) at
+  a target offered load, each request becomes a TCP transfer of a size drawn
+  from a flow-size distribution, sent from one of the site-A servers to a
+  site-B client; flow completion is recorded for FCT/slowdown analysis.
+* :class:`BackloggedFlows` — long-running bulk TCP flows (the
+  "buffer-filling" traffic used as cross traffic in §7.3 and as the bundled
+  iperf flows in §8).
+* :class:`PacedStreams` — application-limited constant-rate UDP streams (the
+  "non-buffer-filling" cross traffic).
+* :class:`ClosedLoopProbes` — parallel closed-loop 40-byte request/response
+  probes measuring application-level RTTs (§8).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.cc import make_window_cc
+from repro.net.node import Host
+from repro.net.packet import PacketFactory
+from repro.net.simulator import Simulator
+from repro.transport.flow import FlowRecord, TcpFlow
+from repro.transport.udp import ClosedLoopPinger, PacedUdpStream
+from repro.workload.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.workload.flowsize import EmpiricalSizeDistribution, internet_core_cdf
+
+
+class RequestWorkload:
+    """Poisson request arrivals with sizes from an empirical distribution."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        servers: Sequence[Host],
+        clients: Sequence[Host],
+        *,
+        offered_load_bps: float,
+        rng: random.Random,
+        size_distribution: Optional[EmpiricalSizeDistribution] = None,
+        endhost_cc: str = "cubic",
+        endhost_cc_factory: Optional[Callable[[], object]] = None,
+        max_requests: Optional[int] = None,
+        duration_s: Optional[float] = None,
+        traffic_class: int = 0,
+        mss: int = 1500,
+    ) -> None:
+        if not servers or not clients:
+            raise ValueError("need at least one server and one client")
+        if max_requests is None and duration_s is None:
+            raise ValueError("bound the workload with max_requests and/or duration_s")
+        self.sim = sim
+        self.factory = factory
+        self.servers = list(servers)
+        self.clients = list(clients)
+        self.offered_load_bps = offered_load_bps
+        self.rng = rng
+        self.sizes = size_distribution if size_distribution is not None else internet_core_cdf()
+        self.endhost_cc = endhost_cc
+        self.endhost_cc_factory = endhost_cc_factory
+        self.max_requests = max_requests
+        self.duration_s = duration_s
+        self.traffic_class = traffic_class
+        self.mss = mss
+
+        self.mean_size_bytes = self.sizes.mean()
+        self.arrival_rate = arrival_rate_for_load(offered_load_bps, self.mean_size_bytes)
+        self._arrivals = PoissonArrivals(self.arrival_rate, rng)
+        self.flows: List[TcpFlow] = []
+        self.completed_records: List[FlowRecord] = []
+        self._requests_issued = 0
+        self._running = False
+        self._start_time = 0.0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, at: float = 0.0) -> "RequestWorkload":
+        """Begin issuing requests at simulated time ``at``."""
+        self._running = True
+        self._start_time = at
+
+        def kick_off() -> None:
+            self._schedule_next()
+
+        if at <= self.sim.now:
+            kick_off()
+        else:
+            self.sim.at(at, kick_off)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals --------------------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        if self.max_requests is not None and self._requests_issued >= self.max_requests:
+            return
+        delay = self._arrivals.next_interarrival()
+        if self.duration_s is not None and (self.sim.now + delay) > self._start_time + self.duration_s:
+            return
+        self.sim.schedule(delay, self._issue_request)
+
+    def _make_cc(self):
+        if self.endhost_cc_factory is not None:
+            return self.endhost_cc_factory()
+        return make_window_cc(self.endhost_cc, mss=self.mss)
+
+    def _issue_request(self) -> None:
+        if not self._running:
+            return
+        self._requests_issued += 1
+        size = self.sizes.sample(self.rng)
+        server = self.rng.choice(self.servers)
+        client = self.rng.choice(self.clients)
+        flow = TcpFlow(
+            self.sim,
+            self.factory,
+            server,
+            client,
+            size_bytes=size,
+            cc=self._make_cc(),
+            mss=self.mss,
+            traffic_class=self.traffic_class,
+            on_complete=self._flow_done,
+        )
+        self.flows.append(flow)
+        flow.start()
+        self._schedule_next()
+
+    def _flow_done(self, flow: TcpFlow) -> None:
+        self.completed_records.append(flow.record())
+
+    # -- results ------------------------------------------------------------------------
+
+    @property
+    def requests_issued(self) -> int:
+        return self._requests_issued
+
+    def records(self, include_incomplete: bool = False) -> List[FlowRecord]:
+        """Flow records (completed only by default)."""
+        if not include_incomplete:
+            return list(self.completed_records)
+        return [flow.record() for flow in self.flows]
+
+
+class BackloggedFlows:
+    """Long-running bulk TCP flows (buffer-filling when loss-based)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        pairs: Sequence[tuple],
+        *,
+        endhost_cc: str = "cubic",
+        endhost_cc_factory: Optional[Callable[[], object]] = None,
+        traffic_class: int = 0,
+        mss: int = 1500,
+    ) -> None:
+        """``pairs`` is a sequence of (src_host, dst_host) tuples, one per flow."""
+        if not pairs:
+            raise ValueError("need at least one (src, dst) pair")
+        self.sim = sim
+        self.factory = factory
+        self.pairs = list(pairs)
+        self.endhost_cc = endhost_cc
+        self.endhost_cc_factory = endhost_cc_factory
+        self.traffic_class = traffic_class
+        self.mss = mss
+        self.flows: List[TcpFlow] = []
+
+    def _make_cc(self):
+        if self.endhost_cc_factory is not None:
+            return self.endhost_cc_factory()
+        return make_window_cc(self.endhost_cc, mss=self.mss)
+
+    def start(self, at: float = 0.0, stagger_s: float = 0.05) -> "BackloggedFlows":
+        """Start all flows, staggered slightly so they do not synchronize."""
+        for i, (src, dst) in enumerate(self.pairs):
+            flow = TcpFlow(
+                self.sim,
+                self.factory,
+                src,
+                dst,
+                size_bytes=None,
+                cc=self._make_cc(),
+                mss=self.mss,
+                traffic_class=self.traffic_class,
+            )
+            self.flows.append(flow)
+            flow.start(delay=max(at - self.sim.now, 0.0) + i * stagger_s)
+        return self
+
+    def stop(self) -> None:
+        for flow in self.flows:
+            flow.stop()
+
+    def total_bytes_delivered(self) -> int:
+        return sum(flow.receiver.rcv_nxt for flow in self.flows)
+
+    def mean_throughput_bps(self, duration_s: float) -> float:
+        """Aggregate goodput of the backlogged flows over ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_bytes_delivered() * 8.0 / duration_s
+
+
+class PacedStreams:
+    """Constant-rate (application-limited) UDP streams."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        pairs: Sequence[tuple],
+        *,
+        rate_bps_per_stream: float,
+        packet_size: int = 1200,
+        traffic_class: int = 0,
+    ) -> None:
+        if not pairs:
+            raise ValueError("need at least one (src, dst) pair")
+        self.sim = sim
+        self.streams = [
+            PacedUdpStream(
+                sim,
+                factory,
+                src,
+                dst,
+                rate_bps=rate_bps_per_stream,
+                packet_size=packet_size,
+                traffic_class=traffic_class,
+            )
+            for src, dst in pairs
+        ]
+
+    def start(self, duration_s: Optional[float] = None) -> "PacedStreams":
+        for stream in self.streams:
+            stream.start(duration=duration_s)
+        return self
+
+    def stop(self) -> None:
+        for stream in self.streams:
+            stream.stop()
+
+    def total_bytes_sent(self) -> int:
+        return sum(stream.bytes_sent for stream in self.streams)
+
+
+class ClosedLoopProbes:
+    """Parallel closed-loop request/response probes (the §8 latency workload)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        src_host: Host,
+        dst_host: Host,
+        *,
+        count: int = 10,
+        probe_size: int = 40,
+        traffic_class: int = 0,
+    ) -> None:
+        if count < 1:
+            raise ValueError("need at least one probe loop")
+        self.pingers = [
+            ClosedLoopPinger(
+                sim,
+                factory,
+                src_host,
+                dst_host,
+                probe_size=probe_size,
+                traffic_class=traffic_class,
+            )
+            for _ in range(count)
+        ]
+
+    def start(self) -> "ClosedLoopProbes":
+        for pinger in self.pingers:
+            pinger.start()
+        return self
+
+    def stop(self) -> None:
+        for pinger in self.pingers:
+            pinger.stop()
+
+    def all_rtts(self) -> List[float]:
+        """All request/response RTT samples across the probe loops."""
+        rtts: List[float] = []
+        for pinger in self.pingers:
+            rtts.extend(pinger.rtts)
+        return rtts
+
+    def per_probe_rtts(self) -> List[List[float]]:
+        """RTT samples per probe loop (one list per 5-tuple, as in Figure 16)."""
+        return [list(pinger.rtts) for pinger in self.pingers]

@@ -1,0 +1,45 @@
+"""Shared test fixtures and helpers."""
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight from
+# a source checkout on a machine without editable-install support).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.net.packet import PacketFactory  # noqa: E402
+from repro.net.simulator import Simulator  # noqa: E402
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def factory() -> PacketFactory:
+    """A fresh packet factory."""
+    return PacketFactory()
+
+
+def make_packet(factory=None, *, flow_id=1, src=1, dst=2, src_port=10, dst_port=20, size=1500,
+                seq=0, is_ack=False, is_control=False, traffic_class=0):
+    """Convenience packet constructor for qdisc/unit tests."""
+    factory = factory if factory is not None else PacketFactory()
+    return factory.make(
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        size=size,
+        is_ack=is_ack,
+        is_control=is_control,
+        traffic_class=traffic_class,
+    )

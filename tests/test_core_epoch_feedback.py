@@ -1,0 +1,120 @@
+"""Tests for epoch boundary identification, epoch sizing and feedback messages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.epoch import (
+    EpochSizeController,
+    is_epoch_boundary,
+    packet_is_epoch_boundary,
+    round_down_power_of_two,
+)
+from repro.core.feedback import (
+    CongestionAck,
+    EpochSizeUpdate,
+    extract_message,
+    is_congestion_ack,
+    is_epoch_size_update,
+    make_control_packet,
+)
+from repro.net.packet import PacketFactory
+
+
+class TestPowerOfTwo:
+    def test_basic_values(self):
+        assert round_down_power_of_two(1) == 1
+        assert round_down_power_of_two(2) == 2
+        assert round_down_power_of_two(3) == 2
+        assert round_down_power_of_two(1000) == 512
+
+    def test_floor_at_one(self):
+        assert round_down_power_of_two(0) == 1
+        assert round_down_power_of_two(-5) == 1
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_result_is_power_of_two_and_bounded(self, n):
+        p = round_down_power_of_two(n)
+        assert p & (p - 1) == 0
+        assert p <= n < 2 * p
+
+
+class TestEpochBoundary:
+    def test_every_packet_is_boundary_at_size_one(self):
+        assert is_epoch_boundary(12345, 1)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            is_epoch_boundary(1, 0)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=8))
+    def test_power_of_two_subset_property(self, header_hash, exponent):
+        """A boundary for epoch size 2N is always a boundary for epoch size N.
+
+        This is the property (§4.5) that makes stale epoch-size state at the
+        receivebox harmless: its sampled set is a superset or subset of the
+        sendbox's, never a disjoint set.
+        """
+        small = 2**exponent
+        large = 2 ** (exponent + 1)
+        if is_epoch_boundary(header_hash, large):
+            assert is_epoch_boundary(header_hash, small)
+
+    def test_boundary_fraction_roughly_one_over_n(self):
+        factory = PacketFactory()
+        n = 16
+        packets = [
+            factory.make(flow_id=1, src=1, dst=2, src_port=5, dst_port=6) for _ in range(4000)
+        ]
+        boundaries = sum(1 for p in packets if packet_is_epoch_boundary(p, n))
+        assert boundaries == pytest.approx(len(packets) / n, rel=0.5)
+
+
+class TestEpochSizeController:
+    def test_quarter_rtt_spacing(self):
+        ctl = EpochSizeController(rtt_fraction=0.25, initial_size=16)
+        # 0.25 * 50 ms * 96 Mbit/s = 150 KB = 100 packets -> rounds down to 64.
+        assert ctl.compute(0.05, 96e6) == 64
+
+    def test_clamped_to_bounds(self):
+        ctl = EpochSizeController(min_size=4, max_size=64)
+        assert ctl.compute(10.0, 1e9) == 64
+        assert ctl.compute(0.0001, 1e5) == 4
+
+    def test_update_reports_changes(self):
+        ctl = EpochSizeController(initial_size=16)
+        assert ctl.update(0.05, 96e6) is True
+        assert ctl.update(0.05, 96e6) is False
+
+    def test_invalid_inputs_keep_current(self):
+        ctl = EpochSizeController(initial_size=16)
+        assert ctl.compute(0.0, 96e6) == 16
+        assert ctl.compute(0.05, 0.0) == 16
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            EpochSizeController(rtt_fraction=0.0)
+        with pytest.raises(ValueError):
+            EpochSizeController(min_size=8, max_size=4)
+
+
+class TestFeedbackMessages:
+    def test_congestion_ack_roundtrip(self):
+        factory = PacketFactory()
+        ack = CongestionAck(bundle_id=0, boundary_hash=42, bytes_received=1000, ack_seq=1)
+        pkt = make_control_packet(factory, src=1, dst=2, src_port=3, dst_port=4, message=ack)
+        assert pkt.is_control
+        assert is_congestion_ack(pkt)
+        assert not is_epoch_size_update(pkt)
+        assert extract_message(pkt) == ack
+
+    def test_epoch_update_roundtrip(self):
+        factory = PacketFactory()
+        update = EpochSizeUpdate(bundle_id=0, epoch_size=32)
+        pkt = make_control_packet(factory, src=1, dst=2, src_port=3, dst_port=4, message=update)
+        assert is_epoch_size_update(pkt)
+        assert extract_message(pkt) == update
+
+    def test_extract_from_non_control_packet(self):
+        factory = PacketFactory()
+        pkt = factory.make(flow_id=1, src=1, dst=2, src_port=3, dst_port=4)
+        assert extract_message(pkt) is None

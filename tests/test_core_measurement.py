@@ -1,0 +1,175 @@
+"""Tests for the sendbox measurement engine, multipath detector and PI controller."""
+
+import pytest
+
+from repro.core.measurement import BundleMeasurementEngine
+from repro.core.multipath import MultipathDetector
+from repro.core.passthrough import PiQueueController
+
+
+class TestMeasurementEngine:
+    def _ideal_exchange(self, engine, *, rtt=0.05, rate_bps=24e6, epochs=20, epoch_bytes=30_000):
+        """Simulate perfectly periodic epoch boundaries and their ACKs."""
+        send_interval = epoch_bytes * 8.0 / rate_bps
+        bytes_sent = 0
+        bytes_received = 0
+        t = 0.0
+        for i in range(epochs):
+            bytes_sent += epoch_bytes
+            engine.on_boundary_sent(t, boundary_hash=i, bytes_sent=bytes_sent)
+            bytes_received += epoch_bytes
+            engine.on_congestion_ack(t + rtt, boundary_hash=i, bytes_received=bytes_received)
+            t += send_interval
+        return t
+
+    def test_rtt_and_rate_estimates(self):
+        engine = BundleMeasurementEngine()
+        end = self._ideal_exchange(engine, rtt=0.05, rate_bps=24e6)
+        m = engine.current_measurement(end)
+        assert m is not None
+        assert m.rtt == pytest.approx(0.05, rel=0.01)
+        assert m.min_rtt == pytest.approx(0.05, rel=0.01)
+        assert m.send_rate == pytest.approx(24e6, rel=0.05)
+        assert m.recv_rate == pytest.approx(24e6, rel=0.05)
+        assert m.queue_delay == pytest.approx(0.0, abs=1e-3)
+
+    def test_queue_delay_reflects_rtt_inflation(self):
+        engine = BundleMeasurementEngine()
+        self._ideal_exchange(engine, rtt=0.05, epochs=10)
+        # Later epochs see inflated RTTs.
+        bytes_sent = 300_000
+        bytes_received = 300_000
+        t = 1.0
+        for i in range(10, 20):
+            bytes_sent += 30_000
+            engine.on_boundary_sent(t, i, bytes_sent)
+            bytes_received += 30_000
+            engine.on_congestion_ack(t + 0.08, i, bytes_received)
+            t += 0.01
+        m = engine.current_measurement(t)
+        assert m.queue_delay == pytest.approx(0.03, rel=0.1)
+
+    def test_unknown_ack_is_ignored(self):
+        engine = BundleMeasurementEngine()
+        engine.on_congestion_ack(1.0, boundary_hash=99, bytes_received=100)
+        assert engine.ignored_acks == 1
+        assert engine.current_measurement(1.0) is None
+
+    def test_out_of_order_acks_counted(self):
+        engine = BundleMeasurementEngine()
+        engine.on_boundary_sent(0.00, 1, 10_000)
+        engine.on_boundary_sent(0.01, 2, 20_000)
+        engine.on_boundary_sent(0.02, 3, 30_000)
+        engine.on_congestion_ack(0.06, 2, 20_000)   # arrives first
+        engine.on_congestion_ack(0.07, 1, 10_000)   # older boundary: out of order
+        engine.on_congestion_ack(0.08, 3, 30_000)
+        assert engine.out_of_order_acks == 1
+        assert engine.in_order_acks == 2
+        assert engine.out_of_order_fraction() == pytest.approx(1 / 3)
+
+    def test_lost_boundary_marks_loss(self):
+        engine = BundleMeasurementEngine(feedback_timeout_s=0.5)
+        engine.on_boundary_sent(0.0, 1, 10_000)
+        engine.on_boundary_sent(0.01, 2, 20_000)
+        engine.on_congestion_ack(0.06, 2, 20_000)
+        # Boundary 1 never acked; after the timeout it counts as lost.
+        engine.on_boundary_sent(1.0, 3, 30_000)
+        engine.on_congestion_ack(1.05, 3, 30_000)
+        m = engine.current_measurement(1.1)
+        assert engine.lost_boundaries == 1
+        assert m.loss_detected
+
+    def test_stale_windows_are_evicted(self):
+        engine = BundleMeasurementEngine()
+        self._ideal_exchange(engine, epochs=5)
+        # Long silence: old samples age out and no measurement is produced.
+        assert engine.current_measurement(100.0) is None
+
+    def test_outstanding_bounded(self):
+        engine = BundleMeasurementEngine(max_outstanding=10)
+        for i in range(100):
+            engine.on_boundary_sent(0.0, i, i * 1000)
+        assert engine.outstanding_boundaries <= 10
+
+
+class TestMultipathDetector:
+    def test_below_threshold_not_imbalanced(self):
+        det = MultipathDetector(threshold=0.05, min_samples=10)
+        for i in range(100):
+            det.record(i * 0.01, out_of_order=(i % 50 == 0))  # 2%
+        assert not det.imbalanced(1.0)
+
+    def test_above_threshold_imbalanced(self):
+        det = MultipathDetector(threshold=0.05, min_samples=10)
+        for i in range(100):
+            det.record(i * 0.01, out_of_order=(i % 4 == 0))  # 25%
+        assert det.imbalanced(1.0)
+
+    def test_requires_minimum_samples(self):
+        det = MultipathDetector(threshold=0.05, min_samples=50)
+        for i in range(10):
+            det.record(i * 0.01, out_of_order=True)
+        assert not det.imbalanced()
+
+    def test_window_forgets_old_history(self):
+        det = MultipathDetector(threshold=0.05, window_s=1.0, min_samples=5)
+        for i in range(50):
+            det.record(i * 0.01, out_of_order=True)
+        for i in range(200):
+            det.record(1.0 + i * 0.01, out_of_order=False)
+        assert not det.imbalanced(3.0)
+        assert det.lifetime_fraction() > 0.05
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            MultipathDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            MultipathDetector(window_s=0.0)
+
+
+class TestPiController:
+    def test_rate_increases_when_queue_above_target(self):
+        pi = PiQueueController(target_queue_s=0.010)
+        pi.reset(10e6)
+        r1 = pi.update(0.0, 0.050, 24e6)
+        r2 = pi.update(0.01, 0.050, 24e6)
+        assert r2 > r1 or r2 > 10e6
+
+    def test_rate_decreases_when_queue_below_target(self):
+        pi = PiQueueController(target_queue_s=0.010)
+        pi.reset(24e6)
+        pi.update(0.0, 0.000, 24e6)
+        rate = pi.update(1.0, 0.000, 24e6)
+        assert rate < 24e6
+
+    def test_converges_near_target_in_closed_loop(self):
+        """Simple fluid model: arrivals fixed, queue integrates arrival - rate."""
+        pi = PiQueueController(target_queue_s=0.010, min_rate_bps=1e6)
+        pi.reset(20e6)
+        arrival_bps = 24e6
+        queue_bytes = 0.0
+        dt = 0.01
+        rate = 20e6
+        for step in range(3000):
+            queue_bytes = max(0.0, queue_bytes + (arrival_bps - rate) * dt / 8.0)
+            queue_delay = queue_bytes * 8.0 / max(rate, 1e6)
+            rate = pi.update(step * dt, queue_delay, 24e6)
+        assert queue_delay == pytest.approx(0.010, abs=0.01)
+
+    def test_respects_rate_bounds(self):
+        pi = PiQueueController(min_rate_bps=5e6, max_rate_bps=30e6)
+        pi.reset(10e6)
+        for step in range(200):
+            rate = pi.update(step * 0.01, 1.0, 24e6)  # huge queue -> push up
+        assert rate <= 30e6
+        pi2 = PiQueueController(min_rate_bps=5e6, max_rate_bps=30e6)
+        pi2.reset(10e6)
+        for step in range(200):
+            rate = pi2.update(step * 0.01, 0.0, 24e6)  # empty queue -> push down
+        assert rate >= 5e6
+
+    def test_reset_required_before_rate(self):
+        pi = PiQueueController()
+        assert pi.rate_bps is None
+        with pytest.raises(ValueError):
+            pi.reset(0.0)

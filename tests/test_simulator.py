@@ -1,0 +1,112 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(2.0, lambda: order.append("b"))
+    sim.at(1.0, lambda: order.append("a"))
+    sim.at(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abc":
+        sim.at(1.0, lambda n=name: order.append(n))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_relative_delay():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [pytest.approx(0.5)]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(1.0, lambda: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.at(10.0, lambda: fired.append(True))
+    end = sim.run(until=5.0)
+    assert end == 5.0
+    assert not fired
+    assert sim.pending_events() == 1
+
+
+def test_cancel_token_prevents_execution():
+    sim = Simulator()
+    fired = []
+    token = sim.at(1.0, lambda: fired.append(True))
+    token.cancel()
+    sim.run()
+    assert not fired
+
+
+def test_every_repeats_until_cancelled():
+    sim = Simulator()
+    ticks = []
+    token = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert len(ticks) == 5
+    token.cancel()
+    sim.run(until=10.0)
+    assert len(ticks) == 5
+
+
+def test_every_with_end_bound():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now), end=3.5)
+    sim.run(until=10.0)
+    assert len(ticks) == 3
+
+
+def test_every_rejects_nonpositive_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.every(0.0, lambda: None)
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(i * 0.1, lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_processed == 3
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append("outer")
+        sim.schedule(1.0, lambda: seen.append("inner"))
+
+    sim.at(1.0, outer)
+    sim.run()
+    assert seen == ["outer", "inner"]
+    assert sim.now == pytest.approx(2.0)

@@ -1,0 +1,33 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_mbps_roundtrip():
+    assert units.bps_to_mbps(units.mbps_to_bps(96.0)) == pytest.approx(96.0)
+
+
+def test_bytes_bits_roundtrip():
+    assert units.bits_to_bytes(units.bytes_to_bits(1500)) == pytest.approx(1500)
+
+
+def test_ms_roundtrip():
+    assert units.s_to_ms(units.ms_to_s(50.0)) == pytest.approx(50.0)
+
+
+def test_transmission_time():
+    # 1500 bytes at 12 Mbit/s = 1 ms.
+    assert units.transmission_time(1500, 12e6) == pytest.approx(0.001)
+
+
+def test_transmission_time_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time(1500, 0)
+
+
+def test_bdp():
+    # 96 Mbit/s * 50 ms = 600 KB = 400 packets of 1500 B.
+    assert units.bdp_bytes(96e6, 0.05) == pytest.approx(600_000)
+    assert units.bdp_packets(96e6, 0.05) == pytest.approx(400.0)
