@@ -8,8 +8,13 @@ here is a scaled-down simulator rather than the authors' testbed.
 
 All benchmarks are deliberately scaled down (lower bottleneck rates, shorter
 durations, thousands rather than millions of requests) so the whole suite
-runs in minutes.  The scale knobs live in :data:`BENCH_SCALE` and can be
-raised for a closer-to-paper run.
+runs in minutes.  The scale knobs live in :data:`repro.testing.BENCH_SCALE`
+and can be raised for a closer-to-paper run.
+
+Figures that sweep registered scenarios route through the
+:mod:`repro.runner` engine via the :func:`bench_sweep` fixture: cells are
+executed on a small worker pool and cached under ``.repro-cache/``, so
+re-running a figure only simulates what changed.
 """
 
 import os
@@ -21,28 +26,47 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-#: Common scaled-down dimensions used by the benchmark scenarios.
-BENCH_SCALE = {
-    "bottleneck_mbps": 24.0,
-    "rtt_ms": 50.0,
-    "duration_s": 15.0,
-    "seed": 1,
-}
+from repro.testing import RESULTS_FILE_ENV  # noqa: E402
 
-
-def report(title: str, lines) -> None:
-    """Print a paper-vs-measured block that survives pytest's capture (-s not needed)."""
-    text = "\n".join([f"\n=== {title} ===", *lines])
-    # Write straight to stdout so `pytest benchmarks/ --benchmark-only -s` shows it,
-    # and to a side file so results are preserved even without -s.
-    print(text)
-    with open(os.path.join(os.path.dirname(__file__), "results.txt"), "a") as fh:
-        fh.write(text + "\n")
+_RESULTS_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results.txt")
+os.environ.setdefault(RESULTS_FILE_ENV, _RESULTS_PATH)
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results_file():
-    path = os.path.join(os.path.dirname(__file__), "results.txt")
+    path = os.environ.get(RESULTS_FILE_ENV, _RESULTS_PATH)
     if os.path.exists(path):
         os.remove(path)
     yield
+
+
+@pytest.fixture(scope="session")
+def runner_cache(tmp_path_factory):
+    """The result cache used by runner-routed benchmarks.
+
+    Defaults to the shared ``.repro-cache/`` so re-running a figure only
+    simulates missing cells.  That also means cached cells do NOT re-exercise
+    the simulator after a code change — set ``REPRO_BENCH_FRESH=1`` (CI does
+    not need it: a fresh checkout has no cache) or delete ``.repro-cache/``
+    to force full re-simulation.
+    """
+    from repro.runner import ResultCache
+
+    if os.environ.get("REPRO_BENCH_FRESH"):
+        return ResultCache(str(tmp_path_factory.mktemp("repro-cache")))
+    return ResultCache()
+
+
+@pytest.fixture
+def bench_sweep(runner_cache):
+    """Execute a list of :class:`repro.runner.RunSpec` cells through the engine.
+
+    Returns the :class:`repro.runner.SweepOutcome`; repeat invocations are
+    served from the content-addressed cache.
+    """
+    from repro.runner import run_sweep
+
+    def _sweep(specs, workers: int = 2):
+        return run_sweep(specs, workers=workers, cache=runner_cache)
+
+    return _sweep

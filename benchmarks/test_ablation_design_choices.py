@@ -9,7 +9,7 @@ decisions the paper argues for qualitatively:
 * the pass-through PI controller gains.
 """
 
-from conftest import BENCH_SCALE, report
+from repro.testing import BENCH_SCALE, report
 
 from repro.core.passthrough import PiQueueController
 from repro.experiments import ScenarioConfig, run_scenario

@@ -1,6 +1,6 @@
 """Figure 2: Bundler shifts queueing from the in-network bottleneck to the sendbox."""
 
-from conftest import BENCH_SCALE, report
+from repro.testing import BENCH_SCALE, report
 
 from repro.experiments import run_queue_shift
 

@@ -1,6 +1,6 @@
 """Figures 5 and 6: accuracy of Bundler's receive-rate and RTT estimates."""
 
-from conftest import report
+from repro.testing import report
 
 from repro.experiments import run_estimate_sweep
 from repro.net.trace import percentile

@@ -1,33 +1,39 @@
 """Figure 7 and §7.6: out-of-order epoch measurements under imbalanced multipath."""
 
-from conftest import report
+from repro.testing import report
 
-from repro.experiments import run_multipath_point
+from repro.runner import RunSpec
+
+PATH_COUNTS = (1, 2, 4)
 
 
-def _run():
-    points = []
-    for paths in (1, 2, 4):
-        points.append(
-            run_multipath_point(num_paths=paths, bottleneck_mbps=24.0, rtt_ms=50.0, duration_s=10.0)
+def _specs():
+    return [
+        RunSpec(
+            "fig07_multipath",
+            params=dict(num_paths=paths, bottleneck_mbps=24.0, rtt_ms=50.0, duration_s=10.0),
+            seed=1,
         )
-    return points
+        for paths in PATH_COUNTS
+    ]
 
 
-def test_fig07_sec76_multipath_detection(benchmark):
-    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig07_sec76_multipath_detection(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    points = [(r.params["num_paths"], r.metrics) for r in outcome.results]
     lines = []
-    for p in points:
+    for paths, m in points:
         lines.append(
-            f"paths={p.num_paths}: out-of-order fraction={p.out_of_order_fraction * 100:6.2f}% "
-            f"detector_triggered={p.detector_triggered} final_mode={p.final_mode}"
+            f"paths={paths}: out-of-order fraction={m['out_of_order_fraction'] * 100:6.2f}% "
+            f"detector_triggered={m['detector_triggered']} final_mode={m['final_mode']}"
         )
     lines.append("paper: <=0.4% on single paths, >=20% with 2-32 paths; 5% threshold separates them")
+    lines.append(outcome.summary())
     report("Figure 7 / §7.6 — multipath imbalance heuristic", lines)
 
-    single = [p for p in points if p.num_paths == 1]
-    multi = [p for p in points if p.num_paths > 1]
-    assert all(p.out_of_order_fraction < 0.05 for p in single)
-    assert all(p.out_of_order_fraction > 0.05 for p in multi)
-    assert all(not p.detector_triggered for p in single)
-    assert all(p.detector_triggered for p in multi)
+    single = [m for paths, m in points if paths == 1]
+    multi = [m for paths, m in points if paths > 1]
+    assert all(m["out_of_order_fraction"] < 0.05 for m in single)
+    assert all(m["out_of_order_fraction"] > 0.05 for m in multi)
+    assert all(not m["detector_triggered"] for m in single)
+    assert all(m["detector_triggered"] for m in multi)

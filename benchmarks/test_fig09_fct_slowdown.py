@@ -1,50 +1,53 @@
 """Figure 9: FCT slowdown distributions — Status Quo vs Bundler vs In-Network."""
 
-from conftest import BENCH_SCALE, report
+from repro.testing import BENCH_SCALE, report
 
-from repro.experiments import ScenarioConfig, run_scenario
 from repro.metrics.stats import improvement
+from repro.runner import RunSpec
 
 MODES = ("status_quo", "bundler_sfq", "bundler_fifo", "in_network_sfq")
 
 
-def _run():
-    results = {}
-    for mode in MODES:
-        cfg = ScenarioConfig(
-            mode=mode,
-            bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
-            rtt_ms=BENCH_SCALE["rtt_ms"],
-            load_fraction=0.875,
-            duration_s=BENCH_SCALE["duration_s"],
+def _specs():
+    return [
+        RunSpec(
+            "fig09_slowdown",
+            params=dict(
+                mode=mode,
+                bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+                rtt_ms=BENCH_SCALE["rtt_ms"],
+                load_fraction=0.875,
+                duration_s=BENCH_SCALE["duration_s"],
+            ),
             seed=BENCH_SCALE["seed"],
         )
-        results[mode] = run_scenario(cfg)
-    return results
+        for mode in MODES
+    ]
 
 
-def test_fig09_fct_slowdown(benchmark):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
-    analyses = {mode: res.fct_analysis() for mode, res in results.items()}
+def test_fig09_fct_slowdown(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    metrics = {r.params["mode"]: r.metrics for r in outcome.results}
     lines = []
-    for mode, analysis in analyses.items():
-        buckets = analysis.by_size_bucket()
-        small = buckets["<=10KB"]
+    for mode in MODES:
+        m = metrics[mode]
+        small = m["small_median_slowdown"]
         lines.append(
-            f"{mode:15s} median={analysis.median_slowdown():6.2f} "
-            f"p99={analysis.percentile_slowdown(99):8.1f} "
-            f"small-flow median={small.median_slowdown() if len(small) else float('nan'):6.2f} "
-            f"n={len(analysis)}"
+            f"{mode:15s} median={m['median_slowdown']:6.2f} "
+            f"p99={m['p99_slowdown']:8.1f} "
+            f"small-flow median={small if small is not None else float('nan'):6.2f} "
+            f"n={m['completed']}"
         )
-    sq = analyses["status_quo"].median_slowdown()
-    bu = analyses["bundler_sfq"].median_slowdown()
-    inn = analyses["in_network_sfq"].median_slowdown()
-    fifo = analyses["bundler_fifo"].median_slowdown()
+    sq = metrics["status_quo"]["median_slowdown"]
+    bu = metrics["bundler_sfq"]["median_slowdown"]
+    inn = metrics["in_network_sfq"]["median_slowdown"]
+    fifo = metrics["bundler_fifo"]["median_slowdown"]
     lines.append(
         f"bundler vs status quo: {improvement(sq, bu) * 100:.0f}% lower median "
         f"(paper: 28% lower, 1.76 -> 1.26); in-network a further "
         f"{improvement(bu, inn) * 100:.0f}% lower (paper: 15%)"
     )
+    lines.append(outcome.summary())
     report("Figure 9 — median slowdown by configuration", lines)
 
     # Qualitative claims of the figure:
@@ -52,4 +55,4 @@ def test_fig09_fct_slowdown(benchmark):
     assert inn <= bu * 1.05, "In-Network FQ is the (undeployable) upper bound"
     assert fifo > bu, "Bundler with FIFO gains nothing over Bundler with SFQ"
     # Tail improvement (paper: 99th percentile 79.4 -> 41.4).
-    assert analyses["bundler_sfq"].percentile_slowdown(99) < analyses["status_quo"].percentile_slowdown(99)
+    assert metrics["bundler_sfq"]["p99_slowdown"] < metrics["status_quo"]["p99_slowdown"]

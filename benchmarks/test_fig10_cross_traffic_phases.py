@@ -1,6 +1,6 @@
 """Figure 10: Bundler's behaviour as cross traffic comes and goes."""
 
-from conftest import report
+from repro.testing import report
 
 from repro.experiments import PhasedConfig, run_phased_cross_traffic
 

@@ -1,6 +1,6 @@
 """Figure 11: FCTs against short-lived (non-buffer-filling) cross traffic."""
 
-from conftest import report
+from repro.testing import report
 
 from repro.experiments import run_short_cross_traffic_sweep
 

@@ -1,6 +1,6 @@
 """Figure 14: the choice of congestion control algorithm at the sendbox."""
 
-from conftest import BENCH_SCALE, report
+from repro.testing import BENCH_SCALE, report
 
 from repro.experiments import ScenarioConfig, run_scenario
 

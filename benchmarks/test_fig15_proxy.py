@@ -1,49 +1,55 @@
 """Figure 15: how much more an idealized TCP-terminating proxy could add."""
 
-from conftest import BENCH_SCALE, report
+from repro.testing import BENCH_SCALE, report
 
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.runner import RunSpec
+
+MODES = ("bundler_sfq", "proxy")
 
 
-def _run():
-    results = {}
-    for mode in ("bundler_sfq", "proxy"):
-        cfg = ScenarioConfig(
-            mode=mode,
-            bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
-            rtt_ms=BENCH_SCALE["rtt_ms"],
-            load_fraction=0.8,
-            duration_s=12.0,
+def _specs():
+    return [
+        RunSpec(
+            "fig15_proxy",
+            params=dict(
+                mode=mode,
+                bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+                rtt_ms=BENCH_SCALE["rtt_ms"],
+            ),
             seed=BENCH_SCALE["seed"],
         )
-        results[mode] = run_scenario(cfg)
-    return results
+        for mode in MODES
+    ]
 
 
-def test_fig15_idealized_proxy(benchmark):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig15_idealized_proxy(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    metrics = {r.params["mode"]: r.metrics for r in outcome.results}
     lines = []
-    buckets = {}
-    for mode, res in results.items():
-        analysis = res.fct_analysis()
-        buckets[mode] = analysis.by_size_bucket()
+    for mode in MODES:
+        m = metrics[mode]
         per_bucket = "  ".join(
-            f"{label}={bucket.median_slowdown():.2f}" if len(bucket) else f"{label}=n/a"
-            for label, bucket in buckets[mode].items()
+            f"{label}={m[key]:.2f}" if m[key] is not None else f"{label}=n/a"
+            for label, key in (
+                ("<=10KB", "small_median_slowdown"),
+                ("10KB-1MB", "mid_median_slowdown"),
+                (">1MB", "large_median_slowdown"),
+            )
         )
         lines.append(f"{mode:12s} median slowdown by size: {per_bucket}")
     lines.append(
         "paper: terminating TCP adds nothing for short flows (they finish in a few RTTs either "
         "way) but speeds up medium/long flows by skipping window growth"
     )
+    lines.append(outcome.summary())
     report("Figure 15 — idealized TCP proxy emulation", lines)
 
-    short_bundler = buckets["bundler_sfq"]["<=10KB"]
-    short_proxy = buckets["proxy"]["<=10KB"]
-    mid_bundler = buckets["bundler_sfq"]["10KB-1MB"]
-    mid_proxy = buckets["proxy"]["10KB-1MB"]
-    assert len(short_bundler) and len(short_proxy) and len(mid_bundler) and len(mid_proxy)
+    short_bundler = metrics["bundler_sfq"]["small_median_slowdown"]
+    short_proxy = metrics["proxy"]["small_median_slowdown"]
+    mid_bundler = metrics["bundler_sfq"]["mid_median_slowdown"]
+    mid_proxy = metrics["proxy"]["mid_median_slowdown"]
+    assert None not in (short_bundler, short_proxy, mid_bundler, mid_proxy)
     # Short flows: no meaningful additional benefit from terminating connections.
-    assert short_proxy.median_slowdown() < short_bundler.median_slowdown() * 1.5
+    assert short_proxy < short_bundler * 1.5
     # Medium flows: the proxy's instant ramp-up helps.
-    assert mid_proxy.median_slowdown() < mid_bundler.median_slowdown() * 1.1
+    assert mid_proxy < mid_bundler * 1.1

@@ -1,6 +1,6 @@
 """Figure 16 / §8: the (emulated) real-Internet-paths study."""
 
-from conftest import report
+from repro.testing import report
 
 from repro.experiments import median_latency_reduction, run_internet_paths_study
 

@@ -1,6 +1,6 @@
 """§7.2 (text): other sendbox policies — FQ-CoDel latency and strict priority."""
 
-from conftest import BENCH_SCALE, report
+from repro.testing import BENCH_SCALE, report
 
 from repro.experiments import ScenarioConfig, run_scenario
 from repro.net.trace import percentile

@@ -1,6 +1,6 @@
 """§7.4 (text): Bundler's benefits persist with different endhost congestion control."""
 
-from conftest import BENCH_SCALE, report
+from repro.testing import BENCH_SCALE, report
 
 from repro.experiments import ScenarioConfig, run_scenario
 from repro.metrics.stats import improvement

@@ -21,6 +21,11 @@ evaluate it:
 * :mod:`repro.metrics` — flow-completion-time / slowdown / latency analysis.
 * :mod:`repro.experiments` — scenario builders and runners reproducing every
   figure in the paper's evaluation.
+* :mod:`repro.runner` — the parallel scenario-sweep engine: a registry of
+  named experiment factories, declarative grid/zip sweep specs, a
+  multiprocessing worker pool with deterministic derived seeds, a
+  content-addressed result cache, and the ``repro-runner`` CLI.
+* :mod:`repro.testing` — helpers shared by the test and benchmark suites.
 
 Quickstart::
 
@@ -28,6 +33,10 @@ Quickstart::
 
     result = run_scenario(ScenarioConfig(mode="bundler_sfq", seed=1))
     print(result.median_slowdown())
+
+Sweep a whole figure in parallel, with caching::
+
+    python -m repro.runner sweep --smoke --workers 2
 """
 
 __version__ = "1.0.0"

@@ -21,13 +21,16 @@ from repro.experiments.scenarios import (
     ScenarioResult,
     run_scenario,
     run_scenarios,
+    scenario_metrics,
 )
 from repro.experiments.queue_shift import QueueShiftResult, run_queue_shift
 from repro.experiments.estimate_accuracy import EstimateTrace, run_estimate_sweep, run_estimate_trace
 from repro.experiments.cross_traffic import (
     PhasedConfig,
+    run_elastic_cross_point,
     run_elastic_cross_sweep,
     run_phased_cross_traffic,
+    run_short_cross_point,
     run_short_cross_traffic_sweep,
 )
 from repro.experiments.competing_bundles import run_competing_bundles
@@ -44,6 +47,7 @@ __all__ = [
     "ScenarioResult",
     "run_scenario",
     "run_scenarios",
+    "scenario_metrics",
     "QueueShiftResult",
     "run_queue_shift",
     "EstimateTrace",
@@ -51,7 +55,9 @@ __all__ = [
     "run_estimate_sweep",
     "PhasedConfig",
     "run_phased_cross_traffic",
+    "run_short_cross_point",
     "run_short_cross_traffic_sweep",
+    "run_elastic_cross_point",
     "run_elastic_cross_sweep",
     "run_competing_bundles",
     "run_multipath_point",

@@ -19,6 +19,7 @@ from repro.core.sendbox import Sendbox
 from repro.metrics.fct import FctAnalysis
 from repro.net.simulator import Simulator
 from repro.net.topology import build_competing_bundles
+from repro.runner.registry import register_scenario
 from repro.util.rng import derive_seed, make_rng
 from repro.util.units import mbps_to_bps, ms_to_s
 from repro.workload.generators import RequestWorkload
@@ -120,3 +121,29 @@ def run_competing_bundles(
         bottleneck_mean_queue_delay_s=topo.shared_bottleneck.monitor.mean_delay() or 0.0,
         bottleneck_drops=topo.shared_bottleneck.packets_dropped,
     )
+
+
+@register_scenario(
+    "fig13_competing_bundles",
+    figure="Figure 13 / §7.4",
+    description="Multiple bundles sharing one bottleneck at a given load split",
+    defaults=dict(
+        load_split=[0.5, 0.5],
+        total_load_fraction=0.875,
+        bottleneck_mbps=24.0,
+        rtt_ms=50.0,
+        duration_s=15.0,
+        with_bundler=True,
+        sendbox_cc="copa",
+    ),
+)
+def _competing_bundles_scenario(*, seed: int, **params):
+    result = run_competing_bundles(seed=seed, **params)
+    metrics: Dict[str, object] = {
+        "bottleneck_mean_queue_delay_ms": result.bottleneck_mean_queue_delay_s * 1e3,
+        "bottleneck_drops": result.bottleneck_drops,
+    }
+    for idx, fct in enumerate(result.per_bundle_fct):
+        metrics[f"bundle{idx}_median_slowdown"] = fct.median_slowdown() if len(fct) else None
+        metrics[f"bundle{idx}_completed"] = len(fct)
+    return metrics

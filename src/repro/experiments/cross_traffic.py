@@ -26,6 +26,8 @@ from repro.metrics.fct import FctAnalysis, filter_by_time
 from repro.net.simulator import Simulator
 from repro.net.topology import SiteToSite, build_site_to_site
 from repro.net.trace import TimeSeries
+from repro.runner.registry import register_scenario
+from repro.runner.spec import expand_grid
 from repro.transport.flow import FlowRecord
 from repro.util.rng import derive_seed, make_rng
 from repro.util.units import mbps_to_bps, ms_to_s
@@ -158,13 +160,84 @@ def run_phased_cross_traffic(config: Optional[PhasedConfig] = None) -> PhasedCro
 
 @dataclass
 class CrossSweepPoint:
-    """One point of the Figure 11 sweep."""
+    """One point of the Figure 11 sweep.
+
+    Slowdown fields are ``None`` when no flows completed after warm-up
+    (possible at extreme parameter corners).
+    """
 
     cross_load_mbps: float
     mode: str
-    median_slowdown: float
-    p99_slowdown: float
+    median_slowdown: Optional[float]
+    p99_slowdown: Optional[float]
     completed: int
+
+
+def run_short_cross_point(
+    *,
+    mode: str,
+    cross_load_fraction: float,
+    bottleneck_mbps: float = 24.0,
+    rtt_ms: float = 50.0,
+    bundle_load_fraction: float = 0.5,
+    duration_s: float = 15.0,
+    seed: int = 1,
+    sendbox_cc: str = "copa",
+) -> CrossSweepPoint:
+    """One (mode, cross-load) cell of the Figure 11 sweep."""
+    sim = Simulator()
+    topo = build_site_to_site(
+        sim,
+        bottleneck_mbps=bottleneck_mbps,
+        rtt_ms=rtt_ms,
+        num_servers=6,
+        num_clients=1,
+        num_cross_pairs=4,
+    )
+    if mode == "bundler":
+        install_bundler(
+            topo,
+            BundlerConfig(
+                sendbox_cc=sendbox_cc,
+                scheduler="sfq",
+                enable_nimbus=True,
+                initial_rate_bps=mbps_to_bps(bottleneck_mbps) / 2.0,
+            ),
+        )
+    rng = make_rng(derive_seed(seed, f"fig11-{mode}-{cross_load_fraction}"))
+    workload = RequestWorkload(
+        sim,
+        topo.packet_factory,
+        topo.servers,
+        topo.clients,
+        offered_load_bps=bundle_load_fraction * mbps_to_bps(bottleneck_mbps),
+        rng=rng,
+        duration_s=duration_s,
+    ).start()
+    cross_rng = make_rng(derive_seed(seed, f"fig11-cross-{mode}-{cross_load_fraction}"))
+    RequestWorkload(
+        sim,
+        topo.packet_factory,
+        topo.cross_senders,
+        topo.cross_receivers,
+        offered_load_bps=cross_load_fraction * mbps_to_bps(bottleneck_mbps),
+        rng=cross_rng,
+        duration_s=duration_s,
+    ).start()
+    sim.run(until=duration_s + 3.0)
+    analysis = FctAnalysis.from_records(
+        workload.records(),
+        rtt_s=ms_to_s(rtt_ms),
+        bottleneck_bps=mbps_to_bps(bottleneck_mbps),
+        warmup_s=1.0,
+    )
+    return CrossSweepPoint(
+        cross_load_mbps=cross_load_fraction * bottleneck_mbps,
+        mode=mode,
+        median_slowdown=analysis.median_slowdown() if len(analysis) else None,
+        p99_slowdown=analysis.percentile_slowdown(99) if len(analysis) else None,
+        completed=len(analysis),
+    )
 
 
 def run_short_cross_traffic_sweep(
@@ -179,65 +252,19 @@ def run_short_cross_traffic_sweep(
     sendbox_cc: str = "copa",
 ) -> List[CrossSweepPoint]:
     """Figure 11: bundle FCTs versus increasing short-flow cross-traffic load."""
-    points: List[CrossSweepPoint] = []
-    for mode in modes:
-        for cross_fraction in cross_load_fractions:
-            sim = Simulator()
-            topo = build_site_to_site(
-                sim,
-                bottleneck_mbps=bottleneck_mbps,
-                rtt_ms=rtt_ms,
-                num_servers=6,
-                num_clients=1,
-                num_cross_pairs=4,
-            )
-            if mode == "bundler":
-                install_bundler(
-                    topo,
-                    BundlerConfig(
-                        sendbox_cc=sendbox_cc,
-                        scheduler="sfq",
-                        enable_nimbus=True,
-                        initial_rate_bps=mbps_to_bps(bottleneck_mbps) / 2.0,
-                    ),
-                )
-            rng = make_rng(derive_seed(seed, f"fig11-{mode}-{cross_fraction}"))
-            workload = RequestWorkload(
-                sim,
-                topo.packet_factory,
-                topo.servers,
-                topo.clients,
-                offered_load_bps=bundle_load_fraction * mbps_to_bps(bottleneck_mbps),
-                rng=rng,
-                duration_s=duration_s,
-            ).start()
-            cross_rng = make_rng(derive_seed(seed, f"fig11-cross-{mode}-{cross_fraction}"))
-            RequestWorkload(
-                sim,
-                topo.packet_factory,
-                topo.cross_senders,
-                topo.cross_receivers,
-                offered_load_bps=cross_fraction * mbps_to_bps(bottleneck_mbps),
-                rng=cross_rng,
-                duration_s=duration_s,
-            ).start()
-            sim.run(until=duration_s + 3.0)
-            analysis = FctAnalysis.from_records(
-                workload.records(),
-                rtt_s=ms_to_s(rtt_ms),
-                bottleneck_bps=mbps_to_bps(bottleneck_mbps),
-                warmup_s=1.0,
-            )
-            points.append(
-                CrossSweepPoint(
-                    cross_load_mbps=cross_fraction * bottleneck_mbps,
-                    mode=mode,
-                    median_slowdown=analysis.median_slowdown(),
-                    p99_slowdown=analysis.percentile_slowdown(99),
-                    completed=len(analysis),
-                )
-            )
-    return points
+    cells = expand_grid({"mode": modes, "cross_load_fraction": cross_load_fractions})
+    return [
+        run_short_cross_point(
+            bottleneck_mbps=bottleneck_mbps,
+            rtt_ms=rtt_ms,
+            bundle_load_fraction=bundle_load_fraction,
+            duration_s=duration_s,
+            seed=seed,
+            sendbox_cc=sendbox_cc,
+            **cell,
+        )
+        for cell in cells
+    ]
 
 
 @dataclass
@@ -258,6 +285,79 @@ class ElasticSweepPoint:
         return self.bundle_throughput_mbps / self.fair_share_mbps
 
 
+def run_elastic_cross_point(
+    *,
+    mode: str,
+    competing_flows: int,
+    bottleneck_mbps: float = 24.0,
+    rtt_ms: float = 50.0,
+    bundle_flows: int = 5,
+    duration_s: float = 30.0,
+    warmup_s: float = 0.0,
+    sendbox_cc: str = "copa",
+) -> ElasticSweepPoint:
+    """One (mode, competing-flow-count) cell of the Figure 12 sweep.
+
+    ``warmup_s`` excludes the start-up transient from the throughput means:
+    Nimbus needs several seconds of epoch measurements before it classifies
+    the cross traffic as elastic and switches the bundle to competitive
+    mode, and the paper's steady-state comparison should not average over
+    that detection window.
+    """
+    sim = Simulator()
+    topo = build_site_to_site(
+        sim,
+        bottleneck_mbps=bottleneck_mbps,
+        rtt_ms=rtt_ms,
+        num_servers=bundle_flows,
+        num_clients=1,
+        num_cross_pairs=competing_flows,
+    )
+    if mode == "bundler":
+        install_bundler(
+            topo,
+            BundlerConfig(
+                sendbox_cc=sendbox_cc,
+                scheduler="sfq",
+                enable_nimbus=True,
+                initial_rate_bps=mbps_to_bps(bottleneck_mbps) / 2.0,
+            ),
+        )
+    bundle = BackloggedFlows(
+        sim,
+        topo.packet_factory,
+        [(s, topo.clients[0]) for s in topo.servers],
+        endhost_cc="cubic",
+    ).start()
+    cross = BackloggedFlows(
+        sim,
+        topo.packet_factory,
+        list(zip(topo.cross_senders, topo.cross_receivers)),
+        endhost_cc="cubic",
+    ).start(at=0.5)
+    if not 0.0 <= warmup_s < duration_s:
+        raise ValueError("warmup must fall within the run")
+    at_warmup = {"bundle": 0, "cross": 0}
+    sim.at(
+        warmup_s,
+        lambda: at_warmup.update(
+            bundle=bundle.total_bytes_delivered(), cross=cross.total_bytes_delivered()
+        ),
+    )
+    sim.run(until=duration_s)
+    span = duration_s - warmup_s
+    bundle_mbps = (bundle.total_bytes_delivered() - at_warmup["bundle"]) * 8.0 / span / 1e6
+    cross_mbps = (cross.total_bytes_delivered() - at_warmup["cross"]) * 8.0 / span / 1e6
+    fair = bottleneck_mbps * bundle_flows / (bundle_flows + competing_flows)
+    return ElasticSweepPoint(
+        competing_flows=competing_flows,
+        mode=mode,
+        bundle_throughput_mbps=bundle_mbps,
+        cross_throughput_mbps=cross_mbps,
+        fair_share_mbps=fair,
+    )
+
+
 def run_elastic_cross_sweep(
     *,
     bottleneck_mbps: float = 24.0,
@@ -266,54 +366,100 @@ def run_elastic_cross_sweep(
     competing_flow_counts: Sequence[int] = (2, 5, 10),
     modes: Sequence[str] = ("status_quo", "bundler"),
     duration_s: float = 30.0,
+    warmup_s: float = 0.0,
     sendbox_cc: str = "copa",
 ) -> List[ElasticSweepPoint]:
     """Figure 12: bundle throughput against persistent buffer-filling cross flows."""
-    points: List[ElasticSweepPoint] = []
-    for mode in modes:
-        for competing in competing_flow_counts:
-            sim = Simulator()
-            topo = build_site_to_site(
-                sim,
-                bottleneck_mbps=bottleneck_mbps,
-                rtt_ms=rtt_ms,
-                num_servers=bundle_flows,
-                num_clients=1,
-                num_cross_pairs=competing,
-            )
-            if mode == "bundler":
-                install_bundler(
-                    topo,
-                    BundlerConfig(
-                        sendbox_cc=sendbox_cc,
-                        scheduler="sfq",
-                        enable_nimbus=True,
-                        initial_rate_bps=mbps_to_bps(bottleneck_mbps) / 2.0,
-                    ),
-                )
-            bundle = BackloggedFlows(
-                sim,
-                topo.packet_factory,
-                [(s, topo.clients[0]) for s in topo.servers],
-                endhost_cc="cubic",
-            ).start()
-            cross = BackloggedFlows(
-                sim,
-                topo.packet_factory,
-                list(zip(topo.cross_senders, topo.cross_receivers)),
-                endhost_cc="cubic",
-            ).start(at=0.5)
-            sim.run(until=duration_s)
-            bundle_mbps = bundle.mean_throughput_bps(duration_s) / 1e6
-            cross_mbps = cross.mean_throughput_bps(duration_s) / 1e6
-            fair = bottleneck_mbps * bundle_flows / (bundle_flows + competing)
-            points.append(
-                ElasticSweepPoint(
-                    competing_flows=competing,
-                    mode=mode,
-                    bundle_throughput_mbps=bundle_mbps,
-                    cross_throughput_mbps=cross_mbps,
-                    fair_share_mbps=fair,
-                )
-            )
-    return points
+    cells = expand_grid({"mode": modes, "competing_flows": competing_flow_counts})
+    return [
+        run_elastic_cross_point(
+            bottleneck_mbps=bottleneck_mbps,
+            rtt_ms=rtt_ms,
+            bundle_flows=bundle_flows,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            sendbox_cc=sendbox_cc,
+            **cell,
+        )
+        for cell in cells
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Runner scenario registrations.
+
+@register_scenario(
+    "fig10_phased_cross_traffic",
+    figure="Figure 10 / §7.3",
+    description="Three cross-traffic phases; Bundler yields during buffer-filling phases",
+    defaults=dict(
+        bottleneck_mbps=24.0,
+        rtt_ms=50.0,
+        phase_duration_s=20.0,
+        bundle_load_fraction=0.6,
+        cross_bulk_flows=1,
+        cross_load_fraction=0.3,
+        with_bundler=True,
+        sendbox_cc="copa",
+        num_servers=6,
+    ),
+)
+def _phased_scenario(*, seed: int, **params):
+    result = run_phased_cross_traffic(PhasedConfig(seed=seed, **params))
+    metrics = {"pass_through_seconds": result.pass_through_seconds}
+    for phase in range(3):
+        fct = result.phase_fct(phase)
+        metrics[f"phase{phase}_median_slowdown"] = fct.median_slowdown() if len(fct) else None
+        metrics[f"phase{phase}_queue_delay_ms"] = result.phase_queue_delay_mean(phase) * 1e3
+    return metrics
+
+
+@register_scenario(
+    "fig11_short_cross_traffic",
+    figure="Figure 11 / §7.3",
+    description="Bundle FCTs under increasing short-flow cross-traffic load",
+    defaults=dict(
+        mode="bundler",
+        cross_load_fraction=0.25,
+        bottleneck_mbps=24.0,
+        rtt_ms=50.0,
+        bundle_load_fraction=0.5,
+        duration_s=15.0,
+        sendbox_cc="copa",
+    ),
+)
+def _short_cross_scenario(*, seed: int, **params):
+    point = run_short_cross_point(seed=seed, **params)
+    return {
+        "cross_load_mbps": point.cross_load_mbps,
+        "median_slowdown": point.median_slowdown,
+        "p99_slowdown": point.p99_slowdown,
+        "completed": point.completed,
+    }
+
+
+@register_scenario(
+    "fig12_elastic_cross",
+    figure="Figure 12 / §7.3",
+    description="Bundle throughput share against persistent buffer-filling cross flows",
+    defaults=dict(
+        mode="bundler",
+        competing_flows=5,
+        bottleneck_mbps=24.0,
+        rtt_ms=50.0,
+        bundle_flows=5,
+        duration_s=30.0,
+        warmup_s=5.0,
+        sendbox_cc="copa",
+    ),
+    seed_sensitive=False,
+)
+def _elastic_cross_scenario(*, seed: int, **params):
+    # Backlogged-flow duel: no request arrivals, so the seed is unused.
+    point = run_elastic_cross_point(**params)
+    return {
+        "bundle_throughput_mbps": point.bundle_throughput_mbps,
+        "cross_throughput_mbps": point.cross_throughput_mbps,
+        "fair_share_mbps": point.fair_share_mbps,
+        "throughput_vs_fair_share": point.throughput_vs_fair_share,
+    }

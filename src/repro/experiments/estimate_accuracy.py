@@ -22,7 +22,9 @@ from repro.core import BundlerConfig, install_bundler
 from repro.cc import make_window_cc
 from repro.net.simulator import Simulator
 from repro.net.topology import build_site_to_site
-from repro.net.trace import TimeSeries
+from repro.net.trace import TimeSeries, percentile
+from repro.runner.registry import register_scenario
+from repro.runner.spec import expand_grid
 from repro.transport.flow import TcpFlow
 from repro.util.units import ms_to_s
 
@@ -133,9 +135,40 @@ def run_estimate_sweep(
     delays_ms: Sequence[float] = (20.0, 50.0, 100.0),
     **kwargs,
 ) -> List[EstimateTrace]:
-    """Run the (rate × delay) sweep used for Figures 5 and 6 (scaled down)."""
-    traces = []
-    for rate in rates_mbps:
-        for delay in delays_ms:
-            traces.append(run_estimate_trace(bottleneck_mbps=rate, rtt_ms=delay, **kwargs))
-    return traces
+    """Run the (rate × delay) sweep used for Figures 5 and 6 (scaled down).
+
+    The cell grid is expanded through the runner's declarative sweep
+    machinery, so this function and ``repro-runner sweep`` agree on what the
+    figure contains.
+    """
+    cells = expand_grid({"bottleneck_mbps": rates_mbps, "rtt_ms": delays_ms})
+    return [run_estimate_trace(**cell, **kwargs) for cell in cells]
+
+
+@register_scenario(
+    "fig05_fig06_estimates",
+    figure="Figures 5-6 / §7.1",
+    description="Accuracy of Bundler's epoch-based RTT and receive-rate estimates",
+    defaults=dict(
+        bottleneck_mbps=24.0,
+        rtt_ms=50.0,
+        duration_s=20.0,
+        num_flows=4,
+        sample_interval_s=0.1,
+        sendbox_cc="copa",
+    ),
+    seed_sensitive=False,
+)
+def _estimates_scenario(*, seed: int, **params):
+    # Long-lived flows only — deterministic, so the seed is unused.
+    trace = run_estimate_trace(**params)
+    rtt_errors = [abs(e) for e in trace.rtt_errors_ms()]
+    rate_errors = [abs(e) for e in trace.rate_errors_mbps()]
+    return {
+        "rtt_error_p80_ms": percentile(rtt_errors, 80.0) if rtt_errors else None,
+        "rtt_error_median_ms": percentile(rtt_errors, 50.0) if rtt_errors else None,
+        "rate_error_p80_mbps": percentile(rate_errors, 80.0) if rate_errors else None,
+        "rate_error_median_mbps": percentile(rate_errors, 50.0) if rate_errors else None,
+        "rtt_samples": len(rtt_errors),
+        "rate_samples": len(rate_errors),
+    }

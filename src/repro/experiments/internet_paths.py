@@ -25,6 +25,8 @@ from repro.core import BundlerConfig, install_bundler
 from repro.net.simulator import Simulator
 from repro.net.topology import build_site_to_site
 from repro.net.trace import percentile
+from repro.runner.registry import register_scenario
+from repro.runner.spec import expand_grid
 from repro.util.units import mbps_to_bps
 from repro.workload.generators import BackloggedFlows, ClosedLoopProbes
 
@@ -131,13 +133,52 @@ def run_internet_paths_study(
 ) -> List[RegionResult]:
     """Run the full (regions × configurations) study."""
     regions = regions if regions is not None else DEFAULT_REGIONS
-    results: List[RegionResult] = []
-    for region, rtt in regions.items():
-        for configuration in configurations:
-            results.append(
-                run_region(region=region, base_rtt_ms=rtt, configuration=configuration, **kwargs)
+    cells = expand_grid({"region": list(regions), "configuration": configurations})
+    return [
+        run_region(
+            region=cell["region"],
+            base_rtt_ms=regions[cell["region"]],
+            configuration=cell["configuration"],
+            **kwargs,
+        )
+        for cell in cells
+    ]
+
+
+@register_scenario(
+    "fig16_internet_paths",
+    figure="Figure 16 / §8",
+    description="Emulated WAN region: probe RTTs under base / status-quo / Bundler",
+    defaults=dict(
+        region="belgium",
+        #: None = look the region up in DEFAULT_REGIONS; set explicitly only
+        #: for regions outside the paper's five.
+        base_rtt_ms=None,
+        configuration="bundler",
+        egress_limit_mbps=24.0,
+        duration_s=20.0,
+        num_probes=10,
+        num_bulk_flows=5,
+        sendbox_cc="copa",
+    ),
+    seed_sensitive=False,
+)
+def _internet_paths_scenario(*, seed: int, region: str, base_rtt_ms, **params):
+    # Probes and backlogged bulk flows are deterministic; seed unused.
+    if base_rtt_ms is None:
+        if region not in DEFAULT_REGIONS:
+            raise KeyError(
+                f"unknown region {region!r}: pass base_rtt_ms explicitly or use one of "
+                f"{sorted(DEFAULT_REGIONS)}"
             )
-    return results
+        base_rtt_ms = DEFAULT_REGIONS[region]
+    result = run_region(region=region, base_rtt_ms=base_rtt_ms, **params)
+    return {
+        "median_probe_rtt_ms": result.median_probe_rtt_ms(),
+        "p99_probe_rtt_ms": result.p99_probe_rtt_ms(),
+        "bulk_throughput_mbps": result.bulk_throughput_mbps,
+        "probe_count": len(result.probe_rtts_ms),
+    }
 
 
 def median_latency_reduction(results: Sequence[RegionResult]) -> float:

@@ -18,6 +18,8 @@ from repro.core import BundlerConfig, install_bundler
 from repro.core.controller import BundlerMode
 from repro.net.simulator import Simulator
 from repro.net.topology import build_site_to_site
+from repro.runner.registry import register_scenario
+from repro.runner.spec import expand_grid
 from repro.util.rng import derive_seed, make_rng
 from repro.util.units import mbps_to_bps
 from repro.workload.generators import RequestWorkload
@@ -111,16 +113,38 @@ def run_multipath_sweep(
     **kwargs,
 ) -> List[MultipathPoint]:
     """The §7.6 sweep over path count, bandwidth and RTT (scaled down)."""
-    points: List[MultipathPoint] = []
-    for paths in path_counts:
-        for mbps in bottleneck_mbps_values:
-            for rtt in rtt_ms_values:
-                points.append(
-                    run_multipath_point(
-                        num_paths=paths, bottleneck_mbps=mbps, rtt_ms=rtt, **kwargs
-                    )
-                )
-    return points
+    cells = expand_grid(
+        {
+            "num_paths": path_counts,
+            "bottleneck_mbps": bottleneck_mbps_values,
+            "rtt_ms": rtt_ms_values,
+        }
+    )
+    return [run_multipath_point(**cell, **kwargs) for cell in cells]
+
+
+@register_scenario(
+    "fig07_multipath",
+    figure="Figure 7 / §7.6",
+    description="Out-of-order epoch measurements under imbalanced multipath routing",
+    defaults=dict(
+        num_paths=1,
+        bottleneck_mbps=24.0,
+        rtt_ms=50.0,
+        duration_s=15.0,
+        load_fraction=0.7,
+        path_split_mode="packet",
+        delay_spread=2.0,
+        enable_multipath_detection=True,
+    ),
+)
+def _multipath_scenario(*, seed: int, **params):
+    point = run_multipath_point(seed=seed, **params)
+    return {
+        "out_of_order_fraction": point.out_of_order_fraction,
+        "detector_triggered": point.detector_triggered,
+        "final_mode": point.final_mode,
+    }
 
 
 def separation_ratio(points: Sequence[MultipathPoint]) -> float:

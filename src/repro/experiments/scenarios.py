@@ -36,6 +36,7 @@ from repro.net.simulator import Simulator
 from repro.net.topology import SiteToSite, build_site_to_site
 from repro.net.trace import TimeSeries
 from repro.qdisc.sfq import SfqQdisc
+from repro.runner.registry import register_scenario
 from repro.transport.flow import FlowRecord
 from repro.transport.proxy import idealized_proxy_window, proxy_buffer_packets
 from repro.util.rng import derive_seed, make_rng
@@ -255,3 +256,70 @@ def run_scenarios(configs: List[ScenarioConfig]) -> Dict[str, ScenarioResult]:
     for config in configs:
         results[config.mode] = run_scenario(config)
     return results
+
+
+# ---------------------------------------------------------------------------
+# Runner scenario registrations.
+
+def scenario_metrics(result: ScenarioResult) -> Dict[str, object]:
+    """Flatten a :class:`ScenarioResult` into the runner's metrics dict.
+
+    Percentile metrics are ``None`` (not NaN — the cache stores JSON) when a
+    size bucket has no completed flows.
+    """
+    analysis = result.fct_analysis()
+    buckets = analysis.by_size_bucket()
+
+    def _maybe(bucket, fn_name: str, *args):
+        return getattr(bucket, fn_name)(*args) if len(bucket) else None
+
+    return {
+        "requests_issued": result.requests_issued,
+        "completed": len(analysis),
+        "completion_fraction": result.completion_fraction(),
+        "median_slowdown": _maybe(analysis, "median_slowdown"),
+        "p99_slowdown": _maybe(analysis, "percentile_slowdown", 99),
+        "small_median_slowdown": _maybe(buckets["<=10KB"], "median_slowdown"),
+        "mid_median_slowdown": _maybe(buckets["10KB-1MB"], "median_slowdown"),
+        "large_median_slowdown": _maybe(buckets[">1MB"], "median_slowdown"),
+        "small_p99_slowdown": _maybe(buckets["<=10KB"], "percentile_slowdown", 99),
+        "bottleneck_drops": result.bottleneck_drops,
+        "sendbox_drops": result.sendbox_drops,
+        "out_of_order_fraction": result.out_of_order_fraction,
+    }
+
+
+_SCENARIO_DEFAULTS = dict(
+    mode="bundler_sfq",
+    bottleneck_mbps=24.0,
+    rtt_ms=50.0,
+    load_fraction=0.875,
+    duration_s=15.0,
+    warmup_s=2.0,
+    num_servers=8,
+    num_clients=1,
+    max_requests=None,
+    endhost_cc="cubic",
+    sendbox_cc="copa",
+    enable_nimbus=True,
+)
+
+
+def _run_registered_scenario(*, seed: int, **params) -> Dict[str, object]:
+    config = ScenarioConfig(seed=seed, **params)
+    return scenario_metrics(run_scenario(config))
+
+
+register_scenario(
+    "fig09_slowdown",
+    figure="Figure 9 / §7.2",
+    description="FCT slowdown distribution of the §7.1 workload under a given mode",
+    defaults=_SCENARIO_DEFAULTS,
+)(_run_registered_scenario)
+
+register_scenario(
+    "fig15_proxy",
+    figure="Figure 15 / §7.5",
+    description="Idealized TCP-terminating proxy emulation vs plain Bundler",
+    defaults={**_SCENARIO_DEFAULTS, "mode": "proxy", "load_fraction": 0.8, "duration_s": 12.0},
+)(_run_registered_scenario)

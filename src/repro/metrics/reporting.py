@@ -8,7 +8,7 @@ with no external dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class Table:
@@ -76,3 +76,31 @@ def format_comparison(
 def paper_expectation_note(expectation: str, measured: str) -> str:
     """One-line paper-vs-measured note used in benchmark output."""
     return f"paper: {expectation} | measured: {measured}"
+
+
+def format_run_results(results, *, title: str = "", metrics: Optional[Sequence[str]] = None) -> str:
+    """Render :class:`repro.runner.result.RunResult` records as a table.
+
+    Only the parameters that actually *vary* across the given results become
+    columns (constant parameters would add noise), followed by the seed and
+    the selected metrics (default: every metric of the first result, in
+    sorted order).  Duck-typed on ``.params`` / ``.seed`` / ``.metrics`` so
+    this module stays free of runner imports.
+    """
+    results = list(results)
+    if not results:
+        return f"{title}\n(no results)" if title else "(no results)"
+    param_keys: List[str] = sorted({k for r in results for k in r.params})
+    varying = [
+        k for k in param_keys
+        if len({repr(r.params.get(k)) for r in results}) > 1
+    ]
+    metric_keys = list(metrics) if metrics is not None else sorted(results[0].metrics)
+    table = Table([*varying, "seed", *metric_keys], title=title)
+    for r in results:
+        table.add_row(
+            *[r.params.get(k) for k in varying],
+            r.seed,
+            *[r.metrics.get(m, float("nan")) for m in metric_keys],
+        )
+    return table.render()

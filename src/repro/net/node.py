@@ -17,19 +17,11 @@ role of IP addresses in the epoch-boundary hash.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.simulator import Simulator
-
-_address_counter = itertools.count(1)
-
-
-def _next_address() -> int:
-    return next(_address_counter)
-
 
 class Node:
     """Base class for anything that can receive packets."""
@@ -37,7 +29,7 @@ class Node:
     def __init__(self, sim: Simulator, name: str, address: Optional[int] = None) -> None:
         self.sim = sim
         self.name = name
-        self.address = address if address is not None else _next_address()
+        self.address = address if address is not None else sim.next_address()
         self._taps: List[Callable[[Packet, float], None]] = []
         self._agents: Dict[int, object] = {}
         self.packets_received = 0

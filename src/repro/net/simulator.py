@@ -45,6 +45,27 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        # Identifier allocators scoped to this simulation.  These used to be
+        # module-level globals, which made node addresses, flow ids and ports
+        # depend on how many simulations the process had already run — and,
+        # since addresses and ports feed the epoch-boundary and SFQ hashes,
+        # made nominally identical runs diverge.  Per-instance counters keep
+        # a run a pure function of its configuration and seed.
+        self._address_ids = itertools.count(1)
+        self._flow_ids = itertools.count(1)
+        self._port_ids = itertools.count(20_000)
+
+    def next_address(self) -> int:
+        """Allocate a node address unique within this simulation."""
+        return next(self._address_ids)
+
+    def next_flow_id(self) -> int:
+        """Allocate a flow identifier unique within this simulation."""
+        return next(self._flow_ids)
+
+    def next_port(self) -> int:
+        """Allocate a port number unique within this simulation."""
+        return next(self._port_ids)
 
     @property
     def now(self) -> float:

@@ -1,0 +1,88 @@
+"""Parallel scenario-sweep engine with result caching.
+
+The paper's evaluation is a grid of scenario x mode x seed runs; this
+subsystem turns each figure into a declarative sweep that executes in
+parallel, caches every cell by content, and re-simulates only what is
+missing.  The pieces:
+
+* :mod:`repro.runner.registry` — named, parameterized scenario factories
+  registered by the experiment modules;
+* :mod:`repro.runner.spec` — :class:`SweepSpec` (grid / zip / seeds) that
+  expands into concrete :class:`RunSpec` cells;
+* :mod:`repro.runner.engine` — the multiprocessing worker pool with
+  deterministic per-run seeds (``derive_seed``) and cache integration;
+* :mod:`repro.runner.cache` — the content-addressed JSON result store
+  under ``.repro-cache/``;
+* :mod:`repro.runner.result` — the pure :class:`RunResult` record consumed
+  by :func:`repro.metrics.reporting.format_run_results`;
+* :mod:`repro.runner.cli` — the ``repro-runner`` / ``python -m
+  repro.runner`` command line (``list``, ``run``, ``sweep``, ``report``).
+
+Paper figures map to registered scenarios as follows:
+
+==============================  =======================================
+scenario name                   paper figure / section
+==============================  =======================================
+``fig02_queue_shift``           Figure 2 (queue moves to the sendbox)
+``fig05_fig06_estimates``       Figures 5-6 (RTT / rate estimate error)
+``fig07_multipath``             Figure 7 and §7.6 (multipath detection)
+``fig09_slowdown``              Figure 9 / §7.2 (FCT slowdowns per mode)
+``fig10_phased_cross_traffic``  Figure 10 (cross-traffic phases)
+``fig11_short_cross_traffic``   Figure 11 (short cross-traffic sweep)
+``fig12_elastic_cross``         Figure 12 (elastic cross-traffic share)
+``fig13_competing_bundles``     Figure 13 (two bundles, one bottleneck)
+``fig15_proxy``                 Figure 15 / §7.5 (idealized proxy)
+``fig16_internet_paths``        Figure 16 / §8 (emulated WAN regions)
+==============================  =======================================
+
+Quick start::
+
+    python -m repro.runner list
+    python -m repro.runner sweep --smoke --workers 2
+    python -m repro.runner run fig09_slowdown -p mode=status_quo --seed 3
+    python -m repro.runner report
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from repro.runner.engine import (
+    CellOutcome,
+    SweepOutcome,
+    effective_seed,
+    execute_run,
+    resolve_cell,
+    run_spec,
+    run_sweep,
+)
+from repro.runner.registry import (
+    REGISTRY,
+    Scenario,
+    ScenarioRegistry,
+    load_builtin_scenarios,
+    register_scenario,
+)
+from repro.runner.result import RunResult, run_key
+from repro.runner.spec import RunSpec, SweepSpec, expand_grid, expand_zip
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "ResultCache",
+    "CellOutcome",
+    "SweepOutcome",
+    "effective_seed",
+    "execute_run",
+    "resolve_cell",
+    "run_spec",
+    "run_sweep",
+    "REGISTRY",
+    "Scenario",
+    "ScenarioRegistry",
+    "load_builtin_scenarios",
+    "register_scenario",
+    "RunResult",
+    "run_key",
+    "RunSpec",
+    "SweepSpec",
+    "expand_grid",
+    "expand_zip",
+]

@@ -1,0 +1,121 @@
+"""Content-addressed result cache.
+
+Every run's :class:`~repro.runner.result.RunResult` is stored as one JSON
+file under the cache root (default ``.repro-cache/``), named by the run's
+content key.  Re-running a figure therefore only simulates the cells that
+are missing; everything else is served from disk.  The cache is plain JSON
+on purpose: records survive refactors, diff cleanly, and can be inspected
+with nothing but ``cat``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.runner.result import RunResult
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache:
+    """Directory-backed store of :class:`RunResult` records keyed by content."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or DEFAULT_CACHE_DIR
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            result = RunResult.from_payload(record["result"])
+        except (OSError, ValueError, KeyError):
+            # Missing or corrupt record — treat as a miss; a fresh run will
+            # overwrite it.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, result: RunResult, *, elapsed_s: Optional[float] = None) -> str:
+        """Store ``result``; returns the record's path.
+
+        The write is atomic (temp file + rename) so a crashed or killed
+        worker can never leave a half-written record behind.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        record = {"result": result.to_payload()}
+        if elapsed_s is not None:
+            record["elapsed_s"] = elapsed_s
+        path = self._path(result.key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.writes += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+
+    def iter_results(self) -> Iterator[RunResult]:
+        """All readable records in the cache (unordered)."""
+        if not os.path.isdir(self.root):
+            return
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.root, name), "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+                yield RunResult.from_payload(record["result"])
+            except (OSError, ValueError, KeyError):
+                continue
+
+    def load_all(self) -> List[RunResult]:
+        return list(self.iter_results())
+
+    def by_scenario(self) -> Dict[str, List[RunResult]]:
+        grouped: Dict[str, List[RunResult]] = {}
+        for result in self.iter_results():
+            grouped.setdefault(result.scenario, []).append(result)
+        return grouped

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro.runner`` / ``repro-runner``.
+
+Subcommands:
+
+``list``
+    Show every registered scenario with its paper figure and parameters.
+``run``
+    Execute a single scenario cell and print its metrics.
+``sweep``
+    Expand a sweep (from ``--spec FILE.json``, inline ``--grid`` axes, or
+    the built-in ``--smoke`` grid) and execute it on a worker pool; repeat
+    invocations are served from the result cache, and the summary line
+    reports the cache-hit percentage.
+``report``
+    Render cached results as per-scenario tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.metrics.reporting import Table, format_run_results
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.engine import run_sweep
+from repro.runner.registry import load_builtin_scenarios
+from repro.runner.spec import RunSpec, SweepSpec
+
+#: The tiny grid behind ``sweep --smoke``: 2 modes x 2 rates x 2 seeds = 8
+#: cells, each a few simulated seconds, suitable for CI.
+SMOKE_SPEC: Dict[str, Any] = {
+    "scenario": "fig09_slowdown",
+    "base": {
+        "rtt_ms": 20.0,
+        "load_fraction": 0.7,
+        "duration_s": 4.0,
+        "warmup_s": 0.5,
+        "num_servers": 4,
+        "max_requests": 800,
+    },
+    "grid": {
+        "mode": ["status_quo", "bundler_sfq"],
+        "bottleneck_mbps": [12.0, 24.0],
+    },
+    "seeds": [1, 2],
+}
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a CLI parameter value: JSON if possible, else a bare string.
+
+    Python-style spellings (``None``, ``True``, ``False``, any case) are
+    accepted alongside the JSON ones — otherwise ``-p with_bundler=False``
+    would silently become the *truthy* string ``"False"``.
+    """
+    lowered = text.strip().lower()
+    if lowered in ("none", "null"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad parameter {pair!r}: expected key=value")
+        key, _, value = pair.partition("=")
+        params[key.strip()] = _parse_value(value)
+    return params
+
+
+def _parse_grid(pairs: Sequence[str]) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad grid axis {pair!r}: expected key=v1,v2,...")
+        key, _, values = pair.partition("=")
+        grid[key.strip()] = [_parse_value(v) for v in values.split(",") if v != ""]
+    return grid
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registry = load_builtin_scenarios()
+    table = Table(["scenario", "figure", "parameters"], title="Registered scenarios")
+    for name in registry.names():
+        scenario = registry.get(name)
+        params = ", ".join(f"{k}={v}" for k, v in scenario.defaults.items())
+        table.add_row(name, scenario.figure or "-", params)
+    print(table.render())
+    if args.verbose:
+        print()
+        for name in registry.names():
+            scenario = registry.get(name)
+            print(f"{name}: {scenario.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    load_builtin_scenarios()
+    spec = RunSpec(scenario=args.scenario, params=_parse_params(args.param), seed=args.seed)
+    outcome = run_sweep(
+        [spec],
+        workers=1,
+        cache=ResultCache(args.cache_dir),
+        use_cache=not args.no_cache,
+    )
+    cell = outcome.outcomes[0]
+    result = cell.result
+    source = "cache" if cell.cached else "simulated"
+    print(f"{cell.spec.describe()}  [{source}, key={result.key[:12]}]")
+    table = Table(["metric", "value"])
+    for name in sorted(result.metrics):
+        table.add_row(name, result.metrics[name])
+    print(table.render())
+    return 0
+
+
+def _load_sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    if args.smoke or args.spec:
+        # The whole sweep comes from one source; refuse to silently drop
+        # inline axes the user also passed.
+        conflicting = []
+        if args.smoke and args.spec:
+            conflicting.append("--spec")
+        if args.scenario:
+            conflicting.append("--scenario")
+        if args.param:
+            conflicting.append("-p/--param")
+        if args.grid:
+            conflicting.append("-g/--grid")
+        if args.seeds:
+            conflicting.append("--seeds")
+        if conflicting:
+            source = "--smoke" if args.smoke else "--spec"
+            raise SystemExit(
+                f"{source} defines the whole sweep; it cannot be combined with "
+                f"{', '.join(conflicting)}"
+            )
+    if args.smoke:
+        return SweepSpec.from_dict(SMOKE_SPEC)
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            return SweepSpec.from_dict(json.load(fh))
+    if not args.scenario:
+        raise SystemExit("sweep needs --smoke, --spec FILE, or --scenario NAME")
+    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds else [1]
+    return SweepSpec(
+        scenario=args.scenario,
+        base=_parse_params(args.param),
+        grid=_parse_grid(args.grid),
+        seeds=seeds,
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    load_builtin_scenarios()
+    sweep = _load_sweep_spec(args)
+    specs = sweep.expand()
+    if not specs:
+        raise SystemExit("sweep expanded to zero runs")
+    print(f"sweep {sweep.scenario}: {len(specs)} cells on {args.workers} worker(s)")
+    cache = ResultCache(args.cache_dir)
+    outcome = run_sweep(
+        specs, workers=args.workers, cache=cache, use_cache=not args.no_cache
+    )
+    print(format_run_results(outcome.results, title=f"sweep results: {sweep.scenario}"))
+    print(outcome.summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    grouped = cache.by_scenario()
+    if args.scenario:
+        grouped = {k: v for k, v in grouped.items() if k == args.scenario}
+    if not grouped:
+        print(f"no cached results under {cache.root!r}")
+        return 1
+    total = 0
+    for name in sorted(grouped):
+        results = grouped[name]
+        total += len(results)
+        print(format_run_results(results, title=f"{name} ({len(results)} cached runs)"))
+        print()
+    print(f"{total} cached result(s) in {cache.root!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-runner",
+        description="Parallel scenario-sweep engine for the Bundler reproduction.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    # Accept --cache-dir after the subcommand too (the conventional spot).
+    # SUPPRESS keeps the subparser from clobbering a value given before the
+    # subcommand with its own default.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--cache-dir", default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios", parents=[common])
+    p_list.add_argument("-v", "--verbose", action="store_true", help="include descriptions")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="execute one scenario cell", parents=[common])
+    p_run.add_argument("scenario", help="registered scenario name")
+    p_run.add_argument(
+        "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--no-cache", action="store_true", help="force re-simulation")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="expand and execute a sweep", parents=[common])
+    p_sweep.add_argument("--spec", help="JSON sweep-spec file")
+    p_sweep.add_argument("--smoke", action="store_true", help="run the built-in 8-cell smoke grid")
+    p_sweep.add_argument("--scenario", help="scenario name for an inline sweep")
+    p_sweep.add_argument(
+        "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="base parameter override (repeatable)",
+    )
+    p_sweep.add_argument(
+        "-g", "--grid", action="append", default=[], metavar="KEY=V1,V2,...",
+        help="grid axis (repeatable; cartesian product)",
+    )
+    p_sweep.add_argument("--seeds", default="", help="comma-separated seed list (default: 1)")
+    p_sweep.add_argument("-w", "--workers", type=int, default=2, help="worker processes")
+    p_sweep.add_argument("--no-cache", action="store_true", help="force re-simulation of every cell")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_report = sub.add_parser("report", help="summarize cached results", parents=[common])
+    p_report.add_argument("--scenario", help="restrict to one scenario")
+    p_report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except (KeyError, ValueError, OSError, RuntimeError) as exc:
+        # Domain errors (unknown scenario, bad parameter, unreadable spec
+        # file) get a one-line message, not a traceback.
+        message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,307 @@
+"""The sweep execution engine.
+
+Given a list of :class:`~repro.runner.spec.RunSpec` cells, the engine
+
+1. resolves each cell's parameters against the scenario registry and
+   computes its content-addressed cache key;
+2. serves every cell already present in the result cache from disk;
+3. executes the remaining cells on a :mod:`multiprocessing` worker pool
+   (or in-process when ``workers=1``), each with a deterministic seed
+   derived via :func:`repro.util.rng.derive_seed`;
+4. writes fresh results back to the cache and returns everything in the
+   original spec order.
+
+Determinism contract: a run's :class:`RunResult` depends only on
+``(scenario, params, seed)`` — never on worker count, scheduling order, or
+whether the result came from the cache.  ``tests/test_runner_engine.py``
+pins this down by comparing the canonical serialization of parallel and
+serial sweeps byte for byte.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
+from repro.runner.result import RunResult, run_key
+from repro.runner.spec import RunSpec, SweepSpec
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class CellOutcome:
+    """One executed (or cache-served) sweep cell."""
+
+    spec: RunSpec
+    result: RunResult
+    cached: bool
+    #: True when this cell duplicated another cell of the same sweep and
+    #: reused its freshly-computed result (not a disk cache hit).
+    deduped: bool = False
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, in spec order."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def results(self) -> List[RunResult]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def hits(self) -> int:
+        """Cells served from the on-disk cache."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def deduplicated(self) -> int:
+        """Cells that reused another cell's fresh result within this sweep."""
+        return sum(1 for o in self.outcomes if o.deduped)
+
+    @property
+    def misses(self) -> int:
+        """Cells that actually simulated."""
+        return sum(1 for o in self.outcomes if not o.cached and not o.deduped)
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.hits / len(self.outcomes)
+
+    def summary(self) -> str:
+        """One-line, human-readable account of the sweep."""
+        total = len(self.outcomes)
+        dedup = f", {self.deduplicated} deduplicated" if self.deduplicated else ""
+        return (
+            f"{total} run{'s' if total != 1 else ''}: "
+            f"{self.misses} executed, {self.hits} served from cache{dedup} "
+            f"({self.hit_rate * 100.0:.0f}% cache hits) "
+            f"in {self.elapsed_s:.1f}s on {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''}"
+        )
+
+
+def effective_seed(spec: RunSpec) -> int:
+    """Deterministic per-run seed: the user seed scoped by scenario name.
+
+    Two scenarios swept at the same base seed get unrelated RNG streams, and
+    the derivation is stable across processes (FNV-1a, no ``hash()``).
+    """
+    return derive_seed(spec.seed, f"runner:{spec.scenario}")
+
+
+def _normalize_spec(spec: RunSpec, scenario) -> RunSpec:
+    """Collapse the seed of seed-insensitive scenarios to 0.
+
+    Deterministic scenarios ignore their seed, so every requested seed names
+    the same run; normalizing before hashing makes a ``--seeds 1,2,3`` sweep
+    of such a scenario simulate (and cache) exactly one cell.
+    """
+    if scenario.seed_sensitive or spec.seed == 0:
+        return spec
+    return RunSpec(scenario=spec.scenario, params=spec.params, seed=0)
+
+
+def resolve_cell(
+    spec: RunSpec, *, registry: Optional[ScenarioRegistry] = None
+) -> Tuple[RunSpec, Dict[str, Any], str]:
+    """Normalize a cell and compute its resolved params and cache key."""
+    registry = registry if registry is not None else load_builtin_scenarios()
+    scenario = registry.get(spec.scenario)
+    spec = _normalize_spec(spec, scenario)
+    params = scenario.resolve_params(spec.params)
+    key = run_key(spec.scenario, params, spec.seed, version=scenario.version)
+    return spec, params, key
+
+
+def execute_run(spec: RunSpec, *, registry: Optional[ScenarioRegistry] = None) -> RunResult:
+    """Execute one cell in-process (no cache involvement)."""
+    registry = registry if registry is not None else load_builtin_scenarios()
+    scenario = registry.get(spec.scenario)
+    spec, params, key = resolve_cell(spec, registry=registry)
+    seed = effective_seed(spec)
+    metrics = scenario.fn(seed=seed, **params)
+    if not isinstance(metrics, dict):
+        raise TypeError(
+            f"scenario {spec.scenario!r} returned {type(metrics).__name__}, expected a metrics dict"
+        )
+    return RunResult(
+        scenario=spec.scenario,
+        params=params,
+        seed=spec.seed,
+        effective_seed=seed,
+        key=key,
+        metrics=metrics,
+        scenario_version=scenario.version,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool plumbing.  Work items cross the process boundary as plain
+# (scenario, params, seed) tuples; each worker re-imports the experiment
+# modules so the registry exists regardless of the start method.
+
+def _worker_init(extra_sys_path: List[str]) -> None:
+    for path in reversed(extra_sys_path):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    load_builtin_scenarios()
+
+
+def _worker_run(
+    item: Tuple[int, str, Dict[str, Any], int],
+    registry: Optional[ScenarioRegistry] = None,
+) -> Tuple[int, Optional[Dict[str, Any]], float, Optional[str]]:
+    """Execute one cell, capturing failures instead of poisoning the pool.
+
+    A raising cell must not abort the sweep: sibling cells that finished
+    should still reach the cache so a rerun resumes instead of restarting.
+    Pool workers call this with the default registry (rebuilt by
+    ``_worker_init``); the serial path passes its own.
+    """
+    index, scenario, params, seed = item
+    started = time.perf_counter()
+    try:
+        result = execute_run(
+            RunSpec(scenario=scenario, params=params, seed=seed),
+            registry=registry if registry is not None else REGISTRY,
+        )
+    except Exception:
+        return index, None, time.perf_counter() - started, traceback.format_exc()
+    return index, result.to_payload(), time.perf_counter() - started, None
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    registry: Optional[ScenarioRegistry] = None,
+) -> SweepOutcome:
+    """Execute ``specs``, serving repeats from ``cache`` and running the rest.
+
+    ``workers`` caps the pool size; the pool only spawns when more than one
+    cell actually needs simulating.  Pass ``use_cache=False`` to force every
+    *unique* cell to execute (results are still written back to the cache;
+    duplicate cells within one sweep always simulate once).
+
+    A custom ``registry`` runs in-process regardless of ``workers``: pool
+    workers resolve scenario names by re-importing the experiment modules,
+    which can only reconstruct the built-in registry.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    custom_registry = registry is not None and registry is not REGISTRY
+    registry = registry if registry is not None else load_builtin_scenarios()
+    cache = cache if cache is not None else ResultCache()
+    started = time.perf_counter()
+
+    # Resolve every cell up front so cache keys exist before any execution.
+    resolved: List[Tuple[RunSpec, Dict[str, Any], str]] = [
+        resolve_cell(spec, registry=registry) for spec in specs
+    ]
+
+    outcomes: List[Optional[CellOutcome]] = [None] * len(resolved)
+    pending: List[Tuple[int, str, Dict[str, Any], int]] = []
+    seen_keys: Dict[str, int] = {}
+    duplicates: List[Tuple[int, int]] = []
+    for index, (spec, params, key) in enumerate(resolved):
+        cached = cache.get(key) if use_cache else None
+        if cached is not None:
+            outcomes[index] = CellOutcome(spec=spec, result=cached, cached=True)
+            continue
+        if key in seen_keys:
+            # The same cell appears twice in one sweep — simulate it once.
+            duplicates.append((index, seen_keys[key]))
+            continue
+        seen_keys[key] = index
+        pending.append((index, spec.scenario, params, spec.seed))
+
+    pool_size = min(workers, len(pending)) if pending else 0
+    if custom_registry:
+        pool_size = min(pool_size, 1)
+    if pool_size > 1:
+        ctx = multiprocessing.get_context()
+        # Spawn-start children must be able to import this module *before*
+        # the initializer runs (the initializer itself is unpickled), so the
+        # import path has to travel via the environment; initargs alone only
+        # covers fork-start children.
+        prior_pythonpath = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = os.pathsep.join(
+            [p for p in sys.path if p] + ([prior_pythonpath] if prior_pythonpath else [])
+        )
+        try:
+            with ctx.Pool(
+                processes=pool_size, initializer=_worker_init, initargs=(list(sys.path),)
+            ) as pool:
+                completed = pool.map(_worker_run, pending)
+        finally:
+            if prior_pythonpath is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = prior_pythonpath
+    else:
+        completed = [_worker_run(item, registry=registry) for item in pending]
+
+    # Cache every finished cell before surfacing failures, so a partially
+    # failed sweep still resumes from the completed cells on rerun.
+    failures: List[Tuple[RunSpec, str]] = []
+    for index, payload, elapsed, error in completed:
+        spec = resolved[index][0]
+        if error is not None:
+            failures.append((spec, error))
+            continue
+        result = RunResult.from_payload(payload)
+        cache.put(result, elapsed_s=elapsed)
+        outcomes[index] = CellOutcome(spec=spec, result=result, cached=False, elapsed_s=elapsed)
+    if failures:
+        cached_count = sum(1 for o in outcomes if o is not None)
+        details = "\n\n".join(f"{spec.describe()}:\n{error}" for spec, error in failures)
+        raise RuntimeError(
+            f"{len(failures)} of {len(resolved)} sweep cell(s) failed "
+            f"({cached_count} completed cells were cached and will be reused on rerun):\n"
+            f"{details}"
+        )
+
+    # Duplicates only arise on cache misses (hits are served per-cell above),
+    # so they are fresh-result reuses, not cache hits.
+    for dup_index, source_index in duplicates:
+        source = outcomes[source_index]
+        assert source is not None
+        outcomes[dup_index] = CellOutcome(
+            spec=resolved[dup_index][0], result=source.result, cached=False, deduped=True
+        )
+
+    finished = [o for o in outcomes if o is not None]
+    if len(finished) != len(outcomes):
+        raise RuntimeError("sweep lost cells — worker pool returned incomplete results")
+    return SweepOutcome(
+        outcomes=finished,
+        workers=max(pool_size, 1),
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def run_spec(
+    sweep: SweepSpec,
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+) -> SweepOutcome:
+    """Expand a :class:`SweepSpec` and execute it."""
+    return run_sweep(sweep.expand(), workers=workers, cache=cache, use_cache=use_cache)

@@ -1,0 +1,130 @@
+"""The scenario registry.
+
+A *scenario* is a named, parameterized experiment factory: a plain function
+that takes a ``seed`` plus keyword parameters and returns a flat dict of
+JSON-serializable metrics.  Experiment modules register their scenarios with
+the :func:`register_scenario` decorator at import time, so importing
+:mod:`repro.experiments` populates the registry with every figure of the
+paper's evaluation.
+
+The registry deliberately stores only picklable data (names, defaults,
+descriptions) next to the factory callables; the worker pool ships scenario
+*names* across process boundaries and each worker re-imports the experiment
+modules to resolve them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.util.canonical import canonicalize
+
+#: A scenario factory: ``fn(seed=..., **params) -> {metric: value}``.
+ScenarioFn = Callable[..., Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered scenario."""
+
+    name: str
+    fn: ScenarioFn
+    defaults: Mapping[str, Any]
+    description: str = ""
+    figure: str = ""
+    #: Bump when the scenario's semantics change, to invalidate cached results.
+    version: int = 1
+    #: False for fully deterministic scenarios (no workload RNG).  The engine
+    #: then normalizes every requested seed to 0, so sweeping such a scenario
+    #: across seeds caches (and simulates) exactly one cell.
+    seed_sensitive: bool = True
+
+    def resolve_params(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Merge ``params`` over the defaults, rejecting unknown keys.
+
+        The result is canonicalized, so it is safe to hash and identical no
+        matter the ordering of the caller's dict.
+        """
+        params = dict(params or {})
+        unknown = sorted(set(params) - set(self.defaults))
+        if unknown:
+            raise KeyError(
+                f"unknown parameter(s) {unknown} for scenario {self.name!r}; "
+                f"accepted: {sorted(self.defaults)}"
+            )
+        merged = {**self.defaults, **params}
+        return canonicalize(merged)
+
+    def run(self, *, seed: int, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Execute the scenario with resolved parameters."""
+        return self.fn(seed=seed, **self.resolve_params(params))
+
+
+class ScenarioRegistry:
+    """Name → :class:`Scenario` mapping with decorator-based registration."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        defaults: Optional[Mapping[str, Any]] = None,
+        description: str = "",
+        figure: str = "",
+        version: int = 1,
+        seed_sensitive: bool = True,
+    ) -> Callable[[ScenarioFn], ScenarioFn]:
+        """Decorator registering ``fn`` as scenario ``name``."""
+
+        def decorator(fn: ScenarioFn) -> ScenarioFn:
+            if name in self._scenarios:
+                raise ValueError(f"scenario {name!r} is already registered")
+            doc = (fn.__doc__ or "").strip()
+            self._scenarios[name] = Scenario(
+                name=name,
+                fn=fn,
+                defaults=canonicalize(dict(defaults or {})),
+                description=description or (doc.splitlines()[0] if doc else ""),
+                figure=figure,
+                version=version,
+                seed_sensitive=seed_sensitive,
+            )
+            return fn
+
+        return decorator
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            known = ", ".join(sorted(self._scenarios)) or "<none loaded>"
+            raise KeyError(f"no scenario named {name!r}; known scenarios: {known}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __iter__(self):
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+#: The process-wide registry that :mod:`repro.experiments` populates.
+REGISTRY = ScenarioRegistry()
+
+#: Module-level convenience decorator bound to :data:`REGISTRY`.
+register_scenario = REGISTRY.register
+
+
+def load_builtin_scenarios() -> ScenarioRegistry:
+    """Import the experiment modules so their scenarios register themselves."""
+    import repro.experiments  # noqa: F401  (import-for-side-effect)
+
+    return REGISTRY

@@ -1,0 +1,102 @@
+"""The structured record produced by every run.
+
+:class:`RunResult` is deliberately *pure*: it contains only the inputs that
+determine a run (scenario, resolved parameters, seeds) and its metric
+outputs, never wall-clock timing or host details.  Purity is what makes the
+guarantees work: a cached result is indistinguishable from a fresh one, and
+a parallel sweep serializes byte-for-byte identically to a serial sweep of
+the same spec.  Execution metadata (elapsed time, cache hit/miss, worker
+count) lives in the engine's :class:`repro.runner.engine.CellOutcome` and
+the cache record envelope instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from repro.util.canonical import canonical_json, canonicalize, stable_digest
+
+#: Version of the on-disk payload layout (not of any scenario's semantics).
+PAYLOAD_FORMAT = 1
+
+
+def run_key(scenario: str, params: Mapping[str, Any], seed: int, *, version: int = 1) -> str:
+    """Content-addressed cache key of a run.
+
+    Hashes the canonicalized ``(scenario, version, params, seed)`` tuple, so
+    the key is independent of dict ordering, of whether a parameter was
+    given explicitly or filled from a default (callers must pass *resolved*
+    params), and of ``24`` vs ``24.0`` style float spelling.
+    """
+    return stable_digest(
+        {
+            "scenario": scenario,
+            "version": version,
+            "params": canonicalize(dict(params)),
+            "seed": seed,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one scenario run."""
+
+    scenario: str
+    params: Mapping[str, Any]
+    seed: int
+    #: Seed actually fed to the scenario factory (derived from ``seed`` and
+    #: the scenario name, so sibling scenarios never share RNG streams).
+    effective_seed: int
+    #: Content-addressed identity of this run (see :func:`run_key`).
+    key: str
+    #: Flat, JSON-serializable metric outputs of the scenario.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Scenario version the run was produced under.
+    scenario_version: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", canonicalize(dict(self.params)))
+        object.__setattr__(self, "metrics", canonicalize(dict(self.metrics)))
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-dict form, suitable for JSON storage."""
+        return {
+            "format": PAYLOAD_FORMAT,
+            "scenario": self.scenario,
+            "scenario_version": self.scenario_version,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "effective_seed": self.effective_seed,
+            "key": self.key,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunResult":
+        fmt = payload.get("format", PAYLOAD_FORMAT)
+        if fmt != PAYLOAD_FORMAT:
+            raise ValueError(f"unsupported RunResult payload format {fmt!r}")
+        return cls(
+            scenario=payload["scenario"],
+            params=payload["params"],
+            seed=payload["seed"],
+            effective_seed=payload["effective_seed"],
+            key=payload["key"],
+            metrics=payload.get("metrics", {}),
+            scenario_version=payload.get("scenario_version", 1),
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON serialization — identical bytes for identical runs."""
+        return canonical_json(self.to_payload())
+
+    def metric(self, name: str) -> Any:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"run {self.scenario!r} has no metric {name!r}; "
+                f"available: {sorted(self.metrics)}"
+            ) from None

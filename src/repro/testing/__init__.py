@@ -1,0 +1,73 @@
+"""Shared helpers for the test and benchmark suites.
+
+Historically these lived in ``tests/conftest.py`` and ``benchmarks/conftest.py``
+and were imported with ``from conftest import ...`` — which resolves to
+*whichever* conftest pytest put on ``sys.path`` first, so collecting both
+suites at once broke with an ImportError.  Importable helpers belong in an
+importable package; conftest files should hold fixtures only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from repro.net.packet import Packet, PacketFactory
+
+#: Common scaled-down dimensions used by the benchmark scenarios.
+BENCH_SCALE = {
+    "bottleneck_mbps": 24.0,
+    "rtt_ms": 50.0,
+    "duration_s": 15.0,
+    "seed": 1,
+}
+
+
+def make_packet(
+    factory: Optional[PacketFactory] = None,
+    *,
+    flow_id: int = 1,
+    src: int = 1,
+    dst: int = 2,
+    src_port: int = 10,
+    dst_port: int = 20,
+    size: int = 1500,
+    seq: int = 0,
+    is_ack: bool = False,
+    is_control: bool = False,
+    traffic_class: int = 0,
+) -> Packet:
+    """Convenience packet constructor for qdisc/unit tests."""
+    factory = factory if factory is not None else PacketFactory()
+    return factory.make(
+        flow_id=flow_id,
+        src=src,
+        dst=dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        size=size,
+        is_ack=is_ack,
+        is_control=is_control,
+        traffic_class=traffic_class,
+    )
+
+
+#: Environment variable naming the benchmark results side-file.
+RESULTS_FILE_ENV = "REPRO_RESULTS_FILE"
+
+
+def report(title: str, lines: Iterable[str]) -> None:
+    """Print a paper-vs-measured block that survives pytest's capture.
+
+    Writes straight to stdout (so ``pytest benchmarks/ -s`` shows it) and,
+    when :data:`RESULTS_FILE_ENV` is set — ``benchmarks/conftest.py`` points
+    it at ``benchmarks/results.txt`` — appends to that side-file so results
+    are preserved even without ``-s``.
+    """
+    text = "\n".join([f"\n=== {title} ===", *lines])
+    print(text)
+    path = os.environ.get(RESULTS_FILE_ENV)
+    if path:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n")

@@ -10,7 +10,6 @@ flow-completion-time analysis when the receiver has all the bytes.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -20,18 +19,20 @@ from repro.net.packet import PacketFactory
 from repro.net.simulator import Simulator
 from repro.transport.tcp import TcpReceiver, TcpSender
 
-_flow_ids = itertools.count(1)
-_ports = itertools.count(20_000)
+def next_flow_id(sim: Simulator) -> int:
+    """Allocate a flow identifier scoped to ``sim``.
+
+    Flow ids feed the SFQ flow hash, so allocation is strictly
+    per-simulation: a process-global counter would make nominally identical
+    runs diverge based on how many simulations ran before them.
+    """
+    return sim.next_flow_id()
 
 
-def next_flow_id() -> int:
-    """Allocate a globally unique flow identifier."""
-    return next(_flow_ids)
-
-
-def next_port() -> int:
-    """Allocate a globally unique port number (used on both endpoints)."""
-    return next(_ports)
+def next_port(sim: Simulator) -> int:
+    """Allocate a port number (used on both endpoints), scoped like
+    :func:`next_flow_id`."""
+    return sim.next_port()
 
 
 @dataclass
@@ -76,8 +77,8 @@ class TcpFlow:
         self.sim = sim
         self.size_bytes = size_bytes
         self.traffic_class = traffic_class
-        self.flow_id = next_flow_id()
-        self.port = next_port()
+        self.flow_id = next_flow_id(sim)
+        self.port = next_port(sim)
         self.on_complete = on_complete
         self.start_time: Optional[float] = None
 

@@ -49,8 +49,8 @@ class PacedUdpStream:
         self.rate_bps = rate_bps
         self.packet_size = packet_size
         self.traffic_class = traffic_class
-        self.flow_id = next_flow_id()
-        self.port = next_port()
+        self.flow_id = next_flow_id(sim)
+        self.port = next_port(sim)
         self.packets_sent = 0
         self.bytes_sent = 0
         self._running = False
@@ -143,8 +143,8 @@ class ClosedLoopPinger:
         self.probe_size = probe_size
         self.traffic_class = traffic_class
         self.timeout_s = timeout_s
-        self.flow_id = next_flow_id()
-        self.port = next_port()
+        self.flow_id = next_flow_id(sim)
+        self.port = next_port(sim)
         self.echo_port = echo_port if echo_port is not None else self.port
         self.rtts: List[float] = []
         self.losses = 0

@@ -10,6 +10,8 @@ This subpackage holds small, dependency-free building blocks:
   statistics used by the measurement module and congestion controllers.
 * :mod:`repro.util.rng` — seeded random-number helpers for reproducible
   experiments.
+* :mod:`repro.util.canonical` — canonical JSON and stable content digests
+  used by the sweep runner's result cache.
 """
 
 from repro.util.fnv import fnv1a_32, fnv1a_64
@@ -29,7 +31,8 @@ from repro.util.windowed import (
     SlidingWindow,
     TimeWindowedSum,
 )
-from repro.util.rng import make_rng, spawn_rngs
+from repro.util.rng import derive_seed, make_rng, spawn_rngs
+from repro.util.canonical import canonical_json, canonicalize, stable_digest
 
 __all__ = [
     "fnv1a_32",
@@ -46,6 +49,10 @@ __all__ = [
     "MinFilter",
     "SlidingWindow",
     "TimeWindowedSum",
+    "derive_seed",
     "make_rng",
     "spawn_rngs",
+    "canonical_json",
+    "canonicalize",
+    "stable_digest",
 ]

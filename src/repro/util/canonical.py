@@ -1,0 +1,57 @@
+"""Canonical JSON serialization and stable content digests.
+
+The sweep runner caches results under a key derived from the *content* of a
+run's configuration, so the same configuration must always serialize to the
+same bytes: dict key order must not matter, tuples and lists must be
+interchangeable, and only JSON-representable values are allowed (anything
+else would make the key depend on ``repr`` details that can change between
+Python versions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalize ``value`` into plain JSON types with deterministic ordering.
+
+    * dicts (string keys only) are rebuilt with sorted keys;
+    * lists and tuples both become lists;
+    * integral floats collapse to ints (``24.0`` and ``24`` hash alike);
+    * NaN / infinity are rejected (JSON cannot round-trip them);
+    * anything else raises :class:`TypeError`.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError("non-finite floats are not canonicalizable")
+        if value == int(value):
+            return int(value)
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(f"dict keys must be strings, got {key!r}")
+        return {key: canonicalize(value[key]) for key in sorted(value)}
+    raise TypeError(f"value of type {type(value).__name__} is not canonicalizable")
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to the canonical JSON string (sorted, compact)."""
+    return json.dumps(canonicalize(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(value: Any) -> str:
+    """Hex SHA-256 of the canonical JSON form of ``value``.
+
+    Stable across processes, dict orderings and Python versions — suitable as
+    a content-addressed cache key.
+    """
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

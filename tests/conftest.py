@@ -1,4 +1,10 @@
-"""Shared test fixtures and helpers."""
+"""Shared test fixtures.
+
+Importable helpers (``make_packet`` etc.) live in :mod:`repro.testing`; this
+file holds only fixtures, so nothing ever needs ``from conftest import ...``
+(which is rootdir-dependent and breaks when tests and benchmarks are
+collected together).
+"""
 
 import os
 import sys
@@ -25,21 +31,3 @@ def sim() -> Simulator:
 def factory() -> PacketFactory:
     """A fresh packet factory."""
     return PacketFactory()
-
-
-def make_packet(factory=None, *, flow_id=1, src=1, dst=2, src_port=10, dst_port=20, size=1500,
-                seq=0, is_ack=False, is_control=False, traffic_class=0):
-    """Convenience packet constructor for qdisc/unit tests."""
-    factory = factory if factory is not None else PacketFactory()
-    return factory.make(
-        flow_id=flow_id,
-        src=src,
-        dst=dst,
-        src_port=src_port,
-        dst_port=dst_port,
-        seq=seq,
-        size=size,
-        is_ack=is_ack,
-        is_control=is_control,
-        traffic_class=traffic_class,
-    )

@@ -1,0 +1,74 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+import os
+
+from repro.runner.cache import ResultCache
+from repro.runner.result import RunResult, run_key
+
+
+def _result(scenario="toy", seed=1, **params):
+    params = params or {"x": 1}
+    return RunResult(
+        scenario=scenario,
+        params=params,
+        seed=seed,
+        effective_seed=seed * 100,
+        key=run_key(scenario, params, seed),
+        metrics={"value": seed * 1.5},
+    )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = _result()
+        assert cache.get(result.key) is None
+        assert cache.stats.misses == 1
+        cache.put(result, elapsed_s=0.25)
+        assert result.key in cache
+        returned = cache.get(result.key)
+        assert returned == result
+        assert returned.canonical() == result.canonical()
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_len_and_iteration(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert len(cache) == 0
+        results = [_result(seed=s) for s in (1, 2, 3)]
+        for r in results:
+            cache.put(r)
+        assert len(cache) == 3
+        assert {r.key for r in cache.iter_results()} == {r.key for r in results}
+        assert set(cache.by_scenario()) == {"toy"}
+
+    def test_key_stability_across_dict_ordering(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(_result(a=1, b=2))
+        # Same logical config, different insertion order → same key → hit.
+        assert cache.get(run_key("toy", {"b": 2, "a": 1}, 1)) is not None
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = _result()
+        path = cache.put(result)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(result.key) is None
+        assert cache.load_all() == []
+
+    def test_put_stores_elapsed_in_envelope_not_result(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = _result()
+        path = cache.put(result, elapsed_s=1.25)
+        with open(path) as fh:
+            record = json.load(fh)
+        assert record["elapsed_s"] == 1.25
+        assert "elapsed_s" not in record["result"]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        cache.put(_result())
+        assert all(not name.endswith(".tmp") for name in os.listdir(root))

@@ -1,0 +1,123 @@
+"""Tests for the repro-runner command line."""
+
+import json
+
+import pytest
+
+from repro.runner.cli import SMOKE_SPEC, _parse_grid, _parse_params, _parse_value, main
+from repro.runner.spec import SweepSpec
+
+
+class TestParsing:
+    def test_parse_value(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("3.5") == 3.5
+        assert _parse_value("true") is True
+        assert _parse_value("none") is None
+        assert _parse_value("status_quo") == "status_quo"
+        assert _parse_value("[1, 2]") == [1, 2]
+
+    def test_parse_params(self):
+        assert _parse_params(["a=1", "b=x"]) == {"a": 1, "b": "x"}
+        with pytest.raises(SystemExit):
+            _parse_params(["oops"])
+
+    def test_parse_grid(self):
+        assert _parse_grid(["mode=a,b", "rate=12,24"]) == {
+            "mode": ["a", "b"],
+            "rate": [12, 24],
+        }
+        with pytest.raises(SystemExit):
+            _parse_grid(["oops"])
+
+
+class TestSmokeSpec:
+    def test_smoke_grid_has_at_least_8_cells(self):
+        spec = SweepSpec.from_dict(SMOKE_SPEC)
+        assert len(spec.expand()) >= 8
+
+    def test_smoke_scenario_is_registered(self):
+        from repro.runner.registry import load_builtin_scenarios
+
+        registry = load_builtin_scenarios()
+        scenario = registry.get(SMOKE_SPEC["scenario"])
+        # The smoke base params must all be valid for the scenario.
+        scenario.resolve_params(SMOKE_SPEC["base"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09_slowdown" in out
+        assert "Figure 9" in out
+
+    def test_run_uses_cache_on_second_invocation(self, tmp_path, capsys):
+        argv = [
+            "--cache-dir", str(tmp_path / "cache"),
+            "run", "fig09_slowdown",
+            "-p", "duration_s=2.5", "-p", "warmup_s=0.25", "-p", "num_servers=2",
+            "-p", "max_requests=60", "-p", "bottleneck_mbps=12", "-p", "rtt_ms=20",
+            "--seed", "3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[simulated" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[cache" in second
+
+    def test_sweep_and_report(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {
+                    "scenario": "fig09_slowdown",
+                    "base": {
+                        "duration_s": 2.5,
+                        "warmup_s": 0.25,
+                        "num_servers": 2,
+                        "max_requests": 60,
+                        "rtt_ms": 20.0,
+                    },
+                    "grid": {"mode": ["status_quo", "bundler_sfq"]},
+                    "seeds": [1],
+                }
+            )
+        )
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--cache-dir", cache_dir, "sweep", "--spec", str(spec_file), "-w", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 runs: 2 executed, 0 served from cache (0% cache hits)" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 runs: 0 executed, 2 served from cache (100% cache hits)" in out
+
+        assert main(["--cache-dir", cache_dir, "report"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09_slowdown" in out
+        assert "2 cached result(s)" in out
+
+    def test_report_empty_cache(self, tmp_path, capsys):
+        assert main(["--cache-dir", str(tmp_path / "empty"), "report"]) == 1
+        assert "no cached results" in capsys.readouterr().out
+
+    def test_sweep_requires_a_spec_source(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+
+class TestValueParsingBooleans:
+    def test_python_style_booleans(self):
+        assert _parse_value("True") is True
+        assert _parse_value("False") is False
+        assert _parse_value("TRUE") is True
+        assert _parse_value("None") is None
+
+    def test_smoke_rejects_inline_axes(self):
+        with pytest.raises(SystemExit, match="--smoke defines the whole sweep"):
+            main(["sweep", "--smoke", "--seeds", "3,4"])
+        with pytest.raises(SystemExit, match="cannot be combined"):
+            main(["sweep", "--smoke", "-g", "mode=a,b"])

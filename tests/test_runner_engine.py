@@ -1,0 +1,237 @@
+"""Tests for the sweep engine: cache behavior, determinism, parallelism.
+
+The parallel-equals-serial test uses the real (scaled-down) ``fig09_slowdown``
+scenario so it exercises the same code path as ``repro-runner sweep``; the
+cache-behavior tests use a counting toy registry to observe exactly which
+cells execute.
+"""
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.engine import effective_seed, execute_run, run_spec, run_sweep
+from repro.runner.registry import ScenarioRegistry
+from repro.runner.spec import RunSpec, SweepSpec
+
+#: A tiny fig09 cell: a couple of hundred milliseconds of wall clock.
+TINY = {
+    "bottleneck_mbps": 12.0,
+    "rtt_ms": 20.0,
+    "load_fraction": 0.7,
+    "duration_s": 3.0,
+    "warmup_s": 0.5,
+    "num_servers": 4,
+    "max_requests": 300,
+}
+
+
+def _counting_registry():
+    registry = ScenarioRegistry()
+    calls = []
+
+    @registry.register("toy", defaults={"x": 1})
+    def _toy(*, seed, x):
+        calls.append((seed, x))
+        return {"doubled": 2 * x, "seed_seen": seed}
+
+    return registry, calls
+
+
+class TestExecuteRun:
+    def test_effective_seed_is_scoped_and_stable(self):
+        a = effective_seed(RunSpec("toy", {}, seed=1))
+        assert a == effective_seed(RunSpec("toy", {}, seed=1))
+        assert a != effective_seed(RunSpec("toy", {}, seed=2))
+        assert a != effective_seed(RunSpec("other", {}, seed=1))
+
+    def test_execute_run_resolves_and_records(self):
+        registry, calls = _counting_registry()
+        result = execute_run(RunSpec("toy", {"x": 3}, seed=2), registry=registry)
+        assert result.metrics["doubled"] == 6
+        assert result.params == {"x": 3}
+        assert result.seed == 2
+        assert result.effective_seed == calls[0][0] != 2
+        assert result.key
+
+    def test_non_dict_metrics_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("bad", defaults={})(lambda *, seed: 42)
+        with pytest.raises(TypeError):
+            execute_run(RunSpec("bad"), registry=registry)
+
+
+class TestCacheBehavior:
+    def test_second_sweep_is_all_hits(self, tmp_path):
+        registry, calls = _counting_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        specs = [RunSpec("toy", {"x": x}, seed=s) for x in (1, 2) for s in (1, 2)]
+
+        first = run_sweep(specs, cache=cache, registry=registry)
+        assert first.hits == 0 and first.misses == 4
+        assert len(calls) == 4
+
+        second = run_sweep(specs, cache=cache, registry=registry)
+        assert second.hits == 4 and second.misses == 0
+        assert second.hit_rate == 1.0
+        assert len(calls) == 4, "cached cells must not re-execute"
+        assert [a.canonical() for a in first.results] == [
+            b.canonical() for b in second.results
+        ]
+        assert "100% cache hits" in second.summary()
+
+    def test_partial_hits(self, tmp_path):
+        registry, calls = _counting_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_sweep([RunSpec("toy", {"x": 1})], cache=cache, registry=registry)
+        outcome = run_sweep(
+            [RunSpec("toy", {"x": 1}), RunSpec("toy", {"x": 2})],
+            cache=cache,
+            registry=registry,
+        )
+        assert outcome.hits == 1 and outcome.misses == 1
+        assert len(calls) == 2
+
+    def test_no_cache_forces_execution(self, tmp_path):
+        registry, calls = _counting_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_sweep([RunSpec("toy")], cache=cache, registry=registry)
+        run_sweep([RunSpec("toy")], cache=cache, registry=registry, use_cache=False)
+        assert len(calls) == 2
+
+    def test_duplicate_cells_execute_once(self, tmp_path):
+        registry, calls = _counting_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        outcome = run_sweep(
+            [RunSpec("toy"), RunSpec("toy")], cache=cache, registry=registry
+        )
+        assert len(calls) == 1
+        assert outcome.results[0].canonical() == outcome.results[1].canonical()
+        assert outcome.hits == 0 and outcome.misses == 1 and outcome.deduplicated == 1
+
+    def test_custom_registry_with_workers_falls_back_to_serial(self, tmp_path):
+        # Pool workers can only reconstruct the built-in registry (they
+        # re-import repro.experiments), so a custom registry must run
+        # in-process instead of crashing in the pool.
+        registry, calls = _counting_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        outcome = run_sweep(
+            [RunSpec("toy", {"x": x}) for x in (1, 2, 3)],
+            workers=3,
+            cache=cache,
+            registry=registry,
+        )
+        assert len(calls) == 3
+        assert outcome.workers == 1
+        assert [r.metrics["doubled"] for r in outcome.results] == [2, 4, 6]
+
+    def test_default_and_explicit_param_share_key(self, tmp_path):
+        registry, calls = _counting_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_sweep([RunSpec("toy", {})], cache=cache, registry=registry)
+        outcome = run_sweep([RunSpec("toy", {"x": 1})], cache=cache, registry=registry)
+        assert outcome.hits == 1
+        assert len(calls) == 1
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        spec = SweepSpec(
+            scenario="fig09_slowdown",
+            base=TINY,
+            grid={"mode": ["status_quo", "bundler_sfq"]},
+            seeds=(1, 2),
+        )
+        parallel = run_spec(spec, workers=2, cache=ResultCache(str(tmp_path / "par")))
+        serial = run_spec(spec, workers=1, cache=ResultCache(str(tmp_path / "ser")))
+        assert parallel.workers == 2
+        assert serial.workers == 1
+        assert len(parallel.results) == 4
+        assert [r.canonical() for r in parallel.results] == [
+            r.canonical() for r in serial.results
+        ]
+
+    def test_parallel_sweep_served_from_cache_on_rerun(self, tmp_path):
+        spec = SweepSpec(
+            scenario="fig09_slowdown", base=TINY, grid={"mode": ["status_quo"]}, seeds=(1, 2)
+        )
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_spec(spec, workers=2, cache=cache)
+        second = run_spec(spec, workers=2, cache=cache)
+        assert first.misses == 2
+        assert second.hits == 2 and second.misses == 0
+        assert [r.canonical() for r in first.results] == [
+            r.canonical() for r in second.results
+        ]
+
+
+class TestSeedInsensitiveScenarios:
+    def _registry(self):
+        registry = ScenarioRegistry()
+        calls = []
+
+        @registry.register("det", defaults={"x": 1}, seed_sensitive=False)
+        def _det(*, seed, x):
+            calls.append(seed)
+            return {"x": x}
+
+        return registry, calls
+
+    def test_seed_collapses_to_one_cell(self, tmp_path):
+        registry, calls = self._registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        outcome = run_sweep(
+            [RunSpec("det", seed=s) for s in (1, 2, 3)], cache=cache, registry=registry
+        )
+        assert len(calls) == 1, "a deterministic scenario simulates once per param cell"
+        assert len(set(r.key for r in outcome.results)) == 1
+        assert all(r.seed == 0 for r in outcome.results)
+        # In-sweep reuse is reported as deduplication, not as cache hits —
+        # this was a cold run against an empty cache.
+        assert outcome.hits == 0
+        assert outcome.misses == 1
+        assert outcome.deduplicated == 2
+        assert "2 deduplicated" in outcome.summary()
+        # A second sweep is served from the on-disk cache for every cell.
+        warm = run_sweep(
+            [RunSpec("det", seed=s) for s in (1, 2, 3)], cache=cache, registry=registry
+        )
+        assert warm.hits == 3 and warm.misses == 0 and warm.deduplicated == 0
+
+    def test_builtin_deterministic_scenarios_flagged(self):
+        from repro.runner.registry import load_builtin_scenarios
+
+        registry = load_builtin_scenarios()
+        for name in ("fig02_queue_shift", "fig05_fig06_estimates",
+                     "fig12_elastic_cross", "fig16_internet_paths"):
+            assert not registry.get(name).seed_sensitive, name
+        for name in ("fig09_slowdown", "fig07_multipath", "fig13_competing_bundles"):
+            assert registry.get(name).seed_sensitive, name
+
+
+class TestPartialFailure:
+    def _flaky_registry(self):
+        registry = ScenarioRegistry()
+        calls = []
+
+        @registry.register("flaky", defaults={"x": 1})
+        def _flaky(*, seed, x):
+            calls.append(x)
+            if x == 2:
+                raise RuntimeError("cell exploded")
+            return {"x": x}
+
+        return registry, calls
+
+    def test_completed_cells_are_cached_before_failure_surfaces(self, tmp_path):
+        registry, calls = self._flaky_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        specs = [RunSpec("flaky", {"x": x}) for x in (1, 2, 3)]
+        with pytest.raises(RuntimeError, match="1 of 3 sweep cell"):
+            run_sweep(specs, cache=cache, registry=registry)
+        assert calls == [1, 2, 3], "siblings still execute despite the failure"
+        assert len(cache) == 2, "finished cells reach the cache"
+
+        # The rerun resumes: only the broken cell re-executes (and fails again).
+        with pytest.raises(RuntimeError, match="1 of 3 sweep cell"):
+            run_sweep(specs, cache=cache, registry=registry)
+        assert calls == [1, 2, 3, 2]

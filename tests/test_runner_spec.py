@@ -1,0 +1,104 @@
+"""Tests for sweep-spec expansion."""
+
+import pytest
+
+from repro.runner.spec import RunSpec, SweepSpec, expand_grid, expand_zip
+
+
+class TestExpandGrid:
+    def test_empty_grid_is_one_cell(self):
+        assert expand_grid({}) == [{}]
+
+    def test_cartesian_product_rightmost_fastest(self):
+        cells = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert cells == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid({"a": []})
+
+
+class TestExpandZip:
+    def test_lock_step(self):
+        cells = expand_zip({"a": [1, 2], "b": ["x", "y"]})
+        assert cells == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            expand_zip({"a": [1, 2], "b": ["x"]})
+
+    def test_empty(self):
+        assert expand_zip({}) == []
+
+
+class TestSweepSpec:
+    def test_expansion_counts(self):
+        spec = SweepSpec(
+            scenario="s",
+            base={"fixed": True},
+            grid={"mode": ["a", "b"], "rate": [12, 24]},
+            seeds=(1, 2),
+        )
+        runs = spec.expand()
+        assert len(runs) == 8
+        assert len(spec) == 8
+        assert all(isinstance(r, RunSpec) for r in runs)
+        assert all(r.params["fixed"] is True for r in runs)
+        assert {r.seed for r in runs} == {1, 2}
+        # Rightmost grid key varies fastest, then seeds innermost.
+        assert [(r.params["mode"], r.params["rate"], r.seed) for r in runs[:4]] == [
+            ("a", 12, 1),
+            ("a", 12, 2),
+            ("a", 24, 1),
+            ("a", 24, 2),
+        ]
+
+    def test_zip_and_grid_compose(self):
+        spec = SweepSpec(
+            scenario="s",
+            zip={"region": ["be", "jp"], "rtt": [100, 150]},
+            grid={"configuration": ["base", "bundler"]},
+        )
+        runs = spec.expand()
+        assert len(runs) == 4
+        assert {(r.params["region"], r.params["rtt"]) for r in runs} == {("be", 100), ("jp", 150)}
+
+    def test_grid_overrides_base(self):
+        spec = SweepSpec(scenario="s", base={"x": 1}, grid={"x": [2, 3]})
+        assert [r.params["x"] for r in spec.expand()] == [2, 3]
+
+    def test_from_dict_round_trip(self):
+        data = {
+            "scenario": "s",
+            "base": {"x": 1},
+            "grid": {"mode": ["a", "b"]},
+            "seeds": [1, 2, 3],
+        }
+        spec = SweepSpec.from_dict(data)
+        assert spec.scenario == "s"
+        assert len(spec.expand()) == 6
+        assert SweepSpec.from_dict(spec.to_dict()).expand() == spec.expand()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(KeyError):
+            SweepSpec.from_dict({"scenario": "s", "bogus": 1})
+        with pytest.raises(KeyError):
+            SweepSpec.from_dict({"grid": {}})
+
+
+class TestRunSpec:
+    def test_content_equality_and_hash(self):
+        a = RunSpec("s", {"x": 1, "y": 2}, seed=1)
+        b = RunSpec("s", {"y": 2, "x": 1}, seed=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != RunSpec("s", {"x": 1, "y": 2}, seed=2)
+
+    def test_describe(self):
+        text = RunSpec("s", {"x": 1}, seed=4).describe()
+        assert "s(" in text and "x=1" in text and "seed=4" in text

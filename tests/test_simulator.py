@@ -110,3 +110,14 @@ def test_nested_scheduling_from_callback():
     sim.run()
     assert seen == ["outer", "inner"]
     assert sim.now == pytest.approx(2.0)
+
+
+def test_identifier_allocators_are_per_simulation():
+    # Addresses, flow ids and ports feed the epoch-boundary and SFQ hashes;
+    # if allocators leaked across Simulator instances (as the old
+    # module-level counters did), nominally identical runs would diverge
+    # depending on how many simulations the process had already executed.
+    a, b = Simulator(), Simulator()
+    assert [a.next_address() for _ in range(3)] == [b.next_address() for _ in range(3)]
+    assert [a.next_flow_id() for _ in range(3)] == [b.next_flow_id() for _ in range(3)]
+    assert [a.next_port() for _ in range(3)] == [b.next_port() for _ in range(3)]
