@@ -11,10 +11,12 @@ durations, thousands rather than millions of requests) so the whole suite
 runs in minutes.  The scale knobs live in :data:`repro.testing.BENCH_SCALE`
 and can be raised for a closer-to-paper run.
 
-Figures that sweep registered scenarios route through the
-:mod:`repro.runner` engine via the :func:`bench_sweep` fixture: cells are
-executed on a small worker pool and cached under ``.repro-cache/``, so
-re-running a figure only simulates what changed.
+Every figure benchmark routes through the :mod:`repro.runner` engine via
+the :func:`bench_sweep` fixture: cells are executed on a small worker pool
+and cached under ``.repro-cache/``, so re-running a figure only simulates
+what changed.  Assertions go through :func:`repro.runner.aggregate_outcome`
+— per-(scenario, params) cells with mean/CI across seeds — so a benchmark
+that sweeps several seeds asserts on the aggregate, not on one draw.
 """
 
 import os
@@ -46,9 +48,10 @@ def runner_cache(tmp_path_factory):
 
     Defaults to the shared ``.repro-cache/`` so re-running a figure only
     simulates missing cells.  That also means cached cells do NOT re-exercise
-    the simulator after a code change — set ``REPRO_BENCH_FRESH=1`` (CI does
-    not need it: a fresh checkout has no cache) or delete ``.repro-cache/``
-    to force full re-simulation.
+    the simulator after a code change — set ``REPRO_BENCH_FRESH=1`` or delete
+    ``.repro-cache/`` to force full re-simulation.  (CI restores its cache
+    under a key that hashes the whole ``src/`` tree, so restored cells were
+    produced by byte-identical code and never mask a regression.)
     """
     from repro.runner import ResultCache
 

@@ -11,64 +11,65 @@ decisions the paper argues for qualitatively:
 
 from repro.testing import BENCH_SCALE, report
 
-from repro.core.passthrough import PiQueueController
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.runner import RunSpec, aggregate_outcome, find_cell
+
+EPOCH_FRACTIONS = (("quarter_rtt", 0.25), ("full_rtt", 1.0))
 
 
-def _run_epoch_ablation():
-    results = {}
-    for label, fraction in (("quarter_rtt", 0.25), ("full_rtt", 1.0)):
-        cfg = ScenarioConfig(
-            mode="bundler_sfq",
-            bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
-            rtt_ms=BENCH_SCALE["rtt_ms"],
-            duration_s=10.0,
+def _epoch_specs():
+    return [
+        RunSpec(
+            "ablation_epoch_sampling",
+            params=dict(
+                epoch_rtt_fraction=fraction,
+                bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+                rtt_ms=BENCH_SCALE["rtt_ms"],
+                duration_s=10.0,
+            ),
             seed=BENCH_SCALE["seed"],
-            bundler_overrides={"epoch_rtt_fraction": fraction},
         )
-        results[label] = run_scenario(cfg)
-    return results
+        for _, fraction in EPOCH_FRACTIONS
+    ]
 
 
-def test_ablation_epoch_sampling_period(benchmark):
-    results = benchmark.pedantic(_run_epoch_ablation, rounds=1, iterations=1)
+def test_ablation_epoch_sampling_period(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_epoch_specs()), rounds=1, iterations=1)
+    cells = aggregate_outcome(outcome)
     lines = []
     medians = {}
-    for label, res in results.items():
-        medians[label] = res.fct_analysis().median_slowdown()
+    for label, fraction in EPOCH_FRACTIONS:
+        medians[label] = find_cell(cells, epoch_rtt_fraction=fraction).mean("median_slowdown")
         lines.append(f"epoch spacing {label:12s}: median slowdown={medians[label]:6.2f}")
     lines.append("design choice: quarter-RTT epoch spacing keeps measurements fresh at low overhead")
+    lines.append(outcome.summary())
     report("Ablation — epoch sampling period", lines)
     # Sparser sampling must not make things dramatically better (it only makes
     # the control signals staler); both configurations must remain functional.
     assert medians["quarter_rtt"] < medians["full_rtt"] * 1.5
 
 
-def _pi_settle_time(alpha: float, beta: float) -> float:
-    """Closed-loop fluid model settling time of the standing-queue controller."""
-    pi = PiQueueController(alpha=alpha, beta=beta, target_queue_s=0.010, min_rate_bps=1e6)
-    pi.reset(20e6)
-    arrival_bps = 24e6
-    queue_bytes, rate, dt = 0.0, 20e6, 0.01
-    settle = None
-    for step in range(4000):
-        queue_bytes = max(0.0, queue_bytes + (arrival_bps - rate) * dt / 8.0)
-        queue_delay = queue_bytes * 8.0 / max(rate, 1e6)
-        rate = pi.update(step * dt, queue_delay, 24e6)
-        if settle is None and step > 10 and abs(queue_delay - 0.010) < 0.002:
-            settle = step * dt
-    return settle if settle is not None else float("inf")
+def _pi_specs():
+    return [
+        RunSpec("ablation_pi_gains", params=dict(alpha=alpha, beta=beta))
+        for alpha, beta in ((10.0, 10.0), (1.0, 1.0))
+    ]
 
 
-def test_ablation_pi_controller_gains(benchmark):
-    settle_paper = benchmark.pedantic(lambda: _pi_settle_time(10.0, 10.0), rounds=1, iterations=1)
-    settle_slow = _pi_settle_time(1.0, 1.0)
+def test_ablation_pi_controller_gains(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_pi_specs()), rounds=1, iterations=1)
+    cells = aggregate_outcome(outcome)
+    paper = find_cell(cells, alpha=10.0, beta=10.0)
+    slow = find_cell(cells, alpha=1.0, beta=1.0)
+    settle_paper = paper.mean("settle_time_s")
+    settle_slow = slow.mean("settle_time_s")
     report(
         "Ablation — pass-through PI controller gains",
         [
             f"alpha=beta=10 (paper): settles to the 10 ms target in {settle_paper:5.2f} s",
             f"alpha=beta=1         : settles in {settle_slow:5.2f} s",
             "design choice: the paper's gains reach the target queue much faster without oscillating",
+            outcome.summary(),
         ],
     )
+    assert paper.mean("settled") == 1.0 and slow.mean("settled") == 1.0
     assert settle_paper < settle_slow

@@ -2,7 +2,7 @@
 
 from repro.testing import report
 
-from repro.runner import RunSpec
+from repro.runner import RunSpec, aggregate_outcome, find_cell
 
 PATH_COUNTS = (1, 2, 4)
 
@@ -20,20 +20,24 @@ def _specs():
 
 def test_fig07_sec76_multipath_detection(benchmark, bench_sweep):
     outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
-    points = [(r.params["num_paths"], r.metrics) for r in outcome.results]
+    cells = aggregate_outcome(outcome)
+    modes = {r.params["num_paths"]: r.metrics["final_mode"] for r in outcome.results}
     lines = []
-    for paths, m in points:
+    for paths in PATH_COUNTS:
+        c = find_cell(cells, num_paths=paths)
+        # detector_triggered is a boolean metric; its mean is the fraction of
+        # seeds on which the heuristic fired.
         lines.append(
-            f"paths={paths}: out-of-order fraction={m['out_of_order_fraction'] * 100:6.2f}% "
-            f"detector_triggered={m['detector_triggered']} final_mode={m['final_mode']}"
+            f"paths={paths}: out-of-order fraction={c.mean('out_of_order_fraction') * 100:6.2f}% "
+            f"detector_triggered={c.mean('detector_triggered'):.0%} final_mode={modes[paths]}"
         )
     lines.append("paper: <=0.4% on single paths, >=20% with 2-32 paths; 5% threshold separates them")
     lines.append(outcome.summary())
     report("Figure 7 / §7.6 — multipath imbalance heuristic", lines)
 
-    single = [m for paths, m in points if paths == 1]
-    multi = [m for paths, m in points if paths > 1]
-    assert all(m["out_of_order_fraction"] < 0.05 for m in single)
-    assert all(m["out_of_order_fraction"] > 0.05 for m in multi)
-    assert all(not m["detector_triggered"] for m in single)
-    assert all(m["detector_triggered"] for m in multi)
+    single = [find_cell(cells, num_paths=p) for p in PATH_COUNTS if p == 1]
+    multi = [find_cell(cells, num_paths=p) for p in PATH_COUNTS if p > 1]
+    assert all(c.mean("out_of_order_fraction") < 0.05 for c in single)
+    assert all(c.mean("out_of_order_fraction") > 0.05 for c in multi)
+    assert all(c.mean("detector_triggered") == 0.0 for c in single)
+    assert all(c.mean("detector_triggered") == 1.0 for c in multi)

@@ -3,7 +3,7 @@
 from repro.testing import BENCH_SCALE, report
 
 from repro.metrics.stats import improvement
-from repro.runner import RunSpec
+from repro.runner import RunSpec, aggregate_outcome, find_cell
 
 MODES = ("status_quo", "bundler_sfq", "bundler_fifo", "in_network_sfq")
 
@@ -27,21 +27,22 @@ def _specs():
 
 def test_fig09_fct_slowdown(benchmark, bench_sweep):
     outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
-    metrics = {r.params["mode"]: r.metrics for r in outcome.results}
+    cells = aggregate_outcome(outcome)
+    by_mode = {mode: find_cell(cells, mode=mode) for mode in MODES}
     lines = []
     for mode in MODES:
-        m = metrics[mode]
-        small = m["small_median_slowdown"]
+        c = by_mode[mode]
+        small = c.get("small_median_slowdown")
         lines.append(
-            f"{mode:15s} median={m['median_slowdown']:6.2f} "
-            f"p99={m['p99_slowdown']:8.1f} "
+            f"{mode:15s} median={c.mean('median_slowdown'):6.2f} "
+            f"p99={c.mean('p99_slowdown'):8.1f} "
             f"small-flow median={small if small is not None else float('nan'):6.2f} "
-            f"n={m['completed']}"
+            f"n={c.mean('completed'):.0f}"
         )
-    sq = metrics["status_quo"]["median_slowdown"]
-    bu = metrics["bundler_sfq"]["median_slowdown"]
-    inn = metrics["in_network_sfq"]["median_slowdown"]
-    fifo = metrics["bundler_fifo"]["median_slowdown"]
+    sq = by_mode["status_quo"].mean("median_slowdown")
+    bu = by_mode["bundler_sfq"].mean("median_slowdown")
+    inn = by_mode["in_network_sfq"].mean("median_slowdown")
+    fifo = by_mode["bundler_fifo"].mean("median_slowdown")
     lines.append(
         f"bundler vs status quo: {improvement(sq, bu) * 100:.0f}% lower median "
         f"(paper: 28% lower, 1.76 -> 1.26); in-network a further "
@@ -55,4 +56,4 @@ def test_fig09_fct_slowdown(benchmark, bench_sweep):
     assert inn <= bu * 1.05, "In-Network FQ is the (undeployable) upper bound"
     assert fifo > bu, "Bundler with FIFO gains nothing over Bundler with SFQ"
     # Tail improvement (paper: 99th percentile 79.4 -> 41.4).
-    assert metrics["bundler_sfq"]["p99_slowdown"] < metrics["status_quo"]["p99_slowdown"]
+    assert by_mode["bundler_sfq"].mean("p99_slowdown") < by_mode["status_quo"].mean("p99_slowdown")

@@ -2,48 +2,59 @@
 
 from repro.testing import report
 
-from repro.experiments import PhasedConfig, run_phased_cross_traffic
+from repro.runner import RunSpec, aggregate_outcome
+
+PHASE_DURATION_S = 12.0
+TOTAL_S = 3 * PHASE_DURATION_S
 
 
-def _run():
-    return run_phased_cross_traffic(
-        PhasedConfig(
-            bottleneck_mbps=24.0,
-            rtt_ms=50.0,
-            phase_duration_s=12.0,
-            bundle_load_fraction=0.6,
-            cross_bulk_flows=1,
-            cross_load_fraction=0.3,
+def _specs():
+    return [
+        RunSpec(
+            "fig10_phased_cross_traffic",
+            params=dict(
+                bottleneck_mbps=24.0,
+                rtt_ms=50.0,
+                phase_duration_s=PHASE_DURATION_S,
+                bundle_load_fraction=0.6,
+                cross_bulk_flows=1,
+                cross_load_fraction=0.3,
+            ),
+            seed=1,
         )
-    )
+    ]
 
 
-def test_fig10_cross_traffic_phases(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig10_cross_traffic_phases(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    [cell] = aggregate_outcome(outcome)
     phases = ("no cross traffic", "buffer-filling cross", "non-buffer-filling cross")
     lines = []
     medians = []
+    delays = []
     for i, name in enumerate(phases):
-        fct = result.phase_fct(i)
-        median = fct.median_slowdown() if len(fct) else float("nan")
-        medians.append(median)
+        median = cell.get(f"phase{i}_median_slowdown")
+        delay_ms = cell.mean(f"phase{i}_queue_delay_ms")
+        medians.append(median if median is not None else float("nan"))
+        delays.append(delay_ms)
         lines.append(
-            f"phase {i} ({name:24s}): median slowdown={median:6.2f} "
-            f"in-network queue={result.phase_queue_delay_mean(i) * 1e3:6.1f} ms n={len(fct)}"
+            f"phase {i} ({name:24s}): median slowdown={medians[i]:6.2f} "
+            f"in-network queue={delay_ms:6.1f} ms"
         )
-    total = result.phase_boundaries[-1]
+    pass_through = cell.mean("pass_through_seconds")
     lines.append(
-        f"time in pass-through mode: {result.pass_through_seconds:.1f}s of {total:.0f}s "
+        f"time in pass-through mode: {pass_through:.1f}s of {TOTAL_S:.0f}s "
         "(paper: pass-through only while the buffer-filling flow is active)"
     )
+    lines.append(outcome.summary())
     report("Figure 10 — cross-traffic phases", lines)
 
     # Phase 1 (self-inflicted only): Bundler keeps the network queue small and
     # short flows fast.  Phase 2 (buffer-filling cross traffic): it must revert
     # to (slightly worse than) Status Quo — queueing and slowdowns rise.
-    assert result.phase_queue_delay_mean(0) < result.phase_queue_delay_mean(1)
+    assert delays[0] < delays[1]
     assert medians[0] < medians[1]
     # The detector must actually spend time letting traffic pass while the
     # buffer-filling flow is active, and must not do so for the whole run.
-    assert result.pass_through_seconds > 0.2 * (total / 3.0)
-    assert result.pass_through_seconds < 0.95 * total
+    assert pass_through > 0.2 * (TOTAL_S / 3.0)
+    assert pass_through < 0.95 * TOTAL_S

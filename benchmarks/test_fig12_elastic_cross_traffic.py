@@ -2,44 +2,59 @@
 
 from repro.testing import report
 
-from repro.experiments import run_elastic_cross_sweep
+from repro.runner import RunSpec, aggregate_outcome
+
+COMPETING_FLOW_COUNTS = (2, 5)
+MODES = ("status_quo", "bundler")
 
 
-def _run():
+def _specs():
     # Steady-state comparison: the first 10 s are excluded so Nimbus's
     # elastic-cross-traffic detection window does not drag down the mean.
-    return run_elastic_cross_sweep(
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        bundle_flows=5,
-        competing_flow_counts=(2, 5),
-        duration_s=40.0,
-        warmup_s=10.0,
-    )
+    return [
+        RunSpec(
+            "fig12_elastic_cross",
+            params=dict(
+                mode=mode,
+                competing_flows=flows,
+                bottleneck_mbps=24.0,
+                rtt_ms=50.0,
+                bundle_flows=5,
+                duration_s=40.0,
+                warmup_s=10.0,
+            ),
+        )
+        for mode in MODES
+        for flows in COMPETING_FLOW_COUNTS
+    ]
 
 
-def test_fig12_elastic_cross_traffic(benchmark):
-    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig12_elastic_cross_traffic(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    cells = aggregate_outcome(outcome)
     lines = []
-    for p in points:
+    for c in cells:
         lines.append(
-            f"{p.mode:10s} competing={p.competing_flows:2d}: bundle={p.bundle_throughput_mbps:5.1f} "
-            f"cross={p.cross_throughput_mbps:5.1f} fair-share={p.fair_share_mbps:5.1f} Mbit/s "
-            f"(bundle/fair={p.throughput_vs_fair_share:4.2f})"
+            f"{c.params['mode']:10s} competing={c.params['competing_flows']:2d}: "
+            f"bundle={c.mean('bundle_throughput_mbps'):5.1f} "
+            f"cross={c.mean('cross_throughput_mbps'):5.1f} "
+            f"fair-share={c.mean('fair_share_mbps'):5.1f} Mbit/s "
+            f"(bundle/fair={c.mean('throughput_vs_fair_share'):4.2f})"
         )
     lines.append(
         "paper: bundled flows lose 12-22% of throughput versus the status quo while holding a "
         "small probing queue; they must not collapse"
     )
+    lines.append(outcome.summary())
     report("Figure 12 — persistent elastic cross traffic", lines)
 
-    bundler = [p for p in points if p.mode == "bundler"]
-    status_quo = [p for p in points if p.mode == "status_quo"]
+    bundler = [c for c in cells if c.params["mode"] == "bundler"]
+    status_quo = [c for c in cells if c.params["mode"] == "status_quo"]
     # The bundle keeps a substantial share of its fair share (no starvation),
     # though it may give up some throughput relative to Status Quo.
-    for p in bundler:
-        assert p.throughput_vs_fair_share > 0.4
+    for c in bundler:
+        assert c.mean("throughput_vs_fair_share") > 0.4
     # Link stays busy overall in both configurations.
-    for p in points:
-        assert p.bundle_throughput_mbps + p.cross_throughput_mbps > 0.7 * 24.0
+    for c in cells:
+        assert c.mean("bundle_throughput_mbps") + c.mean("cross_throughput_mbps") > 0.7 * 24.0
     assert status_quo and bundler

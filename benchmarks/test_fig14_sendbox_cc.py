@@ -2,40 +2,46 @@
 
 from repro.testing import BENCH_SCALE, report
 
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.runner import RunSpec, aggregate_outcome, find_cell
 
 SENDBOX_CCS = ("copa", "basic_delay", "bbr")
 
+BASE = dict(
+    bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+    rtt_ms=BENCH_SCALE["rtt_ms"],
+    duration_s=12.0,
+)
 
-def _run():
-    results = {"status_quo": run_scenario(ScenarioConfig(
-        mode="status_quo",
-        bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
-        rtt_ms=BENCH_SCALE["rtt_ms"],
-        duration_s=12.0,
-        seed=BENCH_SCALE["seed"],
-    ))}
-    for cc in SENDBOX_CCS:
-        cfg = ScenarioConfig(
-            mode="bundler_sfq",
-            sendbox_cc=cc,
-            bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
-            rtt_ms=BENCH_SCALE["rtt_ms"],
-            duration_s=12.0,
+
+def _specs():
+    specs = [
+        RunSpec("fig14_sendbox_cc", params=dict(mode="status_quo", **BASE), seed=BENCH_SCALE["seed"])
+    ]
+    specs += [
+        RunSpec(
+            "fig14_sendbox_cc",
+            params=dict(mode="bundler_sfq", sendbox_cc=cc, **BASE),
             seed=BENCH_SCALE["seed"],
         )
-        results[f"bundler_{cc}"] = run_scenario(cfg)
-    return results
+        for cc in SENDBOX_CCS
+    ]
+    return specs
 
 
-def test_fig14_sendbox_congestion_control(benchmark):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
-    medians = {name: res.fct_analysis().median_slowdown() for name, res in results.items()}
+def test_fig14_sendbox_congestion_control(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    cells = aggregate_outcome(outcome)
+    medians = {"status_quo": find_cell(cells, mode="status_quo").mean("median_slowdown")}
+    for cc in SENDBOX_CCS:
+        medians[f"bundler_{cc}"] = find_cell(cells, mode="bundler_sfq", sendbox_cc=cc).mean(
+            "median_slowdown"
+        )
     lines = [f"{name:22s} median slowdown={median:6.2f}" for name, median in medians.items()]
     lines.append(
         "paper: Copa and BasicDelay provide similar benefits over Status Quo; BBR is slightly "
         "worse than Status Quo because it keeps a larger in-network queue"
     )
+    lines.append(outcome.summary())
     report("Figure 14 — sendbox congestion control choice", lines)
 
     # The delay-controlling algorithms must beat Status Quo.

@@ -2,7 +2,7 @@
 
 from repro.testing import BENCH_SCALE, report
 
-from repro.runner import RunSpec
+from repro.runner import RunSpec, aggregate_outcome, find_cell
 
 MODES = ("bundler_sfq", "proxy")
 
@@ -24,12 +24,13 @@ def _specs():
 
 def test_fig15_idealized_proxy(benchmark, bench_sweep):
     outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
-    metrics = {r.params["mode"]: r.metrics for r in outcome.results}
+    cells = aggregate_outcome(outcome)
+    by_mode = {mode: find_cell(cells, mode=mode) for mode in MODES}
     lines = []
     for mode in MODES:
-        m = metrics[mode]
+        c = by_mode[mode]
         per_bucket = "  ".join(
-            f"{label}={m[key]:.2f}" if m[key] is not None else f"{label}=n/a"
+            f"{label}={c.get(key):.2f}" if c.get(key) is not None else f"{label}=n/a"
             for label, key in (
                 ("<=10KB", "small_median_slowdown"),
                 ("10KB-1MB", "mid_median_slowdown"),
@@ -44,10 +45,10 @@ def test_fig15_idealized_proxy(benchmark, bench_sweep):
     lines.append(outcome.summary())
     report("Figure 15 — idealized TCP proxy emulation", lines)
 
-    short_bundler = metrics["bundler_sfq"]["small_median_slowdown"]
-    short_proxy = metrics["proxy"]["small_median_slowdown"]
-    mid_bundler = metrics["bundler_sfq"]["mid_median_slowdown"]
-    mid_proxy = metrics["proxy"]["mid_median_slowdown"]
+    short_bundler = by_mode["bundler_sfq"].get("small_median_slowdown")
+    short_proxy = by_mode["proxy"].get("small_median_slowdown")
+    mid_bundler = by_mode["bundler_sfq"].get("mid_median_slowdown")
+    mid_proxy = by_mode["proxy"].get("mid_median_slowdown")
     assert None not in (short_bundler, short_proxy, mid_bundler, mid_proxy)
     # Short flows: no meaningful additional benefit from terminating connections.
     assert short_proxy < short_bundler * 1.5

@@ -2,50 +2,56 @@
 
 from repro.testing import BENCH_SCALE, report
 
-from repro.experiments import ScenarioConfig, run_scenario
-from repro.net.trace import percentile
+from repro.runner import RunSpec, aggregate_outcome, find_cell
+
+BASE = dict(
+    bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
+    rtt_ms=BENCH_SCALE["rtt_ms"],
+    load_fraction=0.875,
+    duration_s=12.0,
+)
 
 
-def _run():
-    results = {}
-    for mode in ("status_quo", "bundler_fq_codel", "bundler_prio"):
-        cfg = ScenarioConfig(
-            mode=mode,
-            bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
-            rtt_ms=BENCH_SCALE["rtt_ms"],
-            load_fraction=0.875,
-            duration_s=12.0,
-            seed=BENCH_SCALE["seed"],
-        )
-        results[mode] = run_scenario(cfg)
-    return results
+def _specs():
+    return [
+        RunSpec("sec72_fq_codel", params=dict(mode=mode, **BASE), seed=BENCH_SCALE["seed"])
+        for mode in ("status_quo", "bundler_fq_codel")
+    ] + [
+        RunSpec("sec72_priority", params=dict(mode="bundler_prio", **BASE), seed=BENCH_SCALE["seed"])
+    ]
 
 
-def test_sec72_other_policies(benchmark):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_sec72_other_policies(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    cells = aggregate_outcome(outcome)
     lines = []
 
     # FQ-CoDel: short flows (latency-sensitive) should complete much faster
     # than under the Status Quo FIFO bottleneck.
-    sq_small = results["status_quo"].fct_analysis().short_flow_analysis()
-    fq_small = results["bundler_fq_codel"].fct_analysis().short_flow_analysis()
+    sq_short = find_cell(cells, scenario="sec72_fq_codel", mode="status_quo").mean(
+        "short_median_slowdown"
+    )
+    fq_short = find_cell(cells, scenario="sec72_fq_codel", mode="bundler_fq_codel").mean(
+        "short_median_slowdown"
+    )
     lines.append(
-        f"short-flow median slowdown: status quo={sq_small.median_slowdown():.2f} "
-        f"bundler+fq_codel={fq_small.median_slowdown():.2f} "
+        f"short-flow median slowdown: status quo={sq_short:.2f} "
+        f"bundler+fq_codel={fq_short:.2f} "
         "(paper: 97% lower median end-to-end RTT with FQ-CoDel)"
     )
 
     # Strict priority: the favored class's flows beat the deprioritized class.
-    prio = results["bundler_prio"].fct_analysis()
-    high = [s for s, size in zip(prio.slowdowns, prio.sizes) if size <= 100_000]
-    low = [s for s, size in zip(prio.slowdowns, prio.sizes) if size > 100_000]
-    if high and low:
+    prio = find_cell(cells, scenario="sec72_priority")
+    high = prio.get("high_class_median_slowdown")
+    low = prio.get("low_class_median_slowdown")
+    if high is not None and low is not None:
         lines.append(
-            f"priority classes median slowdown: high={percentile(high, 50):.2f} "
-            f"low={percentile(low, 50):.2f} (paper: 65% lower median FCT for the favored class)"
+            f"priority classes median slowdown: high={high:.2f} "
+            f"low={low:.2f} (paper: 65% lower median FCT for the favored class)"
         )
+    lines.append(outcome.summary())
     report("§7.2 — other scheduling policies at the sendbox", lines)
 
-    assert fq_small.median_slowdown() < sq_small.median_slowdown()
-    if high and low:
-        assert percentile(high, 50) < percentile(low, 50)
+    assert fq_short < sq_short
+    if high is not None and low is not None:
+        assert high < low

@@ -2,32 +2,38 @@
 
 from repro.testing import BENCH_SCALE, report
 
-from repro.experiments import ScenarioConfig, run_scenario
 from repro.metrics.stats import improvement
+from repro.runner import RunSpec, aggregate_outcome, find_cell
+
+ENDHOST_CCS = ("cubic", "reno", "bbr")
+MODES = ("status_quo", "bundler_sfq")
 
 
-def _run():
-    results = {}
-    for endhost_cc in ("cubic", "reno", "bbr"):
-        for mode in ("status_quo", "bundler_sfq"):
-            cfg = ScenarioConfig(
+def _specs():
+    return [
+        RunSpec(
+            "sec74_endhost_cc",
+            params=dict(
                 mode=mode,
                 endhost_cc=endhost_cc,
                 bottleneck_mbps=BENCH_SCALE["bottleneck_mbps"],
                 rtt_ms=BENCH_SCALE["rtt_ms"],
                 duration_s=10.0,
-                seed=BENCH_SCALE["seed"],
-            )
-            results[(endhost_cc, mode)] = run_scenario(cfg)
-    return results
+            ),
+            seed=BENCH_SCALE["seed"],
+        )
+        for endhost_cc in ENDHOST_CCS
+        for mode in MODES
+    ]
 
 
-def test_sec74_endhost_congestion_control(benchmark):
-    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_sec74_endhost_congestion_control(benchmark, bench_sweep):
+    outcome = benchmark.pedantic(lambda: bench_sweep(_specs()), rounds=1, iterations=1)
+    cells = aggregate_outcome(outcome)
     lines = []
-    for endhost_cc in ("cubic", "reno", "bbr"):
-        sq = results[(endhost_cc, "status_quo")].fct_analysis().median_slowdown()
-        bu = results[(endhost_cc, "bundler_sfq")].fct_analysis().median_slowdown()
+    for endhost_cc in ENDHOST_CCS:
+        sq = find_cell(cells, endhost_cc=endhost_cc, mode="status_quo").mean("median_slowdown")
+        bu = find_cell(cells, endhost_cc=endhost_cc, mode="bundler_sfq").mean("median_slowdown")
         lines.append(
             f"endhost={endhost_cc:6s}: status quo={sq:6.2f}  bundler={bu:6.2f}  "
             f"improvement={improvement(sq, bu) * 100:5.1f}%"
@@ -36,4 +42,5 @@ def test_sec74_endhost_congestion_control(benchmark):
         # factor varies, but Bundler must keep winning for every endhost CC.
         assert bu < sq
     lines.append("paper: Bundler achieves 58% lower median FCT with BBR endhosts; benefits persist")
+    lines.append(outcome.summary())
     report("§7.4 — endhost congestion control choice", lines)

@@ -15,8 +15,8 @@ spec, so cache entries are shared between the two)::
     python -m repro.runner sweep --smoke --workers 2
 """
 
-from repro.metrics.reporting import format_run_results
-from repro.runner import ResultCache, SweepSpec, run_spec
+from repro.metrics.reporting import format_aggregate_cells, format_run_results
+from repro.runner import ResultCache, SweepSpec, aggregate_outcome, run_spec
 from repro.runner.cli import SMOKE_SPEC
 
 
@@ -30,6 +30,16 @@ def main() -> None:
             outcome.results,
             title="Figure 9 sweep (scaled down)",
             metrics=["median_slowdown", "p99_slowdown", "completed"],
+        )
+    )
+    print()
+    # Collapse the two seeds of each (mode, rate) cell into mean ± 95% CI —
+    # the same view as `python -m repro.runner report --aggregate`.
+    print(
+        format_aggregate_cells(
+            aggregate_outcome(outcome),
+            title="Aggregated across seeds (mean ± 95% CI)",
+            metrics=["median_slowdown", "p99_slowdown"],
         )
     )
     print()

@@ -14,15 +14,18 @@ The remaining modules build the more specialised scenarios:
 * :mod:`repro.experiments.multipath_sweep` — Figure 7 and §7.6.
 * :mod:`repro.experiments.internet_paths` — Figure 16 / §8.
 * :mod:`repro.experiments.queue_shift` — Figure 2.
+* :mod:`repro.experiments.ablations` — design-choice ablations (no figure).
 """
 
 from repro.experiments.scenarios import (
     ScenarioConfig,
     ScenarioResult,
+    policy_metrics,
     run_scenario,
     run_scenarios,
     scenario_metrics,
 )
+from repro.experiments.ablations import pi_settle_time
 from repro.experiments.queue_shift import QueueShiftResult, run_queue_shift
 from repro.experiments.estimate_accuracy import EstimateTrace, run_estimate_sweep, run_estimate_trace
 from repro.experiments.cross_traffic import (
@@ -48,6 +51,8 @@ __all__ = [
     "run_scenario",
     "run_scenarios",
     "scenario_metrics",
+    "policy_metrics",
+    "pi_settle_time",
     "QueueShiftResult",
     "run_queue_shift",
     "EstimateTrace",

@@ -318,8 +318,66 @@ register_scenario(
 )(_run_registered_scenario)
 
 register_scenario(
+    "fig14_sendbox_cc",
+    figure="Figure 14 / §7.2",
+    description="Sendbox congestion-control choice (Copa / BasicDelay / BBR) on the §7.1 workload",
+    defaults={**_SCENARIO_DEFAULTS, "duration_s": 12.0},
+)(_run_registered_scenario)
+
+register_scenario(
     "fig15_proxy",
     figure="Figure 15 / §7.5",
     description="Idealized TCP-terminating proxy emulation vs plain Bundler",
     defaults={**_SCENARIO_DEFAULTS, "mode": "proxy", "load_fraction": 0.8, "duration_s": 12.0},
 )(_run_registered_scenario)
+
+register_scenario(
+    "sec74_endhost_cc",
+    figure="§7.4 (table)",
+    description="Bundler's gains across endhost congestion controllers (Cubic / Reno / BBR)",
+    defaults={**_SCENARIO_DEFAULTS, "duration_s": 10.0},
+)(_run_registered_scenario)
+
+
+def policy_metrics(result: ScenarioResult) -> Dict[str, object]:
+    """Metrics for the §7.2 scheduling-policy scenarios.
+
+    Adds what :func:`scenario_metrics` lacks for the policy claims: the
+    short-flow (latency-sensitive) median, and the per-priority-class
+    medians, split by the same classifier the run's strict-priority qdisc
+    used (the scenario's override, or the default <=100 KB boundary).
+    """
+    from repro.net.trace import percentile
+
+    classifier = result.config.priority_class_for_size or _default_priority_classifier
+    analysis = result.fct_analysis()
+    short = analysis.short_flow_analysis()
+    high = [s for s, size in zip(analysis.slowdowns, analysis.sizes) if classifier(size) == 0]
+    low = [s for s, size in zip(analysis.slowdowns, analysis.sizes) if classifier(size) != 0]
+    return {
+        "completed": len(analysis),
+        "median_slowdown": analysis.median_slowdown() if len(analysis) else None,
+        "short_median_slowdown": short.median_slowdown() if len(short) else None,
+        "high_class_median_slowdown": percentile(high, 50.0) if high else None,
+        "low_class_median_slowdown": percentile(low, 50.0) if low else None,
+    }
+
+
+def _run_policy_scenario(*, seed: int, **params) -> Dict[str, object]:
+    config = ScenarioConfig(seed=seed, **params)
+    return policy_metrics(run_scenario(config))
+
+
+register_scenario(
+    "sec72_fq_codel",
+    figure="§7.2 (text)",
+    description="FQ-CoDel at the sendbox: short-flow latency versus the Status Quo FIFO",
+    defaults={**_SCENARIO_DEFAULTS, "mode": "bundler_fq_codel", "duration_s": 12.0},
+)(_run_policy_scenario)
+
+register_scenario(
+    "sec72_priority",
+    figure="§7.2 (text)",
+    description="Strict priority at the sendbox: the favored class beats the deprioritized one",
+    defaults={**_SCENARIO_DEFAULTS, "mode": "bundler_prio", "duration_s": 12.0},
+)(_run_policy_scenario)

@@ -104,3 +104,36 @@ def format_run_results(results, *, title: str = "", metrics: Optional[Sequence[s
             *[r.metrics.get(m, float("nan")) for m in metric_keys],
         )
     return table.render()
+
+
+def format_aggregate_cells(cells, *, title: str = "", metrics: Optional[Sequence[str]] = None) -> str:
+    """Render :class:`repro.runner.aggregate.AggregateCell` rows as a table.
+
+    One row per (scenario-implicit) parameter cell; metric columns show
+    ``mean ± 95% CI`` across the cell's seeds (bare mean when only one seed
+    contributed).  Duck-typed on ``.params`` / ``.seeds`` / ``.metrics`` so
+    this module stays free of runner imports, mirroring
+    :func:`format_run_results`.
+    """
+    cells = list(cells)
+    if not cells:
+        return f"{title}\n(no results)" if title else "(no results)"
+    param_keys: List[str] = sorted({k for c in cells for k in c.params})
+    varying = [
+        k for k in param_keys
+        if len({repr(c.params.get(k)) for c in cells}) > 1
+    ]
+    metric_keys = (
+        list(metrics) if metrics is not None else sorted({m for c in cells for m in c.metrics})
+    )
+    table = Table([*varying, "seeds", *metric_keys], title=title)
+    for c in cells:
+        table.add_row(
+            *[c.params.get(k) for k in varying],
+            len(c.seeds),
+            *[
+                c.metrics[m].describe() if m in c.metrics else "-"
+                for m in metric_keys
+            ],
+        )
+    return table.render()

@@ -54,10 +54,17 @@ class SfqQdisc(Qdisc):
         return (packet.flow_hash() ^ (self._perturbation * 0x9E3779B9)) % self.buckets
 
     def enqueue(self, packet: Packet, now: float) -> bool:
-        if self._would_exceed_limit(packet):
-            # Linux SFQ drops from the longest per-flow queue on overflow and
-            # then accepts the arrival, so one heavy flow cannot squeeze out
-            # light ones.
+        if self.limit_bytes is not None and packet.size > self.limit_bytes:
+            # The arrival can never fit, even into an empty queue; draining
+            # every bucket for it would punish the well-behaved flows.
+            self._account_drop(packet)
+            return False
+        # Linux SFQ drops from the longest per-flow queue on overflow and
+        # then accepts the arrival, so one heavy flow cannot squeeze out
+        # light ones.  With a byte limit one victim may not be enough for a
+        # large arrival, so keep evicting until the arrival fits; the loop is
+        # bounded by the number of queued packets.
+        while self._would_exceed_limit(packet):
             victim_bucket = self._longest_bucket()
             if victim_bucket is None:
                 self._account_drop(packet)

@@ -12,11 +12,17 @@ missing.  The pieces:
 * :mod:`repro.runner.engine` — the multiprocessing worker pool with
   deterministic per-run seeds (``derive_seed``) and cache integration;
 * :mod:`repro.runner.cache` — the content-addressed JSON result store
-  under ``.repro-cache/``;
+  under ``.repro-cache/``, with a ``manifest.json`` index and
+  :meth:`~repro.runner.cache.ResultCache.gc` eviction (stale scenario
+  versions, age cutoffs);
+* :mod:`repro.runner.aggregate` — cross-seed statistics: results grouped
+  by (scenario, params) with mean / stdev / 95% CI per metric, the layer
+  the benchmarks assert against;
 * :mod:`repro.runner.result` — the pure :class:`RunResult` record consumed
   by :func:`repro.metrics.reporting.format_run_results`;
 * :mod:`repro.runner.cli` — the ``repro-runner`` / ``python -m
-  repro.runner`` command line (``list``, ``run``, ``sweep``, ``report``).
+  repro.runner`` command line (``list``, ``run``, ``sweep``, ``report``
+  [``--aggregate``], ``gc``).
 
 Paper figures map to registered scenarios as follows:
 
@@ -31,8 +37,14 @@ scenario name                   paper figure / section
 ``fig11_short_cross_traffic``   Figure 11 (short cross-traffic sweep)
 ``fig12_elastic_cross``         Figure 12 (elastic cross-traffic share)
 ``fig13_competing_bundles``     Figure 13 (two bundles, one bottleneck)
+``fig14_sendbox_cc``            Figure 14 / §7.2 (sendbox CC choice)
 ``fig15_proxy``                 Figure 15 / §7.5 (idealized proxy)
 ``fig16_internet_paths``        Figure 16 / §8 (emulated WAN regions)
+``sec72_fq_codel``              §7.2 text (FQ-CoDel short-flow latency)
+``sec72_priority``              §7.2 text (strict priority classes)
+``sec74_endhost_cc``            §7.4 table (endhost CC choice)
+``ablation_epoch_sampling``     Ablation (epoch sampling period)
+``ablation_pi_gains``           Ablation (pass-through PI gains)
 ==============================  =======================================
 
 Quick start::
@@ -40,10 +52,25 @@ Quick start::
     python -m repro.runner list
     python -m repro.runner sweep --smoke --workers 2
     python -m repro.runner run fig09_slowdown -p mode=status_quo --seed 3
-    python -m repro.runner report
+    python -m repro.runner report --aggregate
+    python -m repro.runner gc --max-age-days 30
 """
 
-from repro.runner.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
+from repro.runner.aggregate import (
+    AggregateCell,
+    MetricAggregate,
+    aggregate_outcome,
+    aggregate_results,
+    find_cell,
+    find_cells,
+)
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    MANIFEST_NAME,
+    CacheStats,
+    GcStats,
+    ResultCache,
+)
 from repro.runner.engine import (
     CellOutcome,
     SweepOutcome,
@@ -64,8 +91,16 @@ from repro.runner.result import RunResult, run_key
 from repro.runner.spec import RunSpec, SweepSpec, expand_grid, expand_zip
 
 __all__ = [
+    "AggregateCell",
+    "MetricAggregate",
+    "aggregate_outcome",
+    "aggregate_results",
+    "find_cell",
+    "find_cells",
     "DEFAULT_CACHE_DIR",
+    "MANIFEST_NAME",
     "CacheStats",
+    "GcStats",
     "ResultCache",
     "CellOutcome",
     "SweepOutcome",

@@ -1,4 +1,4 @@
-"""Content-addressed result cache.
+"""Content-addressed result cache with a manifest index and GC.
 
 Every run's :class:`~repro.runner.result.RunResult` is stored as one JSON
 file under the cache root (default ``.repro-cache/``), named by the run's
@@ -6,20 +6,52 @@ content key.  Re-running a figure therefore only simulates the cells that
 are missing; everything else is served from disk.  The cache is plain JSON
 on purpose: records survive refactors, diff cleanly, and can be inspected
 with nothing but ``cat``.
+
+Alongside the records the cache maintains ``manifest.json``, a single index
+mapping each key to the run's identity and execution metadata::
+
+    {
+      "format": 1,
+      "records": {
+        "<key>": {
+          "scenario": "fig09_slowdown",
+          "params": {...resolved params...},
+          "seed": 1,
+          "scenario_version": 1,
+          "elapsed_s": 1.82,
+          "created_at": 1769900000.0
+        },
+        ...
+      }
+    }
+
+The manifest is a derived artifact: :meth:`ResultCache.rebuild_manifest`
+reconstructs it from the record files at any time, so a stale or deleted
+manifest is never fatal.  :meth:`ResultCache.gc` uses it to evict records
+whose ``scenario_version`` no longer matches the registered scenario and
+records older than a caller-given age.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro.runner.result import RunResult
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Name of the manifest index file inside the cache root.
+MANIFEST_NAME = "manifest.json"
+
+#: Version of the manifest file layout.
+MANIFEST_FORMAT = 1
 
 
 @dataclass
@@ -41,15 +73,60 @@ class CacheStats:
         return self.hits / self.lookups
 
 
+@dataclass
+class GcStats:
+    """What one :meth:`ResultCache.gc` pass examined and evicted."""
+
+    examined: int = 0
+    evicted_stale_version: int = 0
+    evicted_age: int = 0
+    #: Keys that were (or, under ``dry_run``, would have been) removed.
+    evicted_keys: List[str] = field(default_factory=list)
+
+    @property
+    def evicted(self) -> int:
+        return self.evicted_stale_version + self.evicted_age
+
+    @property
+    def kept(self) -> int:
+        return self.examined - self.evicted
+
+    def summary(self) -> str:
+        return (
+            f"{self.examined} record(s) examined: {self.evicted} evicted "
+            f"({self.evicted_stale_version} stale version, {self.evicted_age} expired), "
+            f"{self.kept} kept"
+        )
+
+
 class ResultCache:
     """Directory-backed store of :class:`RunResult` records keyed by content."""
 
     def __init__(self, root: Optional[str] = None) -> None:
         self.root = root or DEFAULT_CACHE_DIR
         self.stats = CacheStats()
+        self._manifest: Optional[Dict[str, Dict[str, Any]]] = None
+        self._defer_manifest = False
+        self._manifest_dirty = False
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _write_json_atomic(self, path: str, payload: Mapping[str, Any]) -> None:
+        """Temp file + rename, so a crash never leaves a half-written file."""
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
     def get(self, key: str) -> Optional[RunResult]:
         """The cached result for ``key``, or ``None`` on a miss."""
@@ -67,49 +144,200 @@ class ResultCache:
         return result
 
     def put(self, result: RunResult, *, elapsed_s: Optional[float] = None) -> str:
-        """Store ``result``; returns the record's path.
+        """Store ``result`` and index it in the manifest; returns the record's path.
 
         The write is atomic (temp file + rename) so a crashed or killed
         worker can never leave a half-written record behind.
         """
-        os.makedirs(self.root, exist_ok=True)
-        record = {"result": result.to_payload()}
+        created_at = time.time()
+        record: Dict[str, Any] = {"result": result.to_payload(), "created_at": created_at}
         if elapsed_s is not None:
             record["elapsed_s"] = elapsed_s
         path = self._path(result.key)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, indent=1, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self._write_json_atomic(path, record)
         self.stats.writes += 1
+        manifest = self.manifest()
+        manifest[result.key] = self._manifest_entry(record)
+        if self._defer_manifest:
+            self._manifest_dirty = True
+        else:
+            self._write_manifest(manifest)
         return path
+
+    @contextlib.contextmanager
+    def deferred_manifest(self):
+        """Batch manifest writes: one flush when the block exits.
+
+        ``put`` rewrites the whole manifest file; inside this context it
+        only updates the in-memory index, so an n-cell sweep does one
+        manifest write instead of n (the engine wraps its write-back loop
+        in this).  Record files themselves are still written immediately.
+        """
+        self._defer_manifest = True
+        try:
+            yield self
+        finally:
+            self._defer_manifest = False
+            if self._manifest_dirty:
+                self._manifest_dirty = False
+                self._write_manifest(self.manifest())
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
-    def __len__(self) -> int:
+    def _record_names(self) -> List[str]:
         if not os.path.isdir(self.root):
-            return 0
-        return sum(1 for name in os.listdir(self.root) if name.endswith(".json"))
+            return []
+        return sorted(
+            name
+            for name in os.listdir(self.root)
+            if name.endswith(".json") and name != MANIFEST_NAME
+        )
+
+    def __len__(self) -> int:
+        return len(self._record_names())
 
     def iter_results(self) -> Iterator[RunResult]:
         """All readable records in the cache (unordered)."""
-        if not os.path.isdir(self.root):
-            return
-        for name in sorted(os.listdir(self.root)):
-            if not name.endswith(".json"):
-                continue
+        for name in self._record_names():
             try:
                 with open(os.path.join(self.root, name), "r", encoding="utf-8") as fh:
                     record = json.load(fh)
                 yield RunResult.from_payload(record["result"])
             except (OSError, ValueError, KeyError):
                 continue
+
+    # -- manifest index ----------------------------------------------------
+
+    @staticmethod
+    def _manifest_entry(record: Mapping[str, Any]) -> Dict[str, Any]:
+        result = record["result"]
+        entry: Dict[str, Any] = {
+            "scenario": result["scenario"],
+            "params": dict(result.get("params", {})),
+            "seed": result["seed"],
+            "scenario_version": result.get("scenario_version", 1),
+        }
+        if record.get("elapsed_s") is not None:
+            entry["elapsed_s"] = record["elapsed_s"]
+        if record.get("created_at") is not None:
+            entry["created_at"] = record["created_at"]
+        return entry
+
+    def manifest(self) -> Dict[str, Dict[str, Any]]:
+        """The key → entry index, loaded from disk (rebuilt when unreadable).
+
+        The returned mapping is the cache's live in-memory copy; callers
+        should treat it as read-only and go through :meth:`put` / :meth:`gc`
+        / :meth:`rebuild_manifest` for changes.
+        """
+        if self._manifest is not None:
+            return self._manifest
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("format") != MANIFEST_FORMAT:
+                raise ValueError(f"unsupported manifest format {payload.get('format')!r}")
+            self._manifest = dict(payload["records"])
+        except (OSError, ValueError, KeyError):
+            # Missing, corrupt, or foreign-format manifest — derive it from
+            # the records, which are the source of truth.
+            self._manifest = self._scan_records()
+        return self._manifest
+
+    def _scan_records(self) -> Dict[str, Dict[str, Any]]:
+        entries: Dict[str, Dict[str, Any]] = {}
+        for name in self._record_names():
+            path = os.path.join(self.root, name)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+                entry = self._manifest_entry(record)
+                key = record["result"]["key"]
+            except (OSError, ValueError, KeyError):
+                continue
+            # Pre-manifest records carry no created_at; the file mtime is the
+            # best available age signal.
+            if "created_at" not in entry:
+                try:
+                    entry["created_at"] = os.path.getmtime(path)
+                except OSError:
+                    pass
+            entries[key] = entry
+        return entries
+
+    def _write_manifest(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        self._manifest = entries
+        self._write_json_atomic(
+            self._manifest_path(), {"format": MANIFEST_FORMAT, "records": entries}
+        )
+
+    def rebuild_manifest(self) -> Dict[str, Dict[str, Any]]:
+        """Rescan every record file and rewrite the manifest from scratch.
+
+        Use after records were added or deleted behind this instance's back
+        (another process, manual ``rm``); returns the fresh index.
+        """
+        entries = self._scan_records()
+        self._write_manifest(entries)
+        return entries
+
+    # -- garbage collection ------------------------------------------------
+
+    def gc(
+        self,
+        *,
+        registry=None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> GcStats:
+        """Evict stale records; returns what was examined and removed.
+
+        Two independent eviction rules, each enabled by its argument:
+
+        * ``registry`` — a :class:`~repro.runner.registry.ScenarioRegistry`;
+          records whose ``scenario_version`` differs from the currently
+          registered version are evicted (their scenario's semantics have
+          changed, so they can never be served again).  Records of scenarios
+          not present in the registry are kept: an unloaded experiment module
+          is not evidence of staleness.
+        * ``max_age_s`` — records whose ``created_at`` (file mtime for
+          pre-manifest records) is older than this many seconds are evicted.
+
+        The manifest is rebuilt from the record files first, so records
+        written by other processes are seen, and rewritten after eviction.
+        With ``dry_run`` nothing is deleted; the stats report what would be.
+        """
+        now = now if now is not None else time.time()
+        entries = self.rebuild_manifest()
+        stats = GcStats(examined=len(entries))
+        survivors: Dict[str, Dict[str, Any]] = {}
+        for key, entry in entries.items():
+            stale = False
+            if registry is not None and entry["scenario"] in registry:
+                current = registry.get(entry["scenario"]).version
+                if entry.get("scenario_version", 1) != current:
+                    stats.evicted_stale_version += 1
+                    stale = True
+            if not stale and max_age_s is not None:
+                created = entry.get("created_at")
+                if created is not None and now - created > max_age_s:
+                    stats.evicted_age += 1
+                    stale = True
+            if stale:
+                stats.evicted_keys.append(key)
+            else:
+                survivors[key] = entry
+        if dry_run:
+            return stats
+        for key in stats.evicted_keys:
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
+        self._write_manifest(survivors)
+        return stats
 
     def load_all(self) -> List[RunResult]:
         return list(self.iter_results())

@@ -12,7 +12,11 @@ Subcommands:
     invocations are served from the result cache, and the summary line
     reports the cache-hit percentage.
 ``report``
-    Render cached results as per-scenario tables.
+    Render cached results as per-scenario tables; ``--aggregate`` groups by
+    (scenario, params) and prints mean ± 95% CI per metric across seeds.
+``gc``
+    Evict cached records whose scenario version is stale (and, with
+    ``--max-age-days``, records older than a cutoff), updating the manifest.
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.metrics.reporting import Table, format_run_results
+from repro.metrics.reporting import Table, format_aggregate_cells, format_run_results
+from repro.runner.aggregate import aggregate_results
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.engine import run_sweep
 from repro.runner.registry import load_builtin_scenarios
@@ -189,9 +194,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     for name in sorted(grouped):
         results = grouped[name]
         total += len(results)
-        print(format_run_results(results, title=f"{name} ({len(results)} cached runs)"))
+        if args.aggregate:
+            cells = aggregate_results(results)
+            print(
+                format_aggregate_cells(
+                    cells,
+                    title=(
+                        f"{name} ({len(cells)} cell(s) aggregated from "
+                        f"{len(results)} cached runs, mean ± 95% CI)"
+                    ),
+                )
+            )
+        else:
+            print(format_run_results(results, title=f"{name} ({len(results)} cached runs)"))
         print()
     print(f"{total} cached result(s) in {cache.root!r}")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    registry = None if args.keep_stale_versions else load_builtin_scenarios()
+    max_age_s = args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    stats = cache.gc(registry=registry, max_age_s=max_age_s, dry_run=args.dry_run)
+    prefix = "gc (dry run): " if args.dry_run else "gc: "
+    print(f"{prefix}{stats.summary()} in {cache.root!r}")
     return 0
 
 
@@ -245,7 +272,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="summarize cached results", parents=[common])
     p_report.add_argument("--scenario", help="restrict to one scenario")
+    p_report.add_argument(
+        "--aggregate", action="store_true",
+        help="group by (scenario, params) and print mean ± 95%% CI across seeds",
+    )
     p_report.set_defaults(fn=_cmd_report)
+
+    p_gc = sub.add_parser("gc", help="evict stale cached results", parents=[common])
+    p_gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="also evict records older than this many days",
+    )
+    p_gc.add_argument(
+        "--keep-stale-versions", action="store_true",
+        help="skip the default eviction of records with outdated scenario versions",
+    )
+    p_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    p_gc.set_defaults(fn=_cmd_gc)
     return parser
 
 

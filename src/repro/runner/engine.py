@@ -53,6 +53,10 @@ class SweepOutcome:
     """Everything a sweep produced, in spec order."""
 
     outcomes: List[CellOutcome] = field(default_factory=list)
+    #: Worker count the sweep ran with — the caller's request, capped to 1
+    #: only when a custom registry forced cells down the serial path.  A
+    #: fully cache-served sweep still reports the requested count (no cell
+    #: needed a worker, but that is visible in ``misses``, not here).
     workers: int = 1
     elapsed_s: float = 0.0
 
@@ -258,16 +262,20 @@ def run_sweep(
         completed = [_worker_run(item, registry=registry) for item in pending]
 
     # Cache every finished cell before surfacing failures, so a partially
-    # failed sweep still resumes from the completed cells on rerun.
+    # failed sweep still resumes from the completed cells on rerun.  The
+    # manifest is flushed once for the whole batch, not per record.
     failures: List[Tuple[RunSpec, str]] = []
-    for index, payload, elapsed, error in completed:
-        spec = resolved[index][0]
-        if error is not None:
-            failures.append((spec, error))
-            continue
-        result = RunResult.from_payload(payload)
-        cache.put(result, elapsed_s=elapsed)
-        outcomes[index] = CellOutcome(spec=spec, result=result, cached=False, elapsed_s=elapsed)
+    with cache.deferred_manifest():
+        for index, payload, elapsed, error in completed:
+            spec = resolved[index][0]
+            if error is not None:
+                failures.append((spec, error))
+                continue
+            result = RunResult.from_payload(payload)
+            cache.put(result, elapsed_s=elapsed)
+            outcomes[index] = CellOutcome(
+                spec=spec, result=result, cached=False, elapsed_s=elapsed
+            )
     if failures:
         cached_count = sum(1 for o in outcomes if o is not None)
         details = "\n\n".join(f"{spec.describe()}:\n{error}" for spec, error in failures)
@@ -289,9 +297,14 @@ def run_sweep(
     finished = [o for o in outcomes if o is not None]
     if len(finished) != len(outcomes):
         raise RuntimeError("sweep lost cells — worker pool returned incomplete results")
+    # Report the caller's requested worker count, not the transient pool
+    # size — a fully cache-served sweep spawns no pool but still ran "with"
+    # N workers.  The only real cap is the custom-registry serial fallback,
+    # and only when cells actually executed under it.
+    effective_workers = 1 if (custom_registry and pending) else workers
     return SweepOutcome(
         outcomes=finished,
-        workers=max(pool_size, 1),
+        workers=effective_workers,
         elapsed_s=time.perf_counter() - started,
     )
 

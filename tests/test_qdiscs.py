@@ -87,6 +87,43 @@ class TestSfq:
         q.enqueue(_flow_packet(factory, 2), 0.0)
         assert q.active_flows() == 2
 
+    def test_byte_limit_never_exceeded_by_large_arrival(self):
+        # Regression: one victim drop used to be followed by unconditional
+        # acceptance, so a large arrival could push the backlog over
+        # limit_bytes.  Eviction must repeat until the arrival fits.
+        q = SfqQdisc(limit_bytes=4000)
+        factory = PacketFactory()
+        for i in range(8):
+            assert q.enqueue(_flow_packet(factory, 1, seq=i, size=500), 0.0)
+        assert q.backlog_bytes == 4000
+        assert q.enqueue(_flow_packet(factory, 2, seq=0, size=2000), 0.0)
+        assert q.backlog_bytes <= 4000
+        # Exactly enough victims were evicted: 4 x 500 B made room for 2000 B.
+        assert q.dropped_packets == 4
+        assert q.backlog_bytes == 4000
+
+    def test_arrival_larger_than_byte_limit_is_dropped_without_eviction(self):
+        q = SfqQdisc(limit_bytes=3000)
+        factory = PacketFactory()
+        for i in range(2):
+            assert q.enqueue(_flow_packet(factory, 1, seq=i, size=1500), 0.0)
+        # A packet that could never fit must not drain the queue trying.
+        assert not q.enqueue(_flow_packet(factory, 2, seq=0, size=5000), 0.0)
+        assert q.backlog_packets == 2
+        assert q.backlog_bytes == 3000
+        assert q.dropped_packets == 1
+
+    def test_packet_limit_overflow_still_single_victim(self):
+        # With a packet limit each eviction frees exactly one slot, so the
+        # bounded loop degenerates to the historical single-victim behavior.
+        q = SfqQdisc(limit_packets=4)
+        factory = PacketFactory()
+        for i in range(4):
+            q.enqueue(_flow_packet(factory, 1, seq=i), 0.0)
+        assert q.enqueue(_flow_packet(factory, 2, seq=0), 0.0)
+        assert q.backlog_packets == 4
+        assert q.dropped_packets == 1
+
 
 class TestCoDel:
     def test_no_drops_below_target(self):

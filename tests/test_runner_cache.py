@@ -1,21 +1,23 @@
-"""Tests for the content-addressed result cache."""
+"""Tests for the content-addressed result cache, its manifest index, and GC."""
 
 import json
 import os
 
-from repro.runner.cache import ResultCache
+from repro.runner.cache import MANIFEST_NAME, ResultCache
+from repro.runner.registry import ScenarioRegistry
 from repro.runner.result import RunResult, run_key
 
 
-def _result(scenario="toy", seed=1, **params):
+def _result(scenario="toy", seed=1, version=1, **params):
     params = params or {"x": 1}
     return RunResult(
         scenario=scenario,
         params=params,
         seed=seed,
         effective_seed=seed * 100,
-        key=run_key(scenario, params, seed),
+        key=run_key(scenario, params, seed, version=version),
         metrics={"value": seed * 1.5},
+        scenario_version=version,
     )
 
 
@@ -72,3 +74,155 @@ class TestResultCache:
         cache = ResultCache(str(root))
         cache.put(_result())
         assert all(not name.endswith(".tmp") for name in os.listdir(root))
+
+    def test_manifest_not_counted_as_a_record(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        cache.put(_result())
+        assert (root / MANIFEST_NAME).exists()
+        assert len(cache) == 1
+        assert len(cache.load_all()) == 1
+
+
+class TestManifest:
+    def test_put_indexes_the_record(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = _result(seed=3, x=7)
+        cache.put(result, elapsed_s=0.5)
+        entry = cache.manifest()[result.key]
+        assert entry["scenario"] == "toy"
+        assert entry["params"] == {"x": 7}
+        assert entry["seed"] == 3
+        assert entry["scenario_version"] == 1
+        assert entry["elapsed_s"] == 0.5
+        assert entry["created_at"] > 0
+
+    def test_manifest_persists_across_instances(self, tmp_path):
+        root = str(tmp_path / "cache")
+        result = _result()
+        ResultCache(root).put(result)
+        assert result.key in ResultCache(root).manifest()
+
+    def test_corrupt_manifest_is_rederived_from_records(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        result = _result()
+        cache.put(result)
+        (root / MANIFEST_NAME).write_text("{broken")
+        fresh = ResultCache(str(root))
+        assert result.key in fresh.manifest()
+
+    def test_rebuild_picks_up_foreign_records(self, tmp_path):
+        # Records written by another process (a second cache instance here)
+        # are invisible to a stale in-memory manifest until a rebuild.
+        root = str(tmp_path / "cache")
+        first = ResultCache(root)
+        first.put(_result(seed=1))
+        ResultCache(root).put(_result(seed=2))
+        assert len(first.manifest()) == 1
+        assert len(first.rebuild_manifest()) == 2
+
+    def test_rebuild_drops_deleted_records(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        result = _result()
+        path = cache.put(result)
+        os.unlink(path)
+        assert result.key not in cache.rebuild_manifest()
+
+    def test_deferred_manifest_flushes_once_on_exit(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        results = [_result(seed=s) for s in (1, 2, 3)]
+        with cache.deferred_manifest():
+            for r in results:
+                cache.put(r)
+            # Record files land immediately; the manifest write is batched.
+            assert len(cache) == 3
+            assert not (root / MANIFEST_NAME).exists()
+        flushed = ResultCache(str(root)).manifest()
+        assert {r.key for r in results} <= set(flushed)
+        assert (root / MANIFEST_NAME).exists()
+
+    def test_deferred_manifest_without_puts_writes_nothing(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        with cache.deferred_manifest():
+            pass
+        assert not (root / MANIFEST_NAME).exists()
+
+    def test_pre_manifest_records_get_mtime_created_at(self, tmp_path):
+        # A record written before the manifest existed (simulated by
+        # stripping created_at) still gets an age from the file mtime.
+        root = tmp_path / "cache"
+        cache = ResultCache(str(root))
+        result = _result()
+        path = cache.put(result)
+        with open(path) as fh:
+            record = json.load(fh)
+        del record["created_at"]
+        with open(path, "w") as fh:
+            json.dump(record, fh)
+        entry = cache.rebuild_manifest()[result.key]
+        assert entry["created_at"] > 0
+
+
+class TestGc:
+    def _registry(self, version=2):
+        registry = ScenarioRegistry()
+        registry.register("toy", defaults={"x": 1}, version=version)(
+            lambda *, seed, x: {"value": x}
+        )
+        return registry
+
+    def test_stale_version_evicted(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        old = _result(seed=1, version=1)
+        new = _result(seed=1, version=2)
+        cache.put(old)
+        cache.put(new)
+        stats = cache.gc(registry=self._registry(version=2))
+        assert stats.examined == 2
+        assert stats.evicted_stale_version == 1
+        assert stats.evicted_keys == [old.key]
+        assert cache.get(old.key) is None
+        assert cache.get(new.key) is not None
+        assert old.key not in cache.manifest()
+        assert new.key in cache.manifest()
+
+    def test_unregistered_scenarios_are_kept(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        other = _result(scenario="not_registered")
+        cache.put(other)
+        stats = cache.gc(registry=self._registry())
+        assert stats.evicted == 0
+        assert cache.get(other.key) is not None
+
+    def test_age_eviction(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = _result(version=2)
+        cache.put(result)
+        now = cache.manifest()[result.key]["created_at"]
+        keep = cache.gc(max_age_s=3600.0, now=now + 60.0)
+        assert keep.evicted == 0
+        evict = cache.gc(max_age_s=3600.0, now=now + 7200.0)
+        assert evict.evicted_age == 1
+        assert len(cache) == 0
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        result = _result(version=1)
+        cache.put(result)
+        stats = cache.gc(registry=self._registry(version=2), dry_run=True)
+        assert stats.evicted_stale_version == 1
+        assert cache.get(result.key) is not None
+        assert result.key in cache.manifest()
+
+    def test_summary_wording(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(_result(version=1))
+        cache.put(_result(seed=2, version=2))
+        stats = cache.gc(registry=self._registry(version=2))
+        assert "2 record(s) examined" in stats.summary()
+        assert "1 evicted" in stats.summary()
+        assert "1 kept" in stats.summary()

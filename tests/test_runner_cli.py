@@ -108,6 +108,64 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["sweep"])
 
+    def test_report_aggregate_and_gc(self, tmp_path, capsys):
+        # Seed a tiny cache directly (no simulation): two seeds of one cell
+        # plus one record with a stale scenario version.
+        from repro.runner.cache import ResultCache
+        from repro.runner.registry import load_builtin_scenarios
+        from repro.runner.result import RunResult, run_key
+
+        registry = load_builtin_scenarios()
+        current = registry.get("fig09_slowdown").version
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        for seed in (1, 2):
+            params = {"mode": "status_quo"}
+            cache.put(
+                RunResult(
+                    scenario="fig09_slowdown",
+                    params=params,
+                    seed=seed,
+                    effective_seed=seed,
+                    key=run_key("fig09_slowdown", params, seed, version=current),
+                    metrics={"median_slowdown": 1.0 + seed},
+                    scenario_version=current,
+                )
+            )
+        stale_params = {"mode": "bundler_sfq"}
+        cache.put(
+            RunResult(
+                scenario="fig09_slowdown",
+                params=stale_params,
+                seed=1,
+                effective_seed=1,
+                key=run_key("fig09_slowdown", stale_params, 1, version=current + 1),
+                metrics={"median_slowdown": 1.0},
+                scenario_version=current + 1,
+            )
+        )
+
+        assert main(["--cache-dir", cache_dir, "report", "--aggregate"]) == 0
+        out = capsys.readouterr().out
+        # Two seeds of (status_quo) collapse into one aggregated row with a CI.
+        assert "mean ± 95% CI" in out
+        assert "±" in out
+        assert "seeds" in out
+
+        assert main(["--cache-dir", cache_dir, "gc", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out and "1 evicted" in out
+        assert len(cache.rebuild_manifest()) == 3
+
+        assert main(["--cache-dir", cache_dir, "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "1 evicted (1 stale version, 0 expired), 2 kept" in out
+        assert len(cache.rebuild_manifest()) == 2
+
+    def test_gc_empty_cache(self, tmp_path, capsys):
+        assert main(["--cache-dir", str(tmp_path / "empty"), "gc"]) == 0
+        assert "0 record(s) examined" in capsys.readouterr().out
+
 
 class TestValueParsingBooleans:
     def test_python_style_booleans(self):

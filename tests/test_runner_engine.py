@@ -124,6 +124,19 @@ class TestCacheBehavior:
         assert outcome.workers == 1
         assert [r.metrics["doubled"] for r in outcome.results] == [2, 4, 6]
 
+    def test_fully_cached_sweep_reports_requested_workers(self, tmp_path):
+        # A warm sweep executes nothing, but it still ran "with" the
+        # requested pool size — reporting "1 worker" misrepresented the
+        # caller's configuration (and the summary() line repeated it).
+        registry, _ = _counting_registry()
+        cache = ResultCache(str(tmp_path / "cache"))
+        specs = [RunSpec("toy", {"x": x}) for x in (1, 2, 3)]
+        run_sweep(specs, cache=cache, registry=registry)
+        warm = run_sweep(specs, workers=4, cache=cache, registry=registry)
+        assert warm.hits == 3 and warm.misses == 0
+        assert warm.workers == 4
+        assert "on 4 workers" in warm.summary()
+
     def test_default_and_explicit_param_share_key(self, tmp_path):
         registry, calls = _counting_registry()
         cache = ResultCache(str(tmp_path / "cache"))
