@@ -11,10 +11,10 @@ durations, thousands rather than millions of requests) so the whole suite
 runs in minutes.  The scale knobs live in :data:`repro.testing.BENCH_SCALE`
 and can be raised for a closer-to-paper run.
 
-Every figure benchmark routes through the :mod:`repro.runner` engine via
+Every figure benchmark routes through the :mod:`repro.api` engine facade via
 the :func:`bench_sweep` fixture: cells are executed on a small worker pool
 and cached under ``.repro-cache/``, so re-running a figure only simulates
-what changed.  Assertions go through :func:`repro.runner.aggregate_outcome`
+what changed.  Assertions go through :func:`repro.api.aggregate_outcome`
 — per-(scenario, params) cells with mean/CI across seeds — so a benchmark
 that sweeps several seeds asserts on the aggregate, not on one draw.
 """
@@ -53,7 +53,7 @@ def runner_cache(tmp_path_factory):
     under a key that hashes the whole ``src/`` tree, so restored cells were
     produced by byte-identical code and never mask a regression.)
     """
-    from repro.runner import ResultCache
+    from repro.api import ResultCache
 
     if os.environ.get("REPRO_BENCH_FRESH"):
         return ResultCache(str(tmp_path_factory.mktemp("repro-cache")))
@@ -62,12 +62,12 @@ def runner_cache(tmp_path_factory):
 
 @pytest.fixture
 def bench_sweep(runner_cache):
-    """Execute a list of :class:`repro.runner.RunSpec` cells through the engine.
+    """Execute a list of :class:`repro.api.RunSpec` cells through the engine.
 
-    Returns the :class:`repro.runner.SweepOutcome`; repeat invocations are
+    Returns the :class:`repro.api.SweepOutcome`; repeat invocations are
     served from the content-addressed cache.
     """
-    from repro.runner import run_sweep
+    from repro.api import run_sweep
 
     def _sweep(specs, workers: int = 2):
         return run_sweep(specs, workers=workers, cache=runner_cache)

@@ -11,7 +11,7 @@ decisions the paper argues for qualitatively:
 
 from repro.testing import BENCH_SCALE, report
 
-from repro.runner import RunSpec, aggregate_outcome, find_cell
+from repro.api import RunSpec, aggregate_outcome, find_cell
 
 EPOCH_FRACTIONS = (("quarter_rtt", 0.25), ("full_rtt", 1.0))
 

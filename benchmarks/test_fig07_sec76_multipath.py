@@ -2,7 +2,7 @@
 
 from repro.testing import report
 
-from repro.runner import RunSpec, aggregate_outcome, find_cell
+from repro.api import RunSpec, aggregate_outcome, find_cell
 
 PATH_COUNTS = (1, 2, 4)
 

@@ -3,7 +3,7 @@
 from repro.testing import BENCH_SCALE, report
 
 from repro.metrics.stats import improvement
-from repro.runner import RunSpec, aggregate_outcome, find_cell
+from repro.api import RunSpec, aggregate_outcome, find_cell
 
 MODES = ("status_quo", "bundler_sfq", "bundler_fifo", "in_network_sfq")
 

@@ -2,7 +2,7 @@
 
 from repro.testing import report
 
-from repro.runner import RunSpec, aggregate_outcome
+from repro.api import RunSpec, aggregate_outcome
 
 PHASE_DURATION_S = 12.0
 TOTAL_S = 3 * PHASE_DURATION_S

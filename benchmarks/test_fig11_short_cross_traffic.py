@@ -2,7 +2,7 @@
 
 from repro.testing import report
 
-from repro.runner import RunSpec, aggregate_outcome
+from repro.api import RunSpec, aggregate_outcome
 
 CROSS_LOAD_FRACTIONS = (0.125, 0.25, 0.375)
 MODES = ("status_quo", "bundler")

@@ -2,7 +2,7 @@
 
 from repro.testing import report
 
-from repro.runner import RunSpec, aggregate_outcome
+from repro.api import RunSpec, aggregate_outcome
 
 COMPETING_FLOW_COUNTS = (2, 5)
 MODES = ("status_quo", "bundler")

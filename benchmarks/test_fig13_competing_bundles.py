@@ -2,7 +2,7 @@
 
 from repro.testing import report
 
-from repro.runner import RunSpec, aggregate_outcome, find_cell
+from repro.api import RunSpec, aggregate_outcome, find_cell
 
 # The paper aggregates many long runs; this scaled-down check is a single
 # 12-second run per cell, where per-bundle medians are noisy enough that an

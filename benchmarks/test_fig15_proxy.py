@@ -2,7 +2,7 @@
 
 from repro.testing import BENCH_SCALE, report
 
-from repro.runner import RunSpec, aggregate_outcome, find_cell
+from repro.api import RunSpec, aggregate_outcome, find_cell
 
 MODES = ("bundler_sfq", "proxy")
 

@@ -2,7 +2,7 @@
 
 from repro.testing import report
 
-from repro.runner import RunSpec, aggregate_outcome, find_cell
+from repro.api import RunSpec, aggregate_outcome, find_cell
 
 # Two representative regions keep the benchmark fast; the full five-region
 # study is available by sweeping all of DEFAULT_REGIONS.

@@ -3,7 +3,7 @@
 from repro.testing import BENCH_SCALE, report
 
 from repro.metrics.stats import improvement
-from repro.runner import RunSpec, aggregate_outcome, find_cell
+from repro.api import RunSpec, aggregate_outcome, find_cell
 
 ENDHOST_CCS = ("cubic", "reno", "bbr")
 MODES = ("status_quo", "bundler_sfq")

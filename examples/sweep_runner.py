@@ -1,9 +1,16 @@
 """Sweep-runner example: a figure's worth of runs, in parallel, cached.
 
 Expands a declarative sweep of the Figure 9 scenario (2 modes x 2 bottleneck
-rates x 2 seeds), executes it on a 2-process worker pool, and prints a
-per-cell table plus the cache summary.  Run it twice: the second invocation
-is served entirely from ``.repro-cache/`` and finishes instantly.
+rates x 2 seeds), executes it on the 2-process pool backend, and prints a
+per-cell table, the cross-seed aggregate, a plot-ready CSV export, and the
+cache summary.  Run it twice: the second invocation is served entirely from
+``.repro-cache/`` and finishes instantly.
+
+The sweep/aggregate/export API all comes from :mod:`repro.api` — the
+stable, typed facade.  The two non-facade imports are presentation-layer
+helpers (:mod:`repro.metrics.reporting` table formatters) and the CLI's
+``SMOKE_SPEC`` constant, reused so the example shares cache entries with
+``sweep --smoke``.
 
 Run with::
 
@@ -12,19 +19,21 @@ Run with::
 The same sweep from the command line (the example reuses the CLI's smoke
 spec, so cache entries are shared between the two)::
 
-    python -m repro.runner sweep --smoke --workers 2
+    python -m repro.runner sweep --smoke --workers 2 --backend process
 """
 
+from repro import api
 from repro.metrics.reporting import format_aggregate_cells, format_run_results
-from repro.runner import ResultCache, SweepSpec, aggregate_outcome, run_spec
 from repro.runner.cli import SMOKE_SPEC
 
 
 def main() -> None:
     # Same declarative spec as `python -m repro.runner sweep --smoke`, so
     # cache entries really are shared between the example and the CLI.
-    sweep = SweepSpec.from_dict(SMOKE_SPEC)
-    outcome = run_spec(sweep, workers=2, cache=ResultCache())
+    sweep = api.SweepSpec.from_dict(SMOKE_SPEC)
+    outcome = api.run_spec(
+        sweep, workers=2, cache=api.ResultCache(), backend="process"
+    )
     print(
         format_run_results(
             outcome.results,
@@ -35,13 +44,22 @@ def main() -> None:
     print()
     # Collapse the two seeds of each (mode, rate) cell into mean ± 95% CI —
     # the same view as `python -m repro.runner report --aggregate`.
+    cells = api.aggregate_outcome(outcome)
     print(
         format_aggregate_cells(
-            aggregate_outcome(outcome),
+            cells,
             title="Aggregated across seeds (mean ± 95% CI)",
             metrics=["median_slowdown", "p99_slowdown"],
         )
     )
+    print()
+    # The same aggregate as a schema-annotated long-format CSV — what
+    # `repro-runner report --aggregate --format csv` emits; pandas reads it
+    # directly (one row per cell x metric, with unit and direction columns).
+    registry = api.load_builtin_scenarios()
+    print("Plot-ready CSV (first 5 lines):")
+    for line in api.export_aggregates(cells, "csv", registry=registry).splitlines()[:5]:
+        print(f"  {line}")
     print()
     print(outcome.summary())
 

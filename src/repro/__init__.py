@@ -22,9 +22,13 @@ evaluate it:
 * :mod:`repro.experiments` — scenario builders and runners reproducing every
   figure in the paper's evaluation.
 * :mod:`repro.runner` — the parallel scenario-sweep engine: a registry of
-  named experiment factories, declarative grid/zip sweep specs, a
-  multiprocessing worker pool with deterministic derived seeds, a
-  content-addressed result cache, and the ``repro-runner`` CLI.
+  typed experiment factories (ParamSpace knobs, MetricSchema outputs),
+  declarative grid/zip sweep specs, pluggable execution backends
+  (serial / process pool) with deterministic derived seeds, a
+  content-addressed result cache, schema-annotated CSV/JSONL exports,
+  and the ``repro-runner`` CLI.
+* :mod:`repro.api` — the **stable, typed facade** over the runner; import
+  from here rather than from ``repro.runner.*`` internals.
 * :mod:`repro.testing` — helpers shared by the test and benchmark suites.
 
 Quickstart::

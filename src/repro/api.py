@@ -1,0 +1,179 @@
+"""``repro.api`` — the stable, typed public surface of the sweep runner.
+
+Import from here, not from ``repro.runner.*`` internals: this facade is the
+compatibility contract.  Internal modules may move or split between PRs;
+every name below keeps working (or goes through a documented deprecation
+cycle — see :class:`ScenarioAPIDeprecationWarning`).
+
+The surface, by layer:
+
+* **Declaring scenarios** — :func:`register_scenario` with a
+  :class:`ParamSpace` of :class:`ParamSpec` knobs (type, default, unit,
+  choices, bounds) and a :class:`MetricSchema` of :class:`MetricSpec`
+  outputs (unit, direction).  ``resolve_params`` coerces every override
+  through the space, so differently-spelled values can never mint distinct
+  cache keys.
+* **Describing sweeps** — :class:`SweepSpec` (base / grid / zip / seeds)
+  expanding into :class:`RunSpec` cells; :func:`expand_grid` /
+  :func:`expand_zip` for ad-hoc expansion.
+* **Executing** — :func:`run_sweep` / :func:`run_spec` over a pluggable
+  :class:`ExecutionBackend` (:class:`SerialBackend`,
+  :class:`ProcessPoolBackend`, or ``backend="serial"|"process"|"auto"``),
+  returning a :class:`SweepOutcome` of :class:`CellOutcome` records, each
+  holding a pure :class:`RunResult` cached by content key under
+  :class:`ResultCache`.
+* **Aggregating** — :func:`aggregate_results` / :func:`aggregate_outcome`
+  grouping by (scenario, params) with mean / stdev / 95% CI per metric
+  (:class:`AggregateCell`, :class:`MetricAggregate`), plus
+  :func:`find_cell` / :func:`find_cells` lookups.
+* **Exporting** — :func:`runs_long_table` / :func:`aggregates_long_table`
+  (:class:`LongTable`; ``to_csv`` / ``to_jsonl``) and the
+  :func:`export_runs` / :func:`export_aggregates` one-shots: long-format,
+  schema-annotated tables ready for pandas.
+
+Quick start::
+
+    from repro import api
+
+    outcome = api.run_sweep(
+        [api.RunSpec("fig09_slowdown", params={"mode": m}, seed=1)
+         for m in ("status_quo", "bundler_sfq")],
+        workers=2,
+        backend="process",
+    )
+    cells = api.aggregate_outcome(outcome)
+    print(api.export_aggregates(cells, "csv",
+                                registry=api.load_builtin_scenarios()))
+"""
+
+from __future__ import annotations
+
+from repro.runner.aggregate import (
+    AggregateCell,
+    MetricAggregate,
+    aggregate_outcome,
+    aggregate_results,
+    find_cell,
+    find_cells,
+)
+from repro.runner.backends import (
+    BACKEND_CHOICES,
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkItem,
+    WorkOutcome,
+    make_backend,
+)
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    MANIFEST_NAME,
+    CacheStats,
+    GcStats,
+    ResultCache,
+)
+from repro.runner.engine import (
+    CellOutcome,
+    SweepOutcome,
+    effective_seed,
+    execute_run,
+    resolve_cell,
+    run_spec,
+    run_sweep,
+)
+from repro.runner.export import (
+    EXPORT_FORMATS,
+    LongTable,
+    aggregates_long_table,
+    export_aggregates,
+    export_runs,
+    runs_long_table,
+)
+from repro.runner.params import (
+    PARAM_KINDS,
+    ParamSpace,
+    ParamSpec,
+    ParamValidationError,
+)
+from repro.runner.registry import (
+    REGISTRY,
+    Scenario,
+    ScenarioAPIDeprecationWarning,
+    ScenarioRegistry,
+    load_builtin_scenarios,
+    register_scenario,
+)
+from repro.runner.result import RunResult, run_key
+from repro.runner.schema import (
+    METRIC_DIRECTIONS,
+    METRIC_KINDS,
+    MetricSchema,
+    MetricSpec,
+    MetricValidationError,
+)
+from repro.runner.spec import RunSpec, SweepSpec, expand_grid, expand_zip
+
+__all__ = [
+    # params
+    "PARAM_KINDS",
+    "ParamSpace",
+    "ParamSpec",
+    "ParamValidationError",
+    # metric schemas
+    "METRIC_DIRECTIONS",
+    "METRIC_KINDS",
+    "MetricSchema",
+    "MetricSpec",
+    "MetricValidationError",
+    # registry
+    "REGISTRY",
+    "Scenario",
+    "ScenarioAPIDeprecationWarning",
+    "ScenarioRegistry",
+    "load_builtin_scenarios",
+    "register_scenario",
+    # specs
+    "RunSpec",
+    "SweepSpec",
+    "expand_grid",
+    "expand_zip",
+    # engine + backends
+    "BACKENDS",
+    "BACKEND_CHOICES",
+    "CellOutcome",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SweepOutcome",
+    "WorkItem",
+    "WorkOutcome",
+    "effective_seed",
+    "execute_run",
+    "make_backend",
+    "resolve_cell",
+    "run_spec",
+    "run_sweep",
+    # results + cache
+    "DEFAULT_CACHE_DIR",
+    "MANIFEST_NAME",
+    "CacheStats",
+    "GcStats",
+    "ResultCache",
+    "RunResult",
+    "run_key",
+    # aggregation
+    "AggregateCell",
+    "MetricAggregate",
+    "aggregate_outcome",
+    "aggregate_results",
+    "find_cell",
+    "find_cells",
+    # exports
+    "EXPORT_FORMATS",
+    "LongTable",
+    "aggregates_long_table",
+    "export_aggregates",
+    "export_runs",
+    "runs_long_table",
+]

@@ -16,25 +16,46 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.passthrough import PiQueueController
-from repro.experiments.scenarios import ScenarioConfig, run_scenario, scenario_metrics
+from repro.experiments.scenarios import (
+    SCENARIO_METRICS,
+    ScenarioConfig,
+    run_scenario,
+    scenario_metrics,
+)
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 
 
 @register_scenario(
     "ablation_epoch_sampling",
     figure="Ablation / §4.5",
     description="Epoch sampling period: quarter-RTT spacing vs sparser sampling",
-    defaults=dict(
-        epoch_rtt_fraction=0.25,
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        load_fraction=0.875,
-        duration_s=10.0,
-        warmup_s=2.0,
-        num_servers=8,
-        max_requests=None,
-        sendbox_cc="copa",
+    params=ParamSpace(
+        ParamSpec("epoch_rtt_fraction", kind="float", default=0.25, unit="fraction",
+                  minimum=0.01, maximum=4.0,
+                  description="epoch sampling period as a fraction of the RTT"),
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="bottleneck link rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("load_fraction", kind="float", default=0.875, unit="fraction",
+                  minimum=0.05, maximum=1.45,
+                  description="offered load as a fraction of the bottleneck rate"),
+        ParamSpec("duration_s", kind="float", default=10.0, unit="s", minimum=1.0,
+                  description="workload duration"),
+        ParamSpec("warmup_s", kind="float", default=2.0, unit="s", minimum=0.0,
+                  description="leading interval excluded from FCT analysis"),
+        ParamSpec("num_servers", kind="int", default=8, unit="count", minimum=1,
+                  description="request-serving endhosts behind the sendbox"),
+        ParamSpec("max_requests", kind="int", default=None, unit="count", minimum=1,
+                  nullable=True,
+                  description="request cap (None = run to duration)"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
     ),
+    metrics=SCENARIO_METRICS,
 )
 def _epoch_sampling_scenario(*, seed: int, epoch_rtt_fraction: float, **params):
     config = ScenarioConfig(
@@ -77,17 +98,36 @@ def pi_settle_time(
     return None
 
 
+def _check_strictly_positive(value: float) -> None:
+    # PiQueueController rejects alpha == 0; an inclusive minimum cannot
+    # express "strictly positive", so the knob table must.
+    if value <= 0.0:
+        raise ValueError("must be strictly positive")
+
+
 @register_scenario(
     "ablation_pi_gains",
     figure="Ablation / §5",
     description="Pass-through PI controller gains: fluid-model settle time to the target queue",
-    defaults=dict(
-        alpha=10.0,
-        beta=10.0,
-        target_queue_s=0.010,
-        tolerance_s=0.002,
-        arrival_mbps=24.0,
-        horizon_s=40.0,
+    params=ParamSpace(
+        ParamSpec("alpha", kind="float", default=10.0, validator=_check_strictly_positive,
+                  description="PI proportional gain (strictly positive)"),
+        ParamSpec("beta", kind="float", default=10.0, minimum=0.0,
+                  description="PI integral gain"),
+        ParamSpec("target_queue_s", kind="float", default=0.010, unit="s", minimum=0.0001,
+                  description="target standing-queue delay"),
+        ParamSpec("tolerance_s", kind="float", default=0.002, unit="s", minimum=0.0001,
+                  description="settle tolerance around the target"),
+        ParamSpec("arrival_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="constant fluid arrival rate"),
+        ParamSpec("horizon_s", kind="float", default=40.0, unit="s", minimum=1.0,
+                  description="simulation horizon"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("settle_time_s", unit="s", direction="lower", nullable=True,
+                   description="first time the queue stays within tolerance (None = never)"),
+        MetricSpec("settled", kind="bool", direction="higher",
+                   description="whether the controller settled within the horizon"),
     ),
     seed_sensitive=False,
 )

@@ -19,7 +19,9 @@ from repro.core.sendbox import Sendbox
 from repro.metrics.fct import FctAnalysis
 from repro.net.simulator import Simulator
 from repro.net.topology import build_competing_bundles
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 from repro.util.rng import derive_seed, make_rng
 from repro.util.units import mbps_to_bps, ms_to_s
 from repro.workload.generators import RequestWorkload
@@ -123,18 +125,45 @@ def run_competing_bundles(
     )
 
 
+def _check_load_split(split) -> None:
+    if not split:
+        raise ValueError("load_split needs at least one bundle share")
+    if any(share <= 0.0 for share in split):
+        raise ValueError("every load_split share must be positive")
+
+
 @register_scenario(
     "fig13_competing_bundles",
     figure="Figure 13 / §7.4",
     description="Multiple bundles sharing one bottleneck at a given load split",
-    defaults=dict(
-        load_split=[0.5, 0.5],
-        total_load_fraction=0.875,
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        duration_s=15.0,
-        with_bundler=True,
-        sendbox_cc="copa",
+    params=ParamSpace(
+        ParamSpec("load_split", kind="list[float]", default=[0.5, 0.5], unit="fraction",
+                  validator=_check_load_split,
+                  description="per-bundle share of the total offered load"),
+        ParamSpec("total_load_fraction", kind="float", default=0.875, unit="fraction",
+                  minimum=0.05, maximum=1.45,
+                  description="total offered load as a fraction of the bottleneck rate"),
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="shared bottleneck rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("duration_s", kind="float", default=15.0, unit="s", minimum=1.0,
+                  description="workload duration"),
+        ParamSpec("with_bundler", kind="bool", default=True,
+                  description="install a Bundler pair per bundle"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("bottleneck_mean_queue_delay_ms", unit="ms", direction="lower",
+                   description="mean queueing delay at the shared bottleneck"),
+        MetricSpec("bottleneck_drops", unit="packets", direction="lower",
+                   description="packets dropped at the shared bottleneck"),
+        MetricSpec("bundle*_median_slowdown", unit="ratio", direction="lower", nullable=True,
+                   description="per-bundle median FCT slowdown (one column per bundle)"),
+        MetricSpec("bundle*_completed", unit="count", direction="higher",
+                   description="per-bundle completed flows (one column per bundle)"),
     ),
 )
 def _competing_bundles_scenario(*, seed: int, **params):

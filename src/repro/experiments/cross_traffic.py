@@ -26,7 +26,9 @@ from repro.metrics.fct import FctAnalysis, filter_by_time
 from repro.net.simulator import Simulator
 from repro.net.topology import SiteToSite, build_site_to_site
 from repro.net.trace import TimeSeries
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 from repro.runner.spec import expand_grid
 from repro.transport.flow import FlowRecord
 from repro.util.rng import derive_seed, make_rng
@@ -392,16 +394,36 @@ def run_elastic_cross_sweep(
     "fig10_phased_cross_traffic",
     figure="Figure 10 / §7.3",
     description="Three cross-traffic phases; Bundler yields during buffer-filling phases",
-    defaults=dict(
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        phase_duration_s=20.0,
-        bundle_load_fraction=0.6,
-        cross_bulk_flows=1,
-        cross_load_fraction=0.3,
-        with_bundler=True,
-        sendbox_cc="copa",
-        num_servers=6,
+    params=ParamSpace(
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="bottleneck link rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("phase_duration_s", kind="float", default=20.0, unit="s", minimum=1.0,
+                  description="duration of each of the three cross-traffic phases"),
+        ParamSpec("bundle_load_fraction", kind="float", default=0.6, unit="fraction",
+                  minimum=0.05, maximum=1.45,
+                  description="bundle offered load as a fraction of the bottleneck rate"),
+        ParamSpec("cross_bulk_flows", kind="int", default=1, unit="count", minimum=0,
+                  description="backlogged cross flows during the buffer-filling phase"),
+        ParamSpec("cross_load_fraction", kind="float", default=0.3, unit="fraction",
+                  minimum=0.0, maximum=1.45,
+                  description="paced cross-stream load during the non-elastic phase"),
+        ParamSpec("with_bundler", kind="bool", default=True,
+                  description="install the Bundler pair"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
+        ParamSpec("num_servers", kind="int", default=6, unit="count", minimum=1,
+                  description="request-serving endhosts behind the sendbox"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("pass_through_seconds", unit="s", direction="info",
+                   description="time the controller spent yielding in pass-through mode"),
+        MetricSpec("phase*_median_slowdown", unit="ratio", direction="lower", nullable=True,
+                   description="per-phase median FCT slowdown (one column per phase)"),
+        MetricSpec("phase*_queue_delay_ms", unit="ms", direction="lower",
+                   description="per-phase mean bottleneck queueing delay"),
     ),
 )
 def _phased_scenario(*, seed: int, **params):
@@ -418,14 +440,34 @@ def _phased_scenario(*, seed: int, **params):
     "fig11_short_cross_traffic",
     figure="Figure 11 / §7.3",
     description="Bundle FCTs under increasing short-flow cross-traffic load",
-    defaults=dict(
-        mode="bundler",
-        cross_load_fraction=0.25,
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        bundle_load_fraction=0.5,
-        duration_s=15.0,
-        sendbox_cc="copa",
+    params=ParamSpace(
+        ParamSpec("mode", kind="str", default="bundler", choices=("status_quo", "bundler"),
+                  description="whether the bundle runs under Bundler"),
+        ParamSpec("cross_load_fraction", kind="float", default=0.25, unit="fraction",
+                  minimum=0.0, maximum=1.45,
+                  description="short-flow cross-traffic load as a fraction of the bottleneck"),
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="bottleneck link rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("bundle_load_fraction", kind="float", default=0.5, unit="fraction",
+                  minimum=0.05, maximum=1.45,
+                  description="bundle offered load as a fraction of the bottleneck rate"),
+        ParamSpec("duration_s", kind="float", default=15.0, unit="s", minimum=1.0,
+                  description="workload duration"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("cross_load_mbps", unit="Mbit/s", direction="info",
+                   description="offered cross-traffic load"),
+        MetricSpec("median_slowdown", unit="ratio", direction="lower", nullable=True,
+                   description="bundle median FCT slowdown"),
+        MetricSpec("p99_slowdown", unit="ratio", direction="lower", nullable=True,
+                   description="bundle 99th-percentile FCT slowdown"),
+        MetricSpec("completed", unit="count", direction="higher",
+                   description="bundle flows that completed"),
     ),
 )
 def _short_cross_scenario(*, seed: int, **params):
@@ -442,15 +484,34 @@ def _short_cross_scenario(*, seed: int, **params):
     "fig12_elastic_cross",
     figure="Figure 12 / §7.3",
     description="Bundle throughput share against persistent buffer-filling cross flows",
-    defaults=dict(
-        mode="bundler",
-        competing_flows=5,
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        bundle_flows=5,
-        duration_s=30.0,
-        warmup_s=5.0,
-        sendbox_cc="copa",
+    params=ParamSpace(
+        ParamSpec("mode", kind="str", default="bundler", choices=("status_quo", "bundler"),
+                  description="whether the bundle runs under Bundler"),
+        ParamSpec("competing_flows", kind="int", default=5, unit="count", minimum=0,
+                  description="persistent buffer-filling cross flows"),
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="bottleneck link rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("bundle_flows", kind="int", default=5, unit="count", minimum=1,
+                  description="backlogged flows inside the bundle"),
+        ParamSpec("duration_s", kind="float", default=30.0, unit="s", minimum=1.0,
+                  description="run duration"),
+        ParamSpec("warmup_s", kind="float", default=5.0, unit="s", minimum=0.0,
+                  description="leading interval excluded from throughput accounting"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("bundle_throughput_mbps", unit="Mbit/s", direction="higher",
+                   description="steady-state bundle throughput"),
+        MetricSpec("cross_throughput_mbps", unit="Mbit/s", direction="info",
+                   description="steady-state cross-traffic throughput"),
+        MetricSpec("fair_share_mbps", unit="Mbit/s", direction="info",
+                   description="the bundle's max-min fair share"),
+        MetricSpec("throughput_vs_fair_share", unit="ratio", direction="higher",
+                   description="bundle throughput over its fair share"),
     ),
     seed_sensitive=False,
 )

@@ -23,7 +23,9 @@ from repro.cc import make_window_cc
 from repro.net.simulator import Simulator
 from repro.net.topology import build_site_to_site
 from repro.net.trace import TimeSeries, percentile
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 from repro.runner.spec import expand_grid
 from repro.transport.flow import TcpFlow
 from repro.util.units import ms_to_s
@@ -149,13 +151,34 @@ def run_estimate_sweep(
     "fig05_fig06_estimates",
     figure="Figures 5-6 / §7.1",
     description="Accuracy of Bundler's epoch-based RTT and receive-rate estimates",
-    defaults=dict(
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        duration_s=20.0,
-        num_flows=4,
-        sample_interval_s=0.1,
-        sendbox_cc="copa",
+    params=ParamSpace(
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="bottleneck link rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("duration_s", kind="float", default=20.0, unit="s", minimum=1.0,
+                  description="run duration"),
+        ParamSpec("num_flows", kind="int", default=4, unit="count", minimum=1,
+                  description="long-lived flows in the bundle"),
+        ParamSpec("sample_interval_s", kind="float", default=0.1, unit="s", minimum=0.001,
+                  description="ground-truth sampling interval"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("rtt_error_p80_ms", unit="ms", direction="lower", nullable=True,
+                   description="80th-percentile absolute RTT estimate error"),
+        MetricSpec("rtt_error_median_ms", unit="ms", direction="lower", nullable=True,
+                   description="median absolute RTT estimate error"),
+        MetricSpec("rate_error_p80_mbps", unit="Mbit/s", direction="lower", nullable=True,
+                   description="80th-percentile absolute receive-rate estimate error"),
+        MetricSpec("rate_error_median_mbps", unit="Mbit/s", direction="lower", nullable=True,
+                   description="median absolute receive-rate estimate error"),
+        MetricSpec("rtt_samples", unit="count", direction="info",
+                   description="RTT estimate samples compared"),
+        MetricSpec("rate_samples", unit="count", direction="info",
+                   description="rate estimate samples compared"),
     ),
     seed_sensitive=False,
 )

@@ -25,7 +25,9 @@ from repro.core import BundlerConfig, install_bundler
 from repro.net.simulator import Simulator
 from repro.net.topology import build_site_to_site
 from repro.net.trace import percentile
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 from repro.runner.spec import expand_grid
 from repro.util.units import mbps_to_bps
 from repro.workload.generators import BackloggedFlows, ClosedLoopProbes
@@ -149,17 +151,37 @@ def run_internet_paths_study(
     "fig16_internet_paths",
     figure="Figure 16 / §8",
     description="Emulated WAN region: probe RTTs under base / status-quo / Bundler",
-    defaults=dict(
-        region="belgium",
-        #: None = look the region up in DEFAULT_REGIONS; set explicitly only
-        #: for regions outside the paper's five.
-        base_rtt_ms=None,
-        configuration="bundler",
-        egress_limit_mbps=24.0,
-        duration_s=20.0,
-        num_probes=10,
-        num_bulk_flows=5,
-        sendbox_cc="copa",
+    params=ParamSpace(
+        ParamSpec("region", kind="str", default="belgium",
+                  description="emulated WAN region (one of the paper's five, or any "
+                              "name with base_rtt_ms set explicitly)"),
+        ParamSpec("base_rtt_ms", kind="float", default=None, unit="ms", minimum=1.0,
+                  nullable=True,
+                  description="region base RTT (None = look the region up in DEFAULT_REGIONS)"),
+        ParamSpec("configuration", kind="str", default="bundler",
+                  choices=("base", "status_quo", "bundler"),
+                  description="path configuration under test"),
+        ParamSpec("egress_limit_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="site egress rate limit"),
+        ParamSpec("duration_s", kind="float", default=20.0, unit="s", minimum=1.0,
+                  description="run duration"),
+        ParamSpec("num_probes", kind="int", default=10, unit="count", minimum=1,
+                  description="closed-loop request/response probes"),
+        ParamSpec("num_bulk_flows", kind="int", default=5, unit="count", minimum=0,
+                  description="backlogged bulk flows sharing the egress"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("median_probe_rtt_ms", unit="ms", direction="lower",
+                   description="median probe round-trip time"),
+        MetricSpec("p99_probe_rtt_ms", unit="ms", direction="lower",
+                   description="99th-percentile probe round-trip time"),
+        MetricSpec("bulk_throughput_mbps", unit="Mbit/s", direction="higher",
+                   description="aggregate bulk-flow throughput"),
+        MetricSpec("probe_count", unit="count", direction="info",
+                   description="probe round trips measured"),
     ),
     seed_sensitive=False,
 )

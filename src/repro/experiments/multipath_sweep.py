@@ -18,7 +18,9 @@ from repro.core import BundlerConfig, install_bundler
 from repro.core.controller import BundlerMode
 from repro.net.simulator import Simulator
 from repro.net.topology import build_site_to_site
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 from repro.runner.spec import expand_grid
 from repro.util.rng import derive_seed, make_rng
 from repro.util.units import mbps_to_bps
@@ -127,15 +129,32 @@ def run_multipath_sweep(
     "fig07_multipath",
     figure="Figure 7 / §7.6",
     description="Out-of-order epoch measurements under imbalanced multipath routing",
-    defaults=dict(
-        num_paths=1,
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        duration_s=15.0,
-        load_fraction=0.7,
-        path_split_mode="packet",
-        delay_spread=2.0,
-        enable_multipath_detection=True,
+    params=ParamSpace(
+        ParamSpec("num_paths", kind="int", default=1, unit="count", minimum=1,
+                  description="parallel WAN paths between the sites"),
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="per-path bottleneck rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("duration_s", kind="float", default=15.0, unit="s", minimum=1.0,
+                  description="workload duration"),
+        ParamSpec("load_fraction", kind="float", default=0.7, unit="fraction",
+                  minimum=0.05, maximum=1.45,
+                  description="offered load as a fraction of the bottleneck rate"),
+        ParamSpec("path_split_mode", kind="str", default="packet", choices=("packet", "flow"),
+                  description="ECMP split granularity across the paths"),
+        ParamSpec("delay_spread", kind="float", default=2.0, minimum=1.0,
+                  description="delay multiplier between the fastest and slowest path"),
+        ParamSpec("enable_multipath_detection", kind="bool", default=True,
+                  description="enable the out-of-order multipath detector"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("out_of_order_fraction", unit="fraction", direction="info",
+                   description="epoch measurements arriving out of order"),
+        MetricSpec("detector_triggered", kind="bool", direction="info",
+                   description="whether the multipath detector fired"),
+        MetricSpec("final_mode", kind="str", direction="info",
+                   description="controller mode at the end of the run"),
     ),
 )
 def _multipath_scenario(*, seed: int, **params):

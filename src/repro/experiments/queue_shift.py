@@ -17,7 +17,9 @@ from repro.cc import make_window_cc
 from repro.net.simulator import Simulator
 from repro.net.topology import build_site_to_site
 from repro.net.trace import TimeSeries
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 from repro.transport.flow import TcpFlow
 
 
@@ -96,14 +98,31 @@ def run_queue_shift(
     "fig02_queue_shift",
     figure="Figure 2",
     description="Bundler moves the standing queue from the bottleneck to the sendbox",
-    defaults=dict(
-        with_bundler=True,
-        bottleneck_mbps=24.0,
-        rtt_ms=50.0,
-        duration_s=30.0,
-        num_flows=2,
-        endhost_cc="cubic",
-        sendbox_cc="copa",
+    params=ParamSpace(
+        ParamSpec("with_bundler", kind="bool", default=True,
+                  description="install the Bundler pair at the site edges"),
+        ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+                  description="bottleneck link rate"),
+        ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+                  description="base round-trip time"),
+        ParamSpec("duration_s", kind="float", default=30.0, unit="s", minimum=1.0,
+                  description="run duration"),
+        ParamSpec("num_flows", kind="int", default=2, unit="count", minimum=1,
+                  description="long-lived bulk flows"),
+        ParamSpec("endhost_cc", kind="str", default="cubic",
+                  choices=("cubic", "reno", "vegas", "bbr", "constant"),
+                  description="endhost window congestion controller"),
+        ParamSpec("sendbox_cc", kind="str", default="copa",
+                  choices=("copa", "basic_delay", "bbr", "constant"),
+                  description="bundle-level rate congestion controller"),
+    ),
+    metrics=MetricSchema(
+        MetricSpec("mean_bottleneck_delay_ms", unit="ms", direction="lower",
+                   description="mean queueing delay at the bottleneck"),
+        MetricSpec("mean_sendbox_delay_ms", unit="ms", direction="info",
+                   description="mean queueing delay at the sendbox (where the queue should move)"),
+        MetricSpec("bottleneck_drops", unit="packets", direction="lower",
+                   description="packets dropped at the bottleneck"),
     ),
     seed_sensitive=False,
 )

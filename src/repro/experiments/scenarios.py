@@ -36,7 +36,9 @@ from repro.net.simulator import Simulator
 from repro.net.topology import SiteToSite, build_site_to_site
 from repro.net.trace import TimeSeries
 from repro.qdisc.sfq import SfqQdisc
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
 from repro.transport.flow import FlowRecord
 from repro.transport.proxy import idealized_proxy_window, proxy_buffer_packets
 from repro.util.rng import derive_seed, make_rng
@@ -289,19 +291,70 @@ def scenario_metrics(result: ScenarioResult) -> Dict[str, object]:
     }
 
 
-_SCENARIO_DEFAULTS = dict(
-    mode="bundler_sfq",
-    bottleneck_mbps=24.0,
-    rtt_ms=50.0,
-    load_fraction=0.875,
-    duration_s=15.0,
-    warmup_s=2.0,
-    num_servers=8,
-    num_clients=1,
-    max_requests=None,
-    endhost_cc="cubic",
-    sendbox_cc="copa",
-    enable_nimbus=True,
+def _check_load_fraction(value: float) -> None:
+    if not 0.0 < value < 1.5:
+        raise ValueError("load_fraction should be a sensible fraction of the bottleneck")
+
+
+#: Typed knob set of the §7.1 workload scenario family (Figures 9/14/15,
+#: §7.2 policies, §7.4 table).  Individual registrations derive from this
+#: via :meth:`ParamSpace.with_defaults`.
+SCENARIO_PARAMS = ParamSpace(
+    ParamSpec("mode", kind="str", default="bundler_sfq", choices=ALL_MODES,
+              description="who controls queueing, and with which scheduler"),
+    ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
+              description="bottleneck link rate"),
+    ParamSpec("rtt_ms", kind="float", default=50.0, unit="ms", minimum=1.0,
+              description="base round-trip time of the site-to-site path"),
+    ParamSpec("load_fraction", kind="float", default=0.875, unit="fraction",
+              validator=_check_load_fraction,
+              description="offered load as a fraction of the bottleneck rate"),
+    ParamSpec("duration_s", kind="float", default=15.0, unit="s", minimum=1.0,
+              description="workload duration"),
+    ParamSpec("warmup_s", kind="float", default=2.0, unit="s", minimum=0.0,
+              description="leading interval excluded from FCT analysis"),
+    ParamSpec("num_servers", kind="int", default=8, unit="count", minimum=1,
+              description="request-serving endhosts behind the sendbox"),
+    ParamSpec("num_clients", kind="int", default=1, unit="count", minimum=1,
+              description="request-issuing endhosts behind the receivebox"),
+    ParamSpec("max_requests", kind="int", default=None, unit="count", minimum=1, nullable=True,
+              description="request cap (None = run to duration)"),
+    ParamSpec("endhost_cc", kind="str", default="cubic",
+              choices=("cubic", "reno", "vegas", "bbr", "constant"),
+              description="endhost window congestion controller"),
+    ParamSpec("sendbox_cc", kind="str", default="copa",
+              choices=("copa", "basic_delay", "bbr", "constant"),
+              description="bundle-level rate congestion controller"),
+    ParamSpec("enable_nimbus", kind="bool", default=True,
+              description="enable Nimbus cross-traffic elasticity detection"),
+)
+
+#: Schema of :func:`scenario_metrics` — what every family member reports.
+SCENARIO_METRICS = MetricSchema(
+    MetricSpec("requests_issued", unit="count", direction="info",
+               description="requests the workload issued"),
+    MetricSpec("completed", unit="count", direction="higher",
+               description="post-warm-up flows that completed"),
+    MetricSpec("completion_fraction", unit="fraction", direction="higher",
+               description="completed / issued"),
+    MetricSpec("median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median FCT slowdown vs the ideal FCT"),
+    MetricSpec("p99_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="99th-percentile FCT slowdown"),
+    MetricSpec("small_median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median slowdown of <=10KB flows"),
+    MetricSpec("mid_median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median slowdown of 10KB-1MB flows"),
+    MetricSpec("large_median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median slowdown of >1MB flows"),
+    MetricSpec("small_p99_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="99th-percentile slowdown of <=10KB flows"),
+    MetricSpec("bottleneck_drops", unit="packets", direction="lower",
+               description="packets dropped at the bottleneck"),
+    MetricSpec("sendbox_drops", unit="packets", direction="info",
+               description="packets dropped at the sendbox (where drops should move)"),
+    MetricSpec("out_of_order_fraction", unit="fraction", direction="lower", nullable=True,
+               description="epoch measurements arriving out of order (None without Bundler)"),
 )
 
 
@@ -314,28 +367,32 @@ register_scenario(
     "fig09_slowdown",
     figure="Figure 9 / §7.2",
     description="FCT slowdown distribution of the §7.1 workload under a given mode",
-    defaults=_SCENARIO_DEFAULTS,
+    params=SCENARIO_PARAMS,
+    metrics=SCENARIO_METRICS,
 )(_run_registered_scenario)
 
 register_scenario(
     "fig14_sendbox_cc",
     figure="Figure 14 / §7.2",
     description="Sendbox congestion-control choice (Copa / BasicDelay / BBR) on the §7.1 workload",
-    defaults={**_SCENARIO_DEFAULTS, "duration_s": 12.0},
+    params=SCENARIO_PARAMS.with_defaults(duration_s=12.0),
+    metrics=SCENARIO_METRICS,
 )(_run_registered_scenario)
 
 register_scenario(
     "fig15_proxy",
     figure="Figure 15 / §7.5",
     description="Idealized TCP-terminating proxy emulation vs plain Bundler",
-    defaults={**_SCENARIO_DEFAULTS, "mode": "proxy", "load_fraction": 0.8, "duration_s": 12.0},
+    params=SCENARIO_PARAMS.with_defaults(mode="proxy", load_fraction=0.8, duration_s=12.0),
+    metrics=SCENARIO_METRICS,
 )(_run_registered_scenario)
 
 register_scenario(
     "sec74_endhost_cc",
     figure="§7.4 (table)",
     description="Bundler's gains across endhost congestion controllers (Cubic / Reno / BBR)",
-    defaults={**_SCENARIO_DEFAULTS, "duration_s": 10.0},
+    params=SCENARIO_PARAMS.with_defaults(duration_s=10.0),
+    metrics=SCENARIO_METRICS,
 )(_run_registered_scenario)
 
 
@@ -363,6 +420,21 @@ def policy_metrics(result: ScenarioResult) -> Dict[str, object]:
     }
 
 
+#: Schema of :func:`policy_metrics` — the §7.2 scheduling-policy claims.
+POLICY_METRICS = MetricSchema(
+    MetricSpec("completed", unit="count", direction="higher",
+               description="post-warm-up flows that completed"),
+    MetricSpec("median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median FCT slowdown"),
+    MetricSpec("short_median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median slowdown of latency-sensitive short flows"),
+    MetricSpec("high_class_median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median slowdown of the favored priority class"),
+    MetricSpec("low_class_median_slowdown", unit="ratio", direction="info", nullable=True,
+               description="median slowdown of the deprioritized class"),
+)
+
+
 def _run_policy_scenario(*, seed: int, **params) -> Dict[str, object]:
     config = ScenarioConfig(seed=seed, **params)
     return policy_metrics(run_scenario(config))
@@ -372,12 +444,14 @@ register_scenario(
     "sec72_fq_codel",
     figure="§7.2 (text)",
     description="FQ-CoDel at the sendbox: short-flow latency versus the Status Quo FIFO",
-    defaults={**_SCENARIO_DEFAULTS, "mode": "bundler_fq_codel", "duration_s": 12.0},
+    params=SCENARIO_PARAMS.with_defaults(mode="bundler_fq_codel", duration_s=12.0),
+    metrics=POLICY_METRICS,
 )(_run_policy_scenario)
 
 register_scenario(
     "sec72_priority",
     figure="§7.2 (text)",
     description="Strict priority at the sendbox: the favored class beats the deprioritized one",
-    defaults={**_SCENARIO_DEFAULTS, "mode": "bundler_prio", "duration_s": 12.0},
+    params=SCENARIO_PARAMS.with_defaults(mode="bundler_prio", duration_s=12.0),
+    metrics=POLICY_METRICS,
 )(_run_policy_scenario)

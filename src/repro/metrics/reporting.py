@@ -78,14 +78,30 @@ def paper_expectation_note(expectation: str, measured: str) -> str:
     return f"paper: {expectation} | measured: {measured}"
 
 
-def format_run_results(results, *, title: str = "", metrics: Optional[Sequence[str]] = None) -> str:
+def _metric_header(name: str, schema) -> str:
+    """Column header for a metric: unit-annotated when the schema knows it."""
+    spec = schema.spec_for(name) if schema is not None else None
+    if spec is not None and spec.unit:
+        return f"{name} [{spec.unit}]"
+    return name
+
+
+def format_run_results(
+    results,
+    *,
+    title: str = "",
+    metrics: Optional[Sequence[str]] = None,
+    schema=None,
+) -> str:
     """Render :class:`repro.runner.result.RunResult` records as a table.
 
     Only the parameters that actually *vary* across the given results become
     columns (constant parameters would add noise), followed by the seed and
-    the selected metrics (default: every metric of the first result, in
-    sorted order).  Duck-typed on ``.params`` / ``.seed`` / ``.metrics`` so
-    this module stays free of runner imports.
+    the selected metrics (default: every metric of the first result — in the
+    scenario's :class:`~repro.runner.schema.MetricSchema` order when a
+    ``schema`` is given, else sorted; headers are unit-annotated from the
+    schema).  Duck-typed on ``.params`` / ``.seed`` / ``.metrics`` so this
+    module stays free of runner imports.
     """
     results = list(results)
     if not results:
@@ -95,8 +111,14 @@ def format_run_results(results, *, title: str = "", metrics: Optional[Sequence[s
         k for k in param_keys
         if len({repr(r.params.get(k)) for r in results}) > 1
     ]
-    metric_keys = list(metrics) if metrics is not None else sorted(results[0].metrics)
-    table = Table([*varying, "seed", *metric_keys], title=title)
+    if metrics is not None:
+        metric_keys = list(metrics)
+    elif schema is not None:
+        metric_keys = schema.column_order(results[0].metrics)
+    else:
+        metric_keys = sorted(results[0].metrics)
+    headers = [_metric_header(m, schema) for m in metric_keys]
+    table = Table([*varying, "seed", *headers], title=title)
     for r in results:
         table.add_row(
             *[r.params.get(k) for k in varying],
@@ -106,13 +128,20 @@ def format_run_results(results, *, title: str = "", metrics: Optional[Sequence[s
     return table.render()
 
 
-def format_aggregate_cells(cells, *, title: str = "", metrics: Optional[Sequence[str]] = None) -> str:
+def format_aggregate_cells(
+    cells,
+    *,
+    title: str = "",
+    metrics: Optional[Sequence[str]] = None,
+    schema=None,
+) -> str:
     """Render :class:`repro.runner.aggregate.AggregateCell` rows as a table.
 
     One row per (scenario-implicit) parameter cell; metric columns show
     ``mean ± 95% CI`` across the cell's seeds (bare mean when only one seed
-    contributed).  Duck-typed on ``.params`` / ``.seeds`` / ``.metrics`` so
-    this module stays free of runner imports, mirroring
+    contributed) and are ordered / unit-annotated by ``schema`` when one is
+    given.  Duck-typed on ``.params`` / ``.seeds`` / ``.metrics`` so this
+    module stays free of runner imports, mirroring
     :func:`format_run_results`.
     """
     cells = list(cells)
@@ -123,10 +152,15 @@ def format_aggregate_cells(cells, *, title: str = "", metrics: Optional[Sequence
         k for k in param_keys
         if len({repr(c.params.get(k)) for c in cells}) > 1
     ]
-    metric_keys = (
-        list(metrics) if metrics is not None else sorted({m for c in cells for m in c.metrics})
-    )
-    table = Table([*varying, "seeds", *metric_keys], title=title)
+    observed = {m: None for c in cells for m in c.metrics}
+    if metrics is not None:
+        metric_keys = list(metrics)
+    elif schema is not None:
+        metric_keys = schema.column_order(observed)
+    else:
+        metric_keys = sorted(observed)
+    headers = [_metric_header(m, schema) for m in metric_keys]
+    table = Table([*varying, "seeds", *headers], title=title)
     for c in cells:
         table.add_row(
             *[c.params.get(k) for k in varying],

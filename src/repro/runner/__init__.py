@@ -7,10 +7,20 @@ missing.  The pieces:
 
 * :mod:`repro.runner.registry` — named, parameterized scenario factories
   registered by the experiment modules;
+* :mod:`repro.runner.params` — typed parameter spaces (:class:`ParamSpace`
+  of :class:`ParamSpec`: type, default, unit, choices, bounds) that coerce
+  and validate every override before it can reach a cache key;
+* :mod:`repro.runner.schema` — metric schemas (:class:`MetricSchema` of
+  :class:`MetricSpec`: unit, direction) validated against every fresh run;
 * :mod:`repro.runner.spec` — :class:`SweepSpec` (grid / zip / seeds) that
   expands into concrete :class:`RunSpec` cells;
-* :mod:`repro.runner.engine` — the multiprocessing worker pool with
-  deterministic per-run seeds (``derive_seed``) and cache integration;
+* :mod:`repro.runner.engine` — cache-aware sweep orchestration with
+  deterministic per-run seeds (``derive_seed``);
+* :mod:`repro.runner.backends` — pluggable :class:`ExecutionBackend`
+  implementations (serial, multiprocessing pool) behind a protocol shaped
+  for a future cross-host dispatcher;
+* :mod:`repro.runner.export` — schema-annotated long-format CSV / JSONL
+  exports of runs and aggregates;
 * :mod:`repro.runner.cache` — the content-addressed JSON result store
   under ``.repro-cache/``, with a ``manifest.json`` index and
   :meth:`~repro.runner.cache.ResultCache.gc` eviction (stale scenario
@@ -64,6 +74,16 @@ from repro.runner.aggregate import (
     find_cell,
     find_cells,
 )
+from repro.runner.backends import (
+    BACKENDS,
+    BACKEND_CHOICES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkItem,
+    WorkOutcome,
+    make_backend,
+)
 from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
     MANIFEST_NAME,
@@ -80,14 +100,36 @@ from repro.runner.engine import (
     run_spec,
     run_sweep,
 )
+from repro.runner.export import (
+    EXPORT_FORMATS,
+    LongTable,
+    aggregates_long_table,
+    export_aggregates,
+    export_runs,
+    runs_long_table,
+)
+from repro.runner.params import (
+    PARAM_KINDS,
+    ParamSpace,
+    ParamSpec,
+    ParamValidationError,
+)
 from repro.runner.registry import (
     REGISTRY,
     Scenario,
+    ScenarioAPIDeprecationWarning,
     ScenarioRegistry,
     load_builtin_scenarios,
     register_scenario,
 )
 from repro.runner.result import RunResult, run_key
+from repro.runner.schema import (
+    METRIC_DIRECTIONS,
+    METRIC_KINDS,
+    MetricSchema,
+    MetricSpec,
+    MetricValidationError,
+)
 from repro.runner.spec import RunSpec, SweepSpec, expand_grid, expand_zip
 
 __all__ = [
@@ -97,6 +139,14 @@ __all__ = [
     "aggregate_results",
     "find_cell",
     "find_cells",
+    "BACKENDS",
+    "BACKEND_CHOICES",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "WorkItem",
+    "WorkOutcome",
+    "make_backend",
     "DEFAULT_CACHE_DIR",
     "MANIFEST_NAME",
     "CacheStats",
@@ -109,13 +159,29 @@ __all__ = [
     "resolve_cell",
     "run_spec",
     "run_sweep",
+    "EXPORT_FORMATS",
+    "LongTable",
+    "aggregates_long_table",
+    "export_aggregates",
+    "export_runs",
+    "runs_long_table",
+    "PARAM_KINDS",
+    "ParamSpace",
+    "ParamSpec",
+    "ParamValidationError",
     "REGISTRY",
     "Scenario",
+    "ScenarioAPIDeprecationWarning",
     "ScenarioRegistry",
     "load_builtin_scenarios",
     "register_scenario",
     "RunResult",
     "run_key",
+    "METRIC_DIRECTIONS",
+    "METRIC_KINDS",
+    "MetricSchema",
+    "MetricSpec",
+    "MetricValidationError",
     "RunSpec",
     "SweepSpec",
     "expand_grid",

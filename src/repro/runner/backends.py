@@ -1,0 +1,229 @@
+"""Pluggable execution backends for the sweep engine.
+
+The engine's job is *what* to run (resolve cells, serve cache hits, write
+results back); a backend's job is *where and how* the cache-missing cells
+execute.  The :class:`ExecutionBackend` protocol is deliberately narrow and
+transport-friendly: work crosses the boundary as plain picklable
+:class:`WorkItem` records (scenario name + resolved params + seed) and comes
+back as :class:`WorkOutcome` records carrying JSON payloads — exactly the
+shape a cross-host dispatcher needs, so a remote backend is a drop-in later
+addition (the cache keys are already host-independent).
+
+Built-in backends:
+
+* :class:`SerialBackend` — in-process, one cell at a time.  The only
+  backend that can execute against a custom (non-built-in) registry.
+* :class:`ProcessPoolBackend` — the :mod:`multiprocessing` pool.  Workers
+  re-import the experiment modules to rebuild the registry, so it only
+  handles built-in scenarios; the engine falls back to serial otherwise.
+
+``make_backend`` resolves CLI-style names (``serial``, ``process``); the
+determinism contract (results depend only on ``(scenario, params, seed)``)
+holds across all backends — ``tests/test_runner_backends.py`` compares
+their canonical serializations byte for byte.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One cache-missing cell handed to a backend.
+
+    ``params`` are already resolved (defaults filled, coerced, validated)
+    so backends never need the registry to interpret them; ``index`` is the
+    cell's position in the sweep, echoed back for reassembly.
+    """
+
+    index: int
+    scenario: str
+    params: Mapping[str, Any]
+    seed: int
+
+
+@dataclass(frozen=True)
+class WorkOutcome:
+    """What a backend returns per work item.
+
+    Exactly one of ``payload`` (a :meth:`RunResult.to_payload` dict) and
+    ``error`` (a formatted traceback) is set.  Failures travel as data, not
+    exceptions, so one bad cell cannot poison a batch.
+    """
+
+    index: int
+    payload: Optional[Dict[str, Any]]
+    elapsed_s: float
+    error: Optional[str]
+
+
+class ExecutionBackend(Protocol):
+    """Where the engine's cache-missing cells execute.
+
+    Implementations must preserve the determinism contract: the payload of
+    a work item depends only on ``(scenario, params, seed)``, never on
+    scheduling, concurrency, or host.  ``name`` identifies the backend in
+    CLI flags and telemetry; ``workers`` is its concurrency (1 for serial);
+    ``needs_builtin_registry`` tells the engine whether the backend can only
+    resolve scenario names by re-importing :mod:`repro.experiments` (true
+    for anything that leaves the calling process).
+    """
+
+    name: str
+    workers: int
+    needs_builtin_registry: bool
+
+    def execute(
+        self, items: Sequence[WorkItem], *, registry: Optional[Any] = None
+    ) -> List[WorkOutcome]:
+        """Run every item and return outcomes in the same order."""
+        ...
+
+
+def execute_item(item: WorkItem, registry: Optional[Any] = None) -> WorkOutcome:
+    """Execute one work item in-process, capturing failures as data.
+
+    Module-level (and lazily importing the engine) so it both pickles into
+    pool workers and avoids a circular import with the engine, which
+    imports this module for the backend types.
+    """
+    from repro.runner.engine import execute_run
+    from repro.runner.registry import REGISTRY
+    from repro.runner.spec import RunSpec
+
+    started = time.perf_counter()
+    try:
+        result = execute_run(
+            RunSpec(scenario=item.scenario, params=item.params, seed=item.seed),
+            registry=registry if registry is not None else REGISTRY,
+        )
+    except Exception:
+        return WorkOutcome(
+            index=item.index,
+            payload=None,
+            elapsed_s=time.perf_counter() - started,
+            error=traceback.format_exc(),
+        )
+    return WorkOutcome(
+        index=item.index,
+        payload=result.to_payload(),
+        elapsed_s=time.perf_counter() - started,
+        error=None,
+    )
+
+
+class SerialBackend:
+    """Run every cell in the calling process, one at a time."""
+
+    name = "serial"
+    workers = 1
+    needs_builtin_registry = False
+
+    def execute(
+        self, items: Sequence[WorkItem], *, registry: Optional[Any] = None
+    ) -> List[WorkOutcome]:
+        return [execute_item(item, registry) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+def _pool_init(extra_sys_path: List[str]) -> None:
+    """Pool-worker initializer: restore the import path, rebuild the registry."""
+    from repro.runner.registry import load_builtin_scenarios
+
+    for path in reversed(extra_sys_path):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    load_builtin_scenarios()
+
+
+def _pool_run(item: WorkItem) -> WorkOutcome:
+    """Pool-worker entry point: execute against the rebuilt built-in registry."""
+    return execute_item(item, None)
+
+
+class ProcessPoolBackend:
+    """Run cells on a :mod:`multiprocessing` worker pool.
+
+    The pool ships :class:`WorkItem` records across the process boundary;
+    each worker re-imports the experiment modules (via :func:`_pool_init`)
+    to resolve scenario names, so only built-in scenarios are reachable.
+    Batches of zero or one pending cell skip the pool entirely — spawning
+    costs more than the work.
+    """
+
+    name = "process"
+    needs_builtin_registry = True
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def execute(
+        self, items: Sequence[WorkItem], *, registry: Optional[Any] = None
+    ) -> List[WorkOutcome]:
+        pool_size = min(self.workers, len(items))
+        if pool_size <= 1:
+            return [execute_item(item, registry) for item in items]
+        ctx = multiprocessing.get_context()
+        # Spawn-start children must be able to import this module *before*
+        # the initializer runs (the initializer itself is unpickled), so the
+        # import path has to travel via the environment; initargs alone only
+        # covers fork-start children.
+        prior_pythonpath = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = os.pathsep.join(
+            [p for p in sys.path if p] + ([prior_pythonpath] if prior_pythonpath else [])
+        )
+        try:
+            with ctx.Pool(
+                processes=pool_size, initializer=_pool_init, initargs=(list(sys.path),)
+            ) as pool:
+                return pool.map(_pool_run, items)
+        finally:
+            if prior_pythonpath is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = prior_pythonpath
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(workers={self.workers})"
+
+
+#: Name → constructor for the built-in backends (a cross-host dispatcher
+#: registers here when it lands).
+BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+}
+
+#: Names accepted by ``repro-runner sweep --backend`` (``auto`` picks
+#: ``process`` when more than one worker is requested, else ``serial``).
+BACKEND_CHOICES = ("auto", *sorted(BACKENDS))
+
+
+def make_backend(name: str, *, workers: int = 1) -> ExecutionBackend:
+    """Build a backend from a CLI-style name.
+
+    ``auto`` preserves the engine's historical behavior: a process pool
+    when ``workers > 1``, otherwise serial.
+    """
+    if name == "auto":
+        return ProcessPoolBackend(workers) if workers > 1 else SerialBackend()
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_CHOICES}"
+        ) from None
+    if factory is ProcessPoolBackend:
+        return ProcessPoolBackend(max(workers, 1))
+    return factory()

@@ -3,20 +3,31 @@
 Subcommands:
 
 ``list``
-    Show every registered scenario with its paper figure and parameters.
+    Show every registered scenario with its paper figure and parameters;
+    ``-v`` renders each scenario's typed knob table (type, unit, choices,
+    default) and metric schema (unit, direction) from its declarations.
 ``run``
     Execute a single scenario cell and print its metrics.
 ``sweep``
     Expand a sweep (from ``--spec FILE.json``, inline ``--grid`` axes, or
-    the built-in ``--smoke`` grid) and execute it on a worker pool; repeat
-    invocations are served from the result cache, and the summary line
-    reports the cache-hit percentage.
+    the built-in ``--smoke`` grid) and execute it on the selected
+    ``--backend`` (serial / process / auto); repeat invocations are served
+    from the result cache, and the summary line reports the cache-hit
+    percentage.
 ``report``
-    Render cached results as per-scenario tables; ``--aggregate`` groups by
-    (scenario, params) and prints mean ± 95% CI per metric across seeds.
+    Render cached results; ``--aggregate`` groups by (scenario, params)
+    with mean ± 95% CI per metric across seeds.  ``--format`` selects
+    human tables (default), or schema-annotated long-format ``csv`` /
+    ``jsonl`` ready for pandas with no hand-editing.
 ``gc``
     Evict cached records whose scenario version is stale (and, with
     ``--max-age-days``, records older than a cutoff), updating the manifest.
+
+Parameter values given as ``-p key=value`` / ``-g key=v1,v2`` are parsed
+as JSON-ish literals and then *coerced through the scenario's typed
+ParamSpace* by the engine, so a CLI-run cell and a JSON-spec-run cell of
+the same configuration always share one cache key (``"96"``, ``96`` and
+``96.0`` cannot mint distinct keys).
 """
 
 from __future__ import annotations
@@ -28,8 +39,10 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.metrics.reporting import Table, format_aggregate_cells, format_run_results
 from repro.runner.aggregate import aggregate_results
+from repro.runner.backends import BACKEND_CHOICES
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.engine import run_sweep
+from repro.runner.export import EXPORT_FORMATS, export_aggregates, export_runs
 from repro.runner.registry import load_builtin_scenarios
 from repro.runner.spec import RunSpec, SweepSpec
 
@@ -59,6 +72,11 @@ def _parse_value(text: str) -> Any:
     Python-style spellings (``None``, ``True``, ``False``, any case) are
     accepted alongside the JSON ones — otherwise ``-p with_bundler=False``
     would silently become the *truthy* string ``"False"``.
+
+    Type fidelity is deliberately loose here (``-p rate=96`` parses as the
+    int ``96`` even for a float knob): the engine re-coerces every value
+    through the scenario's ParamSpace, which canonicalizes all spellings of
+    a value to the same cache key.
     """
     lowered = text.strip().lower()
     if lowered in ("none", "null"):
@@ -102,15 +120,24 @@ def _cmd_list(args: argparse.Namespace) -> int:
         table.add_row(name, scenario.figure or "-", params)
     print(table.render())
     if args.verbose:
-        print()
         for name in registry.names():
             scenario = registry.get(name)
+            print()
             print(f"{name}: {scenario.description}")
+            knobs = Table(["parameter", "type", "default", "description"])
+            for row in scenario.params.describe_rows():
+                knobs.add_row(*row)
+            print(knobs.render())
+            if scenario.metrics is not None:
+                metrics = Table(["metric", "unit", "direction", "description"])
+                for row in scenario.metrics.describe_rows():
+                    metrics.add_row(*row)
+                print(metrics.render())
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    load_builtin_scenarios()
+    registry = load_builtin_scenarios()
     spec = RunSpec(scenario=args.scenario, params=_parse_params(args.param), seed=args.seed)
     outcome = run_sweep(
         [spec],
@@ -122,9 +149,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = cell.result
     source = "cache" if cell.cached else "simulated"
     print(f"{cell.spec.describe()}  [{source}, key={result.key[:12]}]")
-    table = Table(["metric", "value"])
-    for name in sorted(result.metrics):
-        table.add_row(name, result.metrics[name])
+    schema = registry.get(args.scenario).metrics if args.scenario in registry else None
+    names = schema.column_order(result.metrics) if schema else sorted(result.metrics)
+    table = Table(["metric", "unit", "value"])
+    for name in names:
+        metric_spec = schema.spec_for(name) if schema else None
+        unit = metric_spec.unit if metric_spec and metric_spec.unit else "-"
+        table.add_row(name, unit, result.metrics[name])
     print(table.render())
     return 0
 
@@ -167,38 +198,66 @@ def _load_sweep_spec(args: argparse.Namespace) -> SweepSpec:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    load_builtin_scenarios()
+    registry = load_builtin_scenarios()
     sweep = _load_sweep_spec(args)
     specs = sweep.expand()
     if not specs:
         raise SystemExit("sweep expanded to zero runs")
-    print(f"sweep {sweep.scenario}: {len(specs)} cells on {args.workers} worker(s)")
+    # Mirror the concurrency the backend will actually run with, so the
+    # header and the outcome summary line agree.
+    shown_workers = 1 if args.backend == "serial" else args.workers
+    print(
+        f"sweep {sweep.scenario}: {len(specs)} cells on {shown_workers} worker(s) "
+        f"[{args.backend} backend]"
+    )
     cache = ResultCache(args.cache_dir)
     outcome = run_sweep(
-        specs, workers=args.workers, cache=cache, use_cache=not args.no_cache
+        specs,
+        workers=args.workers,
+        cache=cache,
+        use_cache=not args.no_cache,
+        backend=args.backend,
     )
-    print(format_run_results(outcome.results, title=f"sweep results: {sweep.scenario}"))
+    schema = registry.get(sweep.scenario).metrics if sweep.scenario in registry else None
+    print(
+        format_run_results(
+            outcome.results, schema=schema, title=f"sweep results: {sweep.scenario}"
+        )
+    )
     print(outcome.summary())
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
+    # The registry supplies metric schemas: unit/direction columns in
+    # exports and schema-ordered columns in tables.
+    registry = load_builtin_scenarios()
     grouped = cache.by_scenario()
     if args.scenario:
         grouped = {k: v for k, v in grouped.items() if k == args.scenario}
     if not grouped:
         print(f"no cached results under {cache.root!r}")
         return 1
+    if args.format in ("csv", "jsonl"):
+        results = [r for name in sorted(grouped) for r in grouped[name]]
+        if args.aggregate:
+            text = export_aggregates(aggregate_results(results), args.format, registry=registry)
+        else:
+            text = export_runs(results, args.format, registry=registry)
+        sys.stdout.write(text)
+        return 0
     total = 0
     for name in sorted(grouped):
         results = grouped[name]
+        schema = registry.get(name).metrics if name in registry else None
         total += len(results)
         if args.aggregate:
             cells = aggregate_results(results)
             print(
                 format_aggregate_cells(
                     cells,
+                    schema=schema,
                     title=(
                         f"{name} ({len(cells)} cell(s) aggregated from "
                         f"{len(results)} cached runs, mean ± 95% CI)"
@@ -206,7 +265,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 )
             )
         else:
-            print(format_run_results(results, title=f"{name} ({len(results)} cached runs)"))
+            print(
+                format_run_results(
+                    results, schema=schema, title=f"{name} ({len(results)} cached runs)"
+                )
+            )
         print()
     print(f"{total} cached result(s) in {cache.root!r}")
     return 0
@@ -240,7 +303,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list registered scenarios", parents=[common])
-    p_list.add_argument("-v", "--verbose", action="store_true", help="include descriptions")
+    p_list.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="include per-scenario knob tables and metric schemas",
+    )
     p_list.set_defaults(fn=_cmd_list)
 
     p_run = sub.add_parser("run", help="execute one scenario cell", parents=[common])
@@ -267,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--seeds", default="", help="comma-separated seed list (default: 1)")
     p_sweep.add_argument("-w", "--workers", type=int, default=2, help="worker processes")
+    p_sweep.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="execution backend (auto = process pool when --workers > 1)",
+    )
     p_sweep.add_argument("--no-cache", action="store_true", help="force re-simulation of every cell")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
@@ -275,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--aggregate", action="store_true",
         help="group by (scenario, params) and print mean ± 95%% CI across seeds",
+    )
+    p_report.add_argument(
+        "--format", choices=EXPORT_FORMATS, default="table",
+        help="output format: human tables, or long-format csv/jsonl with "
+             "schema unit/direction columns (plot-ready)",
     )
     p_report.set_defaults(fn=_cmd_report)
 

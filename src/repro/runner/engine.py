@@ -2,32 +2,37 @@
 
 Given a list of :class:`~repro.runner.spec.RunSpec` cells, the engine
 
-1. resolves each cell's parameters against the scenario registry and
-   computes its content-addressed cache key;
+1. resolves each cell's parameters against the scenario registry (typed
+   coercion through the scenario's ``ParamSpace``) and computes its
+   content-addressed cache key;
 2. serves every cell already present in the result cache from disk;
-3. executes the remaining cells on a :mod:`multiprocessing` worker pool
-   (or in-process when ``workers=1``), each with a deterministic seed
-   derived via :func:`repro.util.rng.derive_seed`;
-4. writes fresh results back to the cache and returns everything in the
-   original spec order.
+3. hands the remaining cells to an
+   :class:`~repro.runner.backends.ExecutionBackend` — serial in-process, a
+   :mod:`multiprocessing` pool, or any drop-in implementation of the
+   protocol — each cell with a deterministic seed derived via
+   :func:`repro.util.rng.derive_seed`;
+4. validates fresh metrics against the scenario's ``MetricSchema``, writes
+   results back to the cache, and returns everything in spec order.
 
 Determinism contract: a run's :class:`RunResult` depends only on
-``(scenario, params, seed)`` — never on worker count, scheduling order, or
-whether the result came from the cache.  ``tests/test_runner_engine.py``
-pins this down by comparing the canonical serialization of parallel and
-serial sweeps byte for byte.
+``(scenario, params, seed)`` — never on the backend, worker count,
+scheduling order, or whether the result came from the cache.
+``tests/test_runner_engine.py`` and ``tests/test_runner_backends.py`` pin
+this down by comparing canonical serializations byte for byte.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import sys
 import time
-import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.runner.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    WorkItem,
+    make_backend,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.registry import REGISTRY, ScenarioRegistry, load_builtin_scenarios
 from repro.runner.result import RunResult, run_key
@@ -58,6 +63,8 @@ class SweepOutcome:
     #: fully cache-served sweep still reports the requested count (no cell
     #: needed a worker, but that is visible in ``misses``, not here).
     workers: int = 1
+    #: Name of the execution backend the sweep's fresh cells ran on.
+    backend: str = "serial"
     elapsed_s: float = 0.0
 
     @property
@@ -132,7 +139,12 @@ def resolve_cell(
 
 
 def execute_run(spec: RunSpec, *, registry: Optional[ScenarioRegistry] = None) -> RunResult:
-    """Execute one cell in-process (no cache involvement)."""
+    """Execute one cell in-process (no cache involvement).
+
+    Fresh metrics are validated against the scenario's declared
+    :class:`~repro.runner.schema.MetricSchema` (when it has one), so a
+    scenario that drifts from its schema fails at the point of production.
+    """
     registry = registry if registry is not None else load_builtin_scenarios()
     scenario = registry.get(spec.scenario)
     spec, params, key = resolve_cell(spec, registry=registry)
@@ -142,6 +154,7 @@ def execute_run(spec: RunSpec, *, registry: Optional[ScenarioRegistry] = None) -
         raise TypeError(
             f"scenario {spec.scenario!r} returned {type(metrics).__name__}, expected a metrics dict"
         )
+    scenario.validate_metrics(metrics)
     return RunResult(
         scenario=spec.scenario,
         params=params,
@@ -153,39 +166,32 @@ def execute_run(spec: RunSpec, *, registry: Optional[ScenarioRegistry] = None) -
     )
 
 
-# ---------------------------------------------------------------------------
-# Worker-pool plumbing.  Work items cross the process boundary as plain
-# (scenario, params, seed) tuples; each worker re-imports the experiment
-# modules so the registry exists regardless of the start method.
+def _resolve_backend(
+    backend: Union[None, str, ExecutionBackend],
+    *,
+    workers: int,
+    custom_registry: bool,
+) -> Tuple[ExecutionBackend, str, int, bool]:
+    """Pick the execution backend for a sweep.
 
-def _worker_init(extra_sys_path: List[str]) -> None:
-    for path in reversed(extra_sys_path):
-        if path not in sys.path:
-            sys.path.insert(0, path)
-    load_builtin_scenarios()
-
-
-def _worker_run(
-    item: Tuple[int, str, Dict[str, Any], int],
-    registry: Optional[ScenarioRegistry] = None,
-) -> Tuple[int, Optional[Dict[str, Any]], float, Optional[str]]:
-    """Execute one cell, capturing failures instead of poisoning the pool.
-
-    A raising cell must not abort the sweep: sibling cells that finished
-    should still reach the cache so a rerun resumes instead of restarting.
-    Pool workers call this with the default registry (rebuilt by
-    ``_worker_init``); the serial path passes its own.
+    Returns ``(backend, requested_name, requested_workers,
+    serial_fallback)``: the requested name/concurrency are what the
+    outcome reports unless the fallback actually executed cells;
+    ``serial_fallback`` records that a custom registry forced serial
+    execution (pool workers resolve scenario names by re-importing the
+    experiment modules, which can only reconstruct the built-in registry).
     """
-    index, scenario, params, seed = item
-    started = time.perf_counter()
-    try:
-        result = execute_run(
-            RunSpec(scenario=scenario, params=params, seed=seed),
-            registry=registry if registry is not None else REGISTRY,
-        )
-    except Exception:
-        return index, None, time.perf_counter() - started, traceback.format_exc()
-    return index, result.to_payload(), time.perf_counter() - started, None
+    if isinstance(backend, str):
+        backend = make_backend(backend, workers=workers)
+        requested_workers = backend.workers
+    elif backend is None:
+        backend = make_backend("auto", workers=workers)
+        requested_workers = workers
+    else:
+        requested_workers = backend.workers
+    if custom_registry and backend.needs_builtin_registry:
+        return SerialBackend(), backend.name, requested_workers, True
+    return backend, backend.name, requested_workers, False
 
 
 def run_sweep(
@@ -195,23 +201,31 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     use_cache: bool = True,
     registry: Optional[ScenarioRegistry] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> SweepOutcome:
     """Execute ``specs``, serving repeats from ``cache`` and running the rest.
 
-    ``workers`` caps the pool size; the pool only spawns when more than one
-    cell actually needs simulating.  Pass ``use_cache=False`` to force every
-    *unique* cell to execute (results are still written back to the cache;
-    duplicate cells within one sweep always simulate once).
+    ``backend`` selects where cache-missing cells execute: a backend name
+    (``"serial"``, ``"process"``, ``"auto"``), an
+    :class:`~repro.runner.backends.ExecutionBackend` instance, or ``None``
+    for the historical default (a process pool when ``workers > 1``, else
+    serial).  Pass ``use_cache=False`` to force every *unique* cell to
+    execute (results are still written back to the cache; duplicate cells
+    within one sweep always simulate once).
 
-    A custom ``registry`` runs in-process regardless of ``workers``: pool
-    workers resolve scenario names by re-importing the experiment modules,
-    which can only reconstruct the built-in registry.
+    A custom ``registry`` runs serially regardless of the backend request:
+    backends that leave the process resolve scenario names by re-importing
+    the experiment modules, which can only reconstruct the built-in
+    registry.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     custom_registry = registry is not None and registry is not REGISTRY
     registry = registry if registry is not None else load_builtin_scenarios()
     cache = cache if cache is not None else ResultCache()
+    backend, requested_name, requested_workers, serial_fallback = _resolve_backend(
+        backend, workers=workers, custom_registry=custom_registry
+    )
     started = time.perf_counter()
 
     # Resolve every cell up front so cache keys exist before any execution.
@@ -220,7 +234,7 @@ def run_sweep(
     ]
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(resolved)
-    pending: List[Tuple[int, str, Dict[str, Any], int]] = []
+    pending: List[WorkItem] = []
     seen_keys: Dict[str, int] = {}
     duplicates: List[Tuple[int, int]] = []
     for index, (spec, params, key) in enumerate(resolved):
@@ -233,48 +247,26 @@ def run_sweep(
             duplicates.append((index, seen_keys[key]))
             continue
         seen_keys[key] = index
-        pending.append((index, spec.scenario, params, spec.seed))
-
-    pool_size = min(workers, len(pending)) if pending else 0
-    if custom_registry:
-        pool_size = min(pool_size, 1)
-    if pool_size > 1:
-        ctx = multiprocessing.get_context()
-        # Spawn-start children must be able to import this module *before*
-        # the initializer runs (the initializer itself is unpickled), so the
-        # import path has to travel via the environment; initargs alone only
-        # covers fork-start children.
-        prior_pythonpath = os.environ.get("PYTHONPATH")
-        os.environ["PYTHONPATH"] = os.pathsep.join(
-            [p for p in sys.path if p] + ([prior_pythonpath] if prior_pythonpath else [])
+        pending.append(
+            WorkItem(index=index, scenario=spec.scenario, params=params, seed=spec.seed)
         )
-        try:
-            with ctx.Pool(
-                processes=pool_size, initializer=_worker_init, initargs=(list(sys.path),)
-            ) as pool:
-                completed = pool.map(_worker_run, pending)
-        finally:
-            if prior_pythonpath is None:
-                os.environ.pop("PYTHONPATH", None)
-            else:
-                os.environ["PYTHONPATH"] = prior_pythonpath
-    else:
-        completed = [_worker_run(item, registry=registry) for item in pending]
+
+    completed = backend.execute(pending, registry=registry) if pending else []
 
     # Cache every finished cell before surfacing failures, so a partially
     # failed sweep still resumes from the completed cells on rerun.  The
     # manifest is flushed once for the whole batch, not per record.
     failures: List[Tuple[RunSpec, str]] = []
     with cache.deferred_manifest():
-        for index, payload, elapsed, error in completed:
-            spec = resolved[index][0]
-            if error is not None:
-                failures.append((spec, error))
+        for work in completed:
+            spec = resolved[work.index][0]
+            if work.error is not None:
+                failures.append((spec, work.error))
                 continue
-            result = RunResult.from_payload(payload)
-            cache.put(result, elapsed_s=elapsed)
-            outcomes[index] = CellOutcome(
-                spec=spec, result=result, cached=False, elapsed_s=elapsed
+            result = RunResult.from_payload(work.payload)
+            cache.put(result, elapsed_s=work.elapsed_s)
+            outcomes[work.index] = CellOutcome(
+                spec=spec, result=result, cached=False, elapsed_s=work.elapsed_s
             )
     if failures:
         cached_count = sum(1 for o in outcomes if o is not None)
@@ -299,12 +291,13 @@ def run_sweep(
         raise RuntimeError("sweep lost cells — worker pool returned incomplete results")
     # Report the caller's requested worker count, not the transient pool
     # size — a fully cache-served sweep spawns no pool but still ran "with"
-    # N workers.  The only real cap is the custom-registry serial fallback,
-    # and only when cells actually executed under it.
-    effective_workers = 1 if (custom_registry and pending) else workers
+    # the requested concurrency.  The only real cap is the custom-registry
+    # serial fallback, and only when cells actually executed under it.
+    fallback_executed = serial_fallback and bool(pending)
     return SweepOutcome(
         outcomes=finished,
-        workers=effective_workers,
+        workers=1 if fallback_executed else requested_workers,
+        backend=backend.name if fallback_executed or not serial_fallback else requested_name,
         elapsed_s=time.perf_counter() - started,
     )
 
@@ -315,6 +308,9 @@ def run_spec(
     workers: int = 1,
     cache: Optional[ResultCache] = None,
     use_cache: bool = True,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> SweepOutcome:
     """Expand a :class:`SweepSpec` and execute it."""
-    return run_sweep(sweep.expand(), workers=workers, cache=cache, use_cache=use_cache)
+    return run_sweep(
+        sweep.expand(), workers=workers, cache=cache, use_cache=use_cache, backend=backend
+    )

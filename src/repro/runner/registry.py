@@ -7,7 +7,23 @@ the :func:`register_scenario` decorator at import time, so importing
 :mod:`repro.experiments` populates the registry with every figure of the
 paper's evaluation.
 
-The registry deliberately stores only picklable data (names, defaults,
+Registration is *typed*: each scenario declares a
+:class:`~repro.runner.params.ParamSpace` describing its knobs (type,
+default, unit, choices, bounds) and a
+:class:`~repro.runner.schema.MetricSchema` describing what it reports
+(name, unit, direction).  ``resolve_params`` coerces and validates caller
+overrides through the space, so differently-spelled values (``"96"`` vs
+``96``) can never mint distinct cache keys, and ``repro-runner list -v``
+renders a self-describing knob table.
+
+The legacy untyped signature — ``register_scenario(name, defaults={...})``
+— still works through a deprecation shim (:class:`ScenarioAPIDeprecationWarning`;
+specs are inferred from the default values, no metric validation).  The
+shim is scheduled for removal two PRs after the `repro.api` v2 redesign;
+in-repo callers must use the typed form (CI turns the warning into an
+error).
+
+The registry deliberately stores only picklable data (names, specs,
 descriptions) next to the factory callables; the worker pool ships scenario
 *names* across process boundaries and each worker re-imports the experiment
 modules to resolve them.
@@ -15,13 +31,25 @@ modules to resolve them.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
-from repro.util.canonical import canonicalize
+from repro.runner.params import ParamSpace
+from repro.runner.schema import MetricSchema
 
 #: A scenario factory: ``fn(seed=..., **params) -> {metric: value}``.
 ScenarioFn = Callable[..., Dict[str, Any]]
+
+
+class ScenarioAPIDeprecationWarning(DeprecationWarning):
+    """Use of the pre-v2 untyped scenario registration API.
+
+    Emitted by ``register_scenario(name, defaults={...})``; migrate to
+    ``register_scenario(name, params=ParamSpace(...), metrics=
+    MetricSchema(...))``.  The shim will be removed two PRs after the
+    ``repro.api`` v2 redesign.
+    """
 
 
 @dataclass(frozen=True)
@@ -30,7 +58,11 @@ class Scenario:
 
     name: str
     fn: ScenarioFn
-    defaults: Mapping[str, Any]
+    #: Typed knob declarations; ``resolve_params`` coerces through these.
+    params: ParamSpace
+    #: What the scenario reports; ``None`` (legacy registrations only)
+    #: disables metric validation.
+    metrics: Optional[MetricSchema] = None
     description: str = ""
     figure: str = ""
     #: Bump when the scenario's semantics change, to invalidate cached results.
@@ -40,25 +72,31 @@ class Scenario:
     #: across seeds caches (and simulates) exactly one cell.
     seed_sensitive: bool = True
 
-    def resolve_params(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
-        """Merge ``params`` over the defaults, rejecting unknown keys.
+    @property
+    def defaults(self) -> Dict[str, Any]:
+        """The ``{param: default}`` mapping (kept for pre-v2 callers)."""
+        return self.params.defaults
 
-        The result is canonicalized, so it is safe to hash and identical no
-        matter the ordering of the caller's dict.
+    def resolve_params(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Merge ``params`` over the defaults; coerce, validate, canonicalize.
+
+        Unknown keys are rejected; every value is coerced to its declared
+        type, so the result is identical no matter how the caller spelled
+        it — and therefore safe to hash.
         """
-        params = dict(params or {})
-        unknown = sorted(set(params) - set(self.defaults))
-        if unknown:
-            raise KeyError(
-                f"unknown parameter(s) {unknown} for scenario {self.name!r}; "
-                f"accepted: {sorted(self.defaults)}"
-            )
-        merged = {**self.defaults, **params}
-        return canonicalize(merged)
+        return self.params.resolve(params, context=f"scenario {self.name!r}")
+
+    def validate_metrics(self, metrics: Mapping[str, Any]) -> None:
+        """Check a metrics dict against the declared schema (if any)."""
+        if self.metrics is not None:
+            self.metrics.validate(metrics, scenario=self.name)
 
     def run(self, *, seed: int, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
         """Execute the scenario with resolved parameters."""
-        return self.fn(seed=seed, **self.resolve_params(params))
+        metrics = self.fn(seed=seed, **self.resolve_params(params))
+        if isinstance(metrics, dict):
+            self.validate_metrics(metrics)
+        return metrics
 
 
 class ScenarioRegistry:
@@ -71,13 +109,39 @@ class ScenarioRegistry:
         self,
         name: str,
         *,
+        params: Optional[ParamSpace] = None,
+        metrics: Optional[MetricSchema] = None,
         defaults: Optional[Mapping[str, Any]] = None,
         description: str = "",
         figure: str = "",
         version: int = 1,
         seed_sensitive: bool = True,
     ) -> Callable[[ScenarioFn], ScenarioFn]:
-        """Decorator registering ``fn`` as scenario ``name``."""
+        """Decorator registering ``fn`` as scenario ``name``.
+
+        Pass ``params=ParamSpace(...)`` (and ideally
+        ``metrics=MetricSchema(...)``).  The legacy ``defaults={...}`` form
+        is deprecated: it infers an untyped space from the default values
+        and skips metric validation.
+        """
+        if params is not None and defaults is not None:
+            raise TypeError(
+                f"scenario {name!r}: pass either params=ParamSpace(...) or the "
+                f"deprecated defaults={{...}}, not both"
+            )
+        if defaults is not None:
+            warnings.warn(
+                f"register_scenario({name!r}, defaults={{...}}) is deprecated; "
+                f"declare a typed ParamSpace (and a MetricSchema) instead: "
+                f"register_scenario({name!r}, params=ParamSpace(...), "
+                f"metrics=MetricSchema(...)).  The untyped shim will be removed "
+                f"two PRs after the repro.api v2 redesign.",
+                ScenarioAPIDeprecationWarning,
+                stacklevel=2,
+            )
+            params = ParamSpace.from_defaults(defaults)
+        if params is None:
+            params = ParamSpace()
 
         def decorator(fn: ScenarioFn) -> ScenarioFn:
             if name in self._scenarios:
@@ -86,7 +150,8 @@ class ScenarioRegistry:
             self._scenarios[name] = Scenario(
                 name=name,
                 fn=fn,
-                defaults=canonicalize(dict(defaults or {})),
+                params=params,
+                metrics=metrics,
                 description=description or (doc.splitlines()[0] if doc else ""),
                 figure=figure,
                 version=version,

@@ -21,13 +21,20 @@ from repro.util.canonical import canonical_json, canonicalize, stable_digest
 PAYLOAD_FORMAT = 1
 
 
-def run_key(scenario: str, params: Mapping[str, Any], seed: int, *, version: int = 1) -> str:
+def run_key(scenario: str, params: Mapping[str, Any], seed: int, *, version: int) -> str:
     """Content-addressed cache key of a run.
 
     Hashes the canonicalized ``(scenario, version, params, seed)`` tuple, so
     the key is independent of dict ordering, of whether a parameter was
     given explicitly or filled from a default (callers must pass *resolved*
     params), and of ``24`` vs ``24.0`` style float spelling.
+
+    ``version`` is keyword-only *with no default* on purpose: the scenario
+    version is part of a run's identity, and a defaulted ``version=1`` let
+    callers silently drop a scenario's version bump from the key — serving
+    stale cached results for re-semanticized scenarios.  Every caller must
+    state the version it is keying (normally ``scenario.version`` from the
+    registry).
     """
     return stable_digest(
         {

@@ -1,0 +1,185 @@
+"""Metric schemas: typed descriptions of what a scenario reports.
+
+The paper's metrics are typed quantities — FCT slowdowns (ratios, lower is
+better), throughput shares in Mbit/s, delay percentiles in milliseconds —
+not anonymous dict entries.  Each scenario declares a :class:`MetricSchema`
+of :class:`MetricSpec` entries (name, unit, direction, kind, description);
+the engine validates every fresh run's metrics dict against it, so a typo'd
+metric name or a non-JSON value fails loudly at the producing scenario
+instead of surfacing as a missing column three layers up.  The same schema
+drives reporting (column order, unit-annotated headers) and the export
+layer's ``unit`` / ``direction`` columns.
+
+Scenarios whose metric *names* depend on parameters (e.g. one column per
+bundle in the Figure 13 scenario) declare wildcard specs: a ``*`` in the
+name matches any (possibly empty) run of characters — :func:`fnmatch.
+fnmatchcase` semantics — so ``bundle*_completed`` covers
+``bundle0_completed`` and ``bundle1_completed``.  Keep wildcard patterns as
+narrow as their family allows: they describe but do not require, and
+validation accepts *any* matching name, so an over-broad pattern weakens
+the typo protection concrete specs give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Whether smaller or larger values of the metric are better, or neither.
+METRIC_DIRECTIONS = ("lower", "higher", "info")
+
+#: Value types a metric may carry.
+METRIC_KINDS = ("number", "bool", "str", "any")
+
+
+class MetricValidationError(ValueError):
+    """A scenario's metrics dict does not match its declared schema."""
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric.
+
+    ``name`` may contain ``*`` wildcards for parameter-dependent families.
+    ``unit`` is a display string ("ms", "Mbit/s", "ratio", "count",
+    "fraction", "s", or "" for unitless); ``direction`` states which way is
+    better; ``nullable`` permits ``None`` (e.g. an empty size bucket has no
+    percentile).
+    """
+
+    name: str
+    unit: str = ""
+    direction: str = "info"
+    description: str = ""
+    kind: str = "number"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.direction not in METRIC_DIRECTIONS:
+            raise ValueError(
+                f"metric {self.name!r}: direction {self.direction!r} not in {METRIC_DIRECTIONS}"
+            )
+        if self.kind not in METRIC_KINDS:
+            raise ValueError(
+                f"metric {self.name!r}: kind {self.kind!r} not in {METRIC_KINDS}"
+            )
+
+    @property
+    def is_pattern(self) -> bool:
+        return "*" in self.name
+
+    def matches(self, name: str) -> bool:
+        return fnmatchcase(name, self.name)
+
+    def check_value(self, name: str, value: Any) -> None:
+        """Raise :class:`MetricValidationError` if ``value`` has the wrong type."""
+        if value is None:
+            if self.nullable:
+                return
+            raise MetricValidationError(
+                f"metric {name!r} is None but its spec is not nullable"
+            )
+        if self.kind == "number":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise MetricValidationError(
+                    f"metric {name!r} expected a number, got {value!r} "
+                    f"({type(value).__name__})"
+                )
+        elif self.kind == "bool":
+            if not isinstance(value, bool):
+                raise MetricValidationError(
+                    f"metric {name!r} expected a bool, got {value!r}"
+                )
+        elif self.kind == "str":
+            if not isinstance(value, str):
+                raise MetricValidationError(
+                    f"metric {name!r} expected a string, got {value!r}"
+                )
+        # kind == "any": no constraint.
+
+
+class MetricSchema:
+    """An ordered collection of :class:`MetricSpec` entries."""
+
+    def __init__(self, *specs: MetricSpec) -> None:
+        self._specs: Dict[str, MetricSpec] = {}
+        for spec in specs:
+            if spec.name in self._specs:
+                raise ValueError(f"duplicate metric spec {spec.name!r}")
+            self._specs[spec.name] = spec
+
+    def __iter__(self) -> Iterator[MetricSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return self.spec_for(name) is not None
+
+    def names(self) -> List[str]:
+        """Declared metric names, in declaration order (patterns included)."""
+        return list(self._specs)
+
+    def spec_for(self, name: str) -> Optional[MetricSpec]:
+        """The spec governing ``name``: an exact entry, else the first
+        matching wildcard, else ``None``."""
+        exact = self._specs.get(name)
+        if exact is not None:
+            return exact
+        for spec in self._specs.values():
+            if spec.is_pattern and spec.matches(name):
+                return spec
+        return None
+
+    def column_order(self, names: Mapping[str, Any]) -> List[str]:
+        """Order ``names`` (an observed metrics mapping) by schema position.
+
+        Concrete names expand in place of their governing spec (sorted
+        within a wildcard family); names the schema does not know sort
+        last, alphabetically — reporting stays total even off-schema.
+        """
+        position = {spec.name: i for i, spec in enumerate(self._specs.values())}
+        unknown = len(position)
+
+        def rank(name: str) -> Tuple[int, str]:
+            spec = self.spec_for(name)
+            return (position[spec.name] if spec is not None else unknown, name)
+
+        return sorted(names, key=rank)
+
+    def validate(self, metrics: Mapping[str, Any], *, scenario: str = "") -> None:
+        """Check ``metrics`` against this schema; raise on any mismatch.
+
+        Every observed metric must be governed by a spec and carry the
+        declared value type; every concrete (non-wildcard) spec must be
+        present.
+        """
+        suffix = f" (scenario {scenario!r})" if scenario else ""
+        for name, value in metrics.items():
+            spec = self.spec_for(name)
+            if spec is None:
+                raise MetricValidationError(
+                    f"undeclared metric {name!r}{suffix}; declared: {self.names()}"
+                )
+            try:
+                spec.check_value(name, value)
+            except MetricValidationError as exc:
+                raise MetricValidationError(f"{exc}{suffix}") from None
+        missing = [
+            spec.name
+            for spec in self._specs.values()
+            if not spec.is_pattern and spec.name not in metrics
+        ]
+        if missing:
+            raise MetricValidationError(
+                f"missing declared metric(s) {missing}{suffix}"
+            )
+
+    def describe_rows(self) -> List[Tuple[str, str, str, str]]:
+        """``(name, unit, direction, description)`` rows for CLI tables."""
+        return [
+            (spec.name, spec.unit or "-", spec.direction, spec.description)
+            for spec in self
+        ]

@@ -15,6 +15,7 @@ from repro.runner.aggregate import (
 )
 from repro.runner.cache import ResultCache
 from repro.runner.engine import run_sweep
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import ScenarioRegistry
 from repro.runner.result import RunResult, run_key
 from repro.runner.spec import RunSpec
@@ -27,7 +28,7 @@ def _result(scenario="toy", seed=1, params=None, metrics=None):
         params=params,
         seed=seed,
         effective_seed=seed * 100,
-        key=run_key(scenario, params, seed),
+        key=run_key(scenario, params, seed, version=1),
         metrics=metrics if metrics is not None else {"value": float(seed)},
     )
 
@@ -143,7 +144,11 @@ class TestSweepIntegration:
     def _registry(self, seed_sensitive=True):
         registry = ScenarioRegistry()
 
-        @registry.register("toy", defaults={"x": 1}, seed_sensitive=seed_sensitive)
+        @registry.register(
+            "toy",
+            params=ParamSpace(ParamSpec("x", kind="int", default=1)),
+            seed_sensitive=seed_sensitive,
+        )
         def _toy(*, seed, x):
             return {"value": float(x * 10 + (seed % 7))}
 

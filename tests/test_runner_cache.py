@@ -4,6 +4,7 @@ import json
 import os
 
 from repro.runner.cache import MANIFEST_NAME, ResultCache
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import ScenarioRegistry
 from repro.runner.result import RunResult, run_key
 
@@ -49,7 +50,7 @@ class TestResultCache:
         cache = ResultCache(str(tmp_path / "cache"))
         cache.put(_result(a=1, b=2))
         # Same logical config, different insertion order → same key → hit.
-        assert cache.get(run_key("toy", {"b": 2, "a": 1}, 1)) is not None
+        assert cache.get(run_key("toy", {"b": 2, "a": 1}, 1, version=1)) is not None
 
     def test_corrupt_record_is_a_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
@@ -170,7 +171,9 @@ class TestManifest:
 class TestGc:
     def _registry(self, version=2):
         registry = ScenarioRegistry()
-        registry.register("toy", defaults={"x": 1}, version=version)(
+        registry.register(
+            "toy", params=ParamSpace(ParamSpec("x", kind="int", default=1)), version=version
+        )(
             lambda *, seed, x: {"value": x}
         )
         return registry

@@ -179,3 +179,150 @@ class TestValueParsingBooleans:
             main(["sweep", "--smoke", "--seeds", "3,4"])
         with pytest.raises(SystemExit, match="cannot be combined"):
             main(["sweep", "--smoke", "-g", "mode=a,b"])
+
+
+class TestParamRoundTrip:
+    """CLI `-p key=value` params and JSON spec-file params must canonicalize
+    identically — a CLI-run cell and a spec-run cell of the same
+    configuration share one cache key (the ISSUE-3 regression)."""
+
+    def test_cli_string_spellings_share_spec_file_key(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        # CLI spelling: "5" parses to int 5; the typed ParamSpace coerces it
+        # to the same canonical value as the spec file's 5.0.
+        assert main([
+            "--cache-dir", cache_dir,
+            "run", "ablation_pi_gains", "-p", "alpha=5", "-p", "horizon_s=20",
+        ]) == 0
+        assert "[simulated" in capsys.readouterr().out
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "scenario": "ablation_pi_gains",
+            "base": {"alpha": 5.0, "horizon_s": 20.0},
+        }))
+        assert main([
+            "--cache-dir", cache_dir, "sweep", "--spec", str(spec_file), "-w", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 served from cache (100% cache hits)" in out
+
+    def test_resolved_cells_identical_across_spellings(self):
+        from repro.runner.engine import resolve_cell
+        from repro.runner.spec import RunSpec
+
+        from_cli = resolve_cell(
+            RunSpec("ablation_pi_gains", params=_parse_params(["alpha=5", "beta=12"]))
+        )
+        from_json = resolve_cell(
+            RunSpec("ablation_pi_gains", params={"alpha": 5.0, "beta": 12.0})
+        )
+        assert from_cli == from_json
+
+    def test_grid_axis_spellings_share_keys(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv_int = [
+            "--cache-dir", cache_dir, "sweep", "--scenario", "ablation_pi_gains",
+            "-g", "alpha=5,10", "-w", "1",
+        ]
+        assert main(argv_int) == 0
+        capsys.readouterr()
+        argv_float = [
+            "--cache-dir", cache_dir, "sweep", "--scenario", "ablation_pi_gains",
+            "-g", "alpha=5.0,10.0", "-w", "1",
+        ]
+        assert main(argv_float) == 0
+        assert "2 served from cache (100% cache hits)" in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_serial_and_process_sweeps_share_cache_keys(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        base = [
+            "--cache-dir", cache_dir, "sweep", "--scenario", "ablation_pi_gains",
+            "-g", "alpha=4,8", "-g", "beta=4,8", "-w", "2",
+        ]
+        assert main([*base, "--backend", "serial"]) == 0
+        first = capsys.readouterr().out
+        assert "[serial backend]" in first
+        assert "4 executed" in first
+        # The process backend resolves the same cells — all cache hits.
+        assert main([*base, "--backend", "process"]) == 0
+        second = capsys.readouterr().out
+        assert "[process backend]" in second
+        assert "4 served from cache (100% cache hits)" in second
+
+    def test_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--smoke", "--backend", "smoke-signals"])
+
+
+class TestReportFormats:
+    def _seed_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        for seed in ("1", "2"):
+            assert main([
+                "--cache-dir", cache_dir,
+                "run", "ablation_pi_gains", "-p", "alpha=5", "--seed", seed,
+            ]) == 0
+        return cache_dir
+
+    def test_csv_runs(self, tmp_path, capsys):
+        cache_dir = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["--cache-dir", cache_dir, "report", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0].split(",")
+        assert header[:2] == ["scenario", "seed"]
+        assert header[-4:] == ["metric", "unit", "direction", "value"]
+        assert "alpha" in header
+        assert "settle_time_s,s,lower" in out
+
+    def test_csv_aggregate_is_pandas_ready(self, tmp_path, capsys):
+        import csv as csv_module
+        import io
+
+        cache_dir = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "--cache-dir", cache_dir, "report", "--aggregate", "--format", "csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        rows = list(csv_module.DictReader(io.StringIO(out)))
+        assert rows, "aggregate csv export produced no rows"
+        by_metric = {r["metric"]: r for r in rows}
+        # Schema-described columns: every row names its metric and unit.
+        assert by_metric["settle_time_s"]["unit"] == "s"
+        assert by_metric["settle_time_s"]["direction"] == "lower"
+        # The scenario is seed-insensitive, so both seeds collapsed to n=1.
+        assert by_metric["settle_time_s"]["n"] == "1"
+        float(by_metric["settle_time_s"]["mean"])  # parses as a number
+
+    def test_jsonl_round_trips(self, tmp_path, capsys):
+        cache_dir = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["--cache-dir", cache_dir, "report", "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.splitlines()]
+        assert all(row["scenario"] == "ablation_pi_gains" for row in rows)
+        assert {row["metric"] for row in rows} == {"settle_time_s", "settled"}
+
+    def test_table_format_is_default(self, tmp_path, capsys):
+        cache_dir = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["--cache-dir", cache_dir, "report"]) == 0
+        out = capsys.readouterr().out
+        assert "cached runs" in out
+        # Unit-annotated headers come from the metric schema.
+        assert "settle_time_s [s]" in out
+
+
+class TestListVerbose:
+    def test_knob_table_renders_types_units_choices(self, capsys):
+        assert main(["list", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "parameter" in out and "type" in out
+        assert "float Mbit/s" in out
+        assert "{status_quo," in out  # mode choices rendered
+        assert "metric" in out and "direction" in out
+        assert "lower" in out

@@ -10,6 +10,7 @@ import pytest
 
 from repro.runner.cache import ResultCache
 from repro.runner.engine import effective_seed, execute_run, run_spec, run_sweep
+from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import ScenarioRegistry
 from repro.runner.spec import RunSpec, SweepSpec
 
@@ -29,7 +30,7 @@ def _counting_registry():
     registry = ScenarioRegistry()
     calls = []
 
-    @registry.register("toy", defaults={"x": 1})
+    @registry.register("toy", params=ParamSpace(ParamSpec("x", kind="int", default=1)))
     def _toy(*, seed, x):
         calls.append((seed, x))
         return {"doubled": 2 * x, "seed_seen": seed}
@@ -55,7 +56,7 @@ class TestExecuteRun:
 
     def test_non_dict_metrics_rejected(self):
         registry = ScenarioRegistry()
-        registry.register("bad", defaults={})(lambda *, seed: 42)
+        registry.register("bad", params=ParamSpace())(lambda *, seed: 42)
         with pytest.raises(TypeError):
             execute_run(RunSpec("bad"), registry=registry)
 
@@ -182,7 +183,9 @@ class TestSeedInsensitiveScenarios:
         registry = ScenarioRegistry()
         calls = []
 
-        @registry.register("det", defaults={"x": 1}, seed_sensitive=False)
+        @registry.register(
+            "det", params=ParamSpace(ParamSpec("x", kind="int", default=1)), seed_sensitive=False
+        )
         def _det(*, seed, x):
             calls.append(seed)
             return {"x": x}
@@ -226,7 +229,7 @@ class TestPartialFailure:
         registry = ScenarioRegistry()
         calls = []
 
-        @registry.register("flaky", defaults={"x": 1})
+        @registry.register("flaky", params=ParamSpace(ParamSpec("x", kind="int", default=1)))
         def _flaky(*, seed, x):
             calls.append(x)
             if x == 2:

@@ -1,0 +1,174 @@
+"""Golden-file tests for the schema-driven export layer (CSV / JSONL).
+
+The goldens under ``tests/golden/`` pin the exact bytes of the long-format
+exports: column order, unit/direction annotations from the metric schema,
+empty-cell conventions (None → empty CSV cell / JSON null), and
+list-valued parameters embedded as canonical JSON.  A diff here means the
+export format changed — which is fine, but must be deliberate (downstream
+pandas pipelines parse these).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runner.aggregate import aggregate_results
+from repro.runner.export import (
+    EXPORT_FORMATS,
+    aggregates_long_table,
+    export_aggregates,
+    export_runs,
+    runs_long_table,
+)
+from repro.runner.params import ParamSpec, ParamSpace
+from repro.runner.registry import ScenarioRegistry
+from repro.runner.result import RunResult, run_key
+from repro.runner.schema import MetricSchema, MetricSpec
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def _registry():
+    registry = ScenarioRegistry()
+    registry.register(
+        "toy_fct",
+        params=ParamSpace(
+            ParamSpec("mode", kind="str", default="a", choices=("a", "b")),
+            ParamSpec("rate", kind="float", default=24.0, unit="Mbit/s"),
+        ),
+        metrics=MetricSchema(
+            MetricSpec("median_slowdown", unit="ratio", direction="lower", nullable=True),
+            MetricSpec("completed", unit="count", direction="higher"),
+        ),
+    )(lambda *, seed, mode, rate: {"median_slowdown": 1.0, "completed": 1})
+    registry.register(
+        "toy_split",
+        params=ParamSpace(
+            ParamSpec("split", kind="list[float]", default=[0.5, 0.5], unit="fraction"),
+        ),
+        metrics=MetricSchema(
+            MetricSpec("share", unit="fraction", direction="info"),
+        ),
+    )(lambda *, seed, split: {"share": 0.5})
+    return registry
+
+
+def _results():
+    rows = []
+    for seed, slowdown in ((1, 1.5), (2, 2.5), (3, None)):
+        params = {"mode": "a", "rate": 24}
+        rows.append(
+            RunResult(
+                scenario="toy_fct",
+                params=params,
+                seed=seed,
+                effective_seed=seed * 10,
+                key=run_key("toy_fct", params, seed, version=1),
+                metrics={"completed": 10 * seed, "median_slowdown": slowdown},
+            )
+        )
+    split_params = {"split": [0.25, 0.75]}
+    rows.append(
+        RunResult(
+            scenario="toy_split",
+            params=split_params,
+            seed=1,
+            effective_seed=10,
+            key=run_key("toy_split", split_params, 1, version=1),
+            metrics={"share": 0.75},
+        )
+    )
+    return rows
+
+
+def _golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+class TestGoldenFiles:
+    def test_runs_csv(self):
+        assert export_runs(_results(), "csv", registry=_registry()) == _golden(
+            "export_runs.csv"
+        )
+
+    def test_runs_jsonl(self):
+        assert export_runs(_results(), "jsonl", registry=_registry()) == _golden(
+            "export_runs.jsonl"
+        )
+
+    def test_aggregates_csv(self):
+        cells = aggregate_results(_results())
+        assert export_aggregates(cells, "csv", registry=_registry()) == _golden(
+            "export_aggregates.csv"
+        )
+
+    def test_aggregates_jsonl(self):
+        cells = aggregate_results(_results())
+        assert export_aggregates(cells, "jsonl", registry=_registry()) == _golden(
+            "export_aggregates.jsonl"
+        )
+
+
+class TestTableShape:
+    def test_run_columns(self):
+        table = runs_long_table(_results(), registry=_registry())
+        assert table.columns == [
+            "scenario", "seed", "mode", "rate", "split",
+            "metric", "unit", "direction", "value",
+        ]
+        # Schema order, not alphabetical: median_slowdown precedes completed.
+        toy_fct_metrics = [r["metric"] for r in table.rows if r["scenario"] == "toy_fct"]
+        assert toy_fct_metrics[:2] == ["median_slowdown", "completed"]
+
+    def test_aggregate_columns_and_spread(self):
+        cells = aggregate_results(_results())
+        table = aggregates_long_table(cells, registry=_registry())
+        assert table.columns == [
+            "scenario", "mode", "rate", "split",
+            "n", "metric", "unit", "direction", "mean", "stdev", "ci95",
+        ]
+        by_metric = {r["metric"]: r for r in table.rows if r["scenario"] == "toy_fct"}
+        assert by_metric["completed"]["n"] == 3
+        # Only two runs reported a numeric median — n reflects that.
+        assert by_metric["median_slowdown"]["n"] == 2
+        # A single-sample cell has no spread: empty, not zero.
+        share = next(r for r in table.rows if r["metric"] == "share")
+        assert share["stdev"] is None and share["ci95"] is None
+
+    def test_jsonl_rows_parse_and_carry_units(self):
+        text = export_runs(_results(), "jsonl", registry=_registry())
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert all(set(r) == {
+            "scenario", "seed", "mode", "rate", "split",
+            "metric", "unit", "direction", "value",
+        } for r in rows)
+        units = {r["metric"]: r["unit"] for r in rows}
+        assert units["median_slowdown"] == "ratio"
+        assert units["share"] == "fraction"
+
+    def test_without_registry_units_are_empty(self):
+        table = runs_long_table(_results())
+        assert all(r["unit"] == "" for r in table.rows)
+        # Metrics fall back to alphabetical order.
+        toy_fct_metrics = [r["metric"] for r in table.rows if r["scenario"] == "toy_fct"]
+        assert toy_fct_metrics[:2] == ["completed", "median_slowdown"]
+
+    def test_param_collision_with_fixed_column_rejected(self):
+        params = {"metric": "oops"}
+        result = RunResult(
+            scenario="clash",
+            params=params,
+            seed=1,
+            effective_seed=1,
+            key=run_key("clash", params, 1, version=1),
+            metrics={"m": 1},
+        )
+        with pytest.raises(ValueError, match="collide"):
+            runs_long_table([result])
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown export format"):
+            export_runs(_results(), "xml")
+        assert EXPORT_FORMATS == ("table", "csv", "jsonl")

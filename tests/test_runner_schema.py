@@ -1,0 +1,106 @@
+"""Tests for metric schemas: validation, wildcards, column ordering."""
+
+import pytest
+
+from repro.runner.schema import (
+    MetricSchema,
+    MetricSpec,
+    MetricValidationError,
+)
+
+
+def _schema():
+    return MetricSchema(
+        MetricSpec("median", unit="ratio", direction="lower", nullable=True),
+        MetricSpec("count", unit="count", direction="higher"),
+        MetricSpec("label", kind="str"),
+        MetricSpec("bundle*_share", unit="fraction", direction="info"),
+    )
+
+
+class TestMetricSpec:
+    def test_direction_and_kind_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            MetricSpec("m", direction="sideways")
+        with pytest.raises(ValueError, match="kind"):
+            MetricSpec("m", kind="complex")
+
+    def test_wildcard_matching(self):
+        spec = MetricSpec("bundle*_share")
+        assert spec.is_pattern
+        assert spec.matches("bundle0_share")
+        assert spec.matches("bundle12_share")
+        assert not spec.matches("bundle0_slowdown")
+
+    def test_value_kinds(self):
+        number = MetricSpec("m")
+        number.check_value("m", 1.5)
+        number.check_value("m", 3)
+        with pytest.raises(MetricValidationError):
+            number.check_value("m", True)  # bools are not numbers
+        with pytest.raises(MetricValidationError):
+            number.check_value("m", "x")
+        MetricSpec("b", kind="bool").check_value("b", True)
+        MetricSpec("s", kind="str").check_value("s", "mode")
+        MetricSpec("a", kind="any").check_value("a", [1, 2])
+
+    def test_nullability(self):
+        MetricSpec("m", nullable=True).check_value("m", None)
+        with pytest.raises(MetricValidationError, match="not nullable"):
+            MetricSpec("m").check_value("m", None)
+
+
+class TestMetricSchema:
+    def test_valid_metrics_pass(self):
+        _schema().validate(
+            {"median": None, "count": 5, "label": "ok", "bundle0_share": 0.5}
+        )
+
+    def test_undeclared_metric_rejected(self):
+        with pytest.raises(MetricValidationError, match="undeclared metric 'oops'"):
+            _schema().validate({"median": 1.0, "count": 1, "label": "x", "oops": 2})
+
+    def test_missing_concrete_metric_rejected(self):
+        with pytest.raises(MetricValidationError, match="missing declared"):
+            _schema().validate({"median": 1.0, "label": "x"})
+
+    def test_wildcards_are_optional(self):
+        # No bundle*_share expansion present — still valid.
+        _schema().validate({"median": 1.0, "count": 1, "label": "x"})
+
+    def test_scenario_name_in_errors(self):
+        with pytest.raises(MetricValidationError, match="scenario 'fig'"):
+            _schema().validate({"oops": 1}, scenario="fig")
+
+    def test_spec_for_prefers_exact_over_wildcard(self):
+        schema = MetricSchema(
+            MetricSpec("bundle*_share", unit="fraction"),
+            MetricSpec("bundle0_share", unit="special"),
+        )
+        assert schema.spec_for("bundle0_share").unit == "special"
+        assert schema.spec_for("bundle1_share").unit == "fraction"
+        assert schema.spec_for("zzz") is None
+
+    def test_contains(self):
+        schema = _schema()
+        assert "median" in schema
+        assert "bundle3_share" in schema
+        assert "zzz" not in schema
+
+    def test_duplicate_specs_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MetricSchema(MetricSpec("m"), MetricSpec("m"))
+
+    def test_column_order_follows_declaration(self):
+        schema = _schema()
+        observed = {"label": "x", "bundle1_share": 0.5, "bundle0_share": 0.5,
+                    "count": 1, "median": 2.0, "extra": 9}
+        assert schema.column_order(observed) == [
+            "median", "count", "label", "bundle0_share", "bundle1_share", "extra",
+        ]
+
+    def test_describe_rows(self):
+        rows = _schema().describe_rows()
+        assert rows[0] == ("median", "ratio", "lower",
+                           "") or rows[0][0] == "median"
+        assert [r[0] for r in rows] == ["median", "count", "label", "bundle*_share"]
