@@ -3,7 +3,9 @@
 Import from here, not from ``repro.runner.*`` internals: this facade is the
 compatibility contract.  Internal modules may move or split between PRs;
 every name below keeps working (or goes through a documented deprecation
-cycle — see :class:`ScenarioAPIDeprecationWarning`).
+cycle, like the untyped ``register_scenario(defaults={...})`` shim, which
+was deprecated in the v2 redesign and has now been removed — see the
+migration notes in ``docs/api.md``).
 
 The surface, by layer:
 
@@ -18,10 +20,19 @@ The surface, by layer:
   :func:`expand_zip` for ad-hoc expansion.
 * **Executing** — :func:`run_sweep` / :func:`run_spec` over a pluggable
   :class:`ExecutionBackend` (:class:`SerialBackend`,
-  :class:`ProcessPoolBackend`, or ``backend="serial"|"process"|"auto"``),
-  returning a :class:`SweepOutcome` of :class:`CellOutcome` records, each
-  holding a pure :class:`RunResult` cached by content key under
-  :class:`ResultCache`.
+  :class:`ProcessPoolBackend`, :class:`DistributedBackend`, or
+  ``backend="serial"|"process"|"distributed"|"auto"``), returning a
+  :class:`SweepOutcome` of :class:`CellOutcome` records, each holding a
+  pure :class:`RunResult` cached by content key under :class:`ResultCache`.
+* **Distributing** — :class:`DistributedBackend` fans cache-missing cells
+  out to worker processes over a :class:`WorkerTransport`
+  (:class:`LocalSubprocessTransport` for same-host isolation,
+  :class:`SSHTransport` for remote hosts parsed from
+  :func:`parse_hosts` / :class:`HostSpec` specs), with heartbeat-based
+  hang detection, worker quarantine, and straggler re-dispatch;
+  ``run_sweep(on_progress=...)`` observes scheduling as
+  :class:`ProgressEvent` records and ``SweepOutcome.worker_stats`` carries
+  the per-worker accounting.  See ``docs/distributed.md``.
 * **Aggregating** — :func:`aggregate_results` / :func:`aggregate_outcome`
   grouping by (scenario, params) with mean / stdev / 95% CI per metric
   (:class:`AggregateCell`, :class:`MetricAggregate`), plus
@@ -61,10 +72,19 @@ from repro.runner.backends import (
     BACKENDS,
     ExecutionBackend,
     ProcessPoolBackend,
+    ProgressEvent,
     SerialBackend,
     WorkItem,
     WorkOutcome,
     make_backend,
+)
+from repro.runner.distributed import (
+    DistributedBackend,
+    HostSpec,
+    LocalSubprocessTransport,
+    SSHTransport,
+    WorkerTransport,
+    parse_hosts,
 )
 from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
@@ -99,7 +119,6 @@ from repro.runner.params import (
 from repro.runner.registry import (
     REGISTRY,
     Scenario,
-    ScenarioAPIDeprecationWarning,
     ScenarioRegistry,
     load_builtin_scenarios,
     register_scenario,
@@ -129,7 +148,6 @@ __all__ = [
     # registry
     "REGISTRY",
     "Scenario",
-    "ScenarioAPIDeprecationWarning",
     "ScenarioRegistry",
     "load_builtin_scenarios",
     "register_scenario",
@@ -144,6 +162,7 @@ __all__ = [
     "CellOutcome",
     "ExecutionBackend",
     "ProcessPoolBackend",
+    "ProgressEvent",
     "SerialBackend",
     "SweepOutcome",
     "WorkItem",
@@ -154,6 +173,13 @@ __all__ = [
     "resolve_cell",
     "run_spec",
     "run_sweep",
+    # distributed dispatch
+    "DistributedBackend",
+    "HostSpec",
+    "LocalSubprocessTransport",
+    "SSHTransport",
+    "WorkerTransport",
+    "parse_hosts",
     # results + cache
     "DEFAULT_CACHE_DIR",
     "MANIFEST_NAME",

@@ -17,8 +17,16 @@ missing.  The pieces:
 * :mod:`repro.runner.engine` — cache-aware sweep orchestration with
   deterministic per-run seeds (``derive_seed``);
 * :mod:`repro.runner.backends` — pluggable :class:`ExecutionBackend`
-  implementations (serial, multiprocessing pool) behind a protocol shaped
-  for a future cross-host dispatcher;
+  implementations (serial, multiprocessing pool) behind a narrow,
+  transport-friendly protocol;
+* :mod:`repro.runner.distributed` — the cross-host dispatcher:
+  :class:`DistributedBackend` fanning work out to per-host worker
+  processes over a :class:`WorkerTransport` (local subprocesses or SSH),
+  with heartbeats, worker quarantine, and straggler re-dispatch;
+* :mod:`repro.runner.worker` — the remote worker entrypoint
+  (``python -m repro.runner.worker``) those transports launch;
+* :mod:`repro.runner.wire` — the length-prefixed JSON framing the
+  scheduler and workers speak;
 * :mod:`repro.runner.export` — schema-annotated long-format CSV / JSONL
   exports of runs and aggregates;
 * :mod:`repro.runner.cache` — the content-addressed JSON result store
@@ -79,10 +87,19 @@ from repro.runner.backends import (
     BACKEND_CHOICES,
     ExecutionBackend,
     ProcessPoolBackend,
+    ProgressEvent,
     SerialBackend,
     WorkItem,
     WorkOutcome,
     make_backend,
+)
+from repro.runner.distributed import (
+    DistributedBackend,
+    HostSpec,
+    LocalSubprocessTransport,
+    SSHTransport,
+    WorkerTransport,
+    parse_hosts,
 )
 from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
@@ -117,7 +134,6 @@ from repro.runner.params import (
 from repro.runner.registry import (
     REGISTRY,
     Scenario,
-    ScenarioAPIDeprecationWarning,
     ScenarioRegistry,
     load_builtin_scenarios,
     register_scenario,
@@ -141,12 +157,19 @@ __all__ = [
     "find_cells",
     "BACKENDS",
     "BACKEND_CHOICES",
+    "DistributedBackend",
     "ExecutionBackend",
+    "HostSpec",
+    "LocalSubprocessTransport",
     "ProcessPoolBackend",
+    "ProgressEvent",
+    "SSHTransport",
     "SerialBackend",
     "WorkItem",
     "WorkOutcome",
+    "WorkerTransport",
     "make_backend",
+    "parse_hosts",
     "DEFAULT_CACHE_DIR",
     "MANIFEST_NAME",
     "CacheStats",
@@ -171,7 +194,6 @@ __all__ = [
     "ParamValidationError",
     "REGISTRY",
     "Scenario",
-    "ScenarioAPIDeprecationWarning",
     "ScenarioRegistry",
     "load_builtin_scenarios",
     "register_scenario",

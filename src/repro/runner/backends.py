@@ -16,11 +16,24 @@ Built-in backends:
 * :class:`ProcessPoolBackend` — the :mod:`multiprocessing` pool.  Workers
   re-import the experiment modules to rebuild the registry, so it only
   handles built-in scenarios; the engine falls back to serial otherwise.
+* :class:`~repro.runner.distributed.DistributedBackend` — cross-host
+  dispatch over a :class:`~repro.runner.distributed.WorkerTransport`
+  (local subprocesses or SSH); lives in :mod:`repro.runner.distributed`,
+  which this module imports lazily because the dependency otherwise runs
+  both ways (distributed builds on the :class:`WorkItem` /
+  :class:`WorkOutcome` types defined here).
 
-``make_backend`` resolves CLI-style names (``serial``, ``process``); the
-determinism contract (results depend only on ``(scenario, params, seed)``)
-holds across all backends — ``tests/test_runner_backends.py`` compares
-their canonical serializations byte for byte.
+``make_backend`` resolves CLI-style names (``serial``, ``process``,
+``distributed``); the determinism contract (results depend only on
+``(scenario, params, seed)``) holds across all backends —
+``tests/test_runner_backends.py`` and ``tests/test_runner_distributed.py``
+compare their canonical serializations byte for byte.
+
+Backends may optionally expose two extras the engine discovers with
+``getattr``: a ``telemetry()`` method whose dict lands in
+``SweepOutcome.worker_stats``, and an ``on_progress`` attribute the engine
+points at the caller's ``run_sweep(on_progress=...)`` callback, fed with
+:class:`ProgressEvent` records as cells complete or are re-routed.
 """
 
 from __future__ import annotations
@@ -62,6 +75,39 @@ class WorkOutcome:
     payload: Optional[Dict[str, Any]]
     elapsed_s: float
     error: Optional[str]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One observable scheduling event during a backend's ``execute``.
+
+    ``kind`` is ``"completed"`` (a cell finished; ``done``/``total`` count
+    the batch), ``"requeued"`` (a cell re-routed off a failed worker),
+    ``"quarantined"`` (a worker removed for the rest of the sweep), or
+    ``"gave-up"`` (a cell converted to an error outcome after exhausting
+    its dispatch attempts).  Only backends with internal scheduling emit
+    these; :class:`SerialBackend` / :class:`ProcessPoolBackend` stay
+    silent.
+    """
+
+    kind: str
+    done: int
+    total: int
+    index: Optional[int] = None
+    scenario: Optional[str] = None
+    worker: Optional[str] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One log-line rendering (used by ``sweep --progress``)."""
+        parts = [f"[{self.done}/{self.total}] {self.kind}"]
+        if self.scenario is not None:
+            parts.append(f"{self.scenario}#{self.index}")
+        if self.worker is not None:
+            parts.append(f"on {self.worker}")
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
 
 
 class ExecutionBackend(Protocol):
@@ -135,6 +181,20 @@ class SerialBackend:
         return "SerialBackend()"
 
 
+def inherited_pythonpath() -> str:
+    """This process's ``sys.path`` as a ``PYTHONPATH`` value for children.
+
+    Prepends every current import-path entry to any existing
+    ``PYTHONPATH``, so spawned workers (pool children, distributed worker
+    subprocesses) can import the package from an uninstalled source
+    checkout exactly like the parent.
+    """
+    existing = os.environ.get("PYTHONPATH")
+    return os.pathsep.join(
+        [p for p in sys.path if p] + ([existing] if existing else [])
+    )
+
+
 def _pool_init(extra_sys_path: List[str]) -> None:
     """Pool-worker initializer: restore the import path, rebuild the registry."""
     from repro.runner.registry import load_builtin_scenarios
@@ -180,9 +240,7 @@ class ProcessPoolBackend:
         # import path has to travel via the environment; initargs alone only
         # covers fork-start children.
         prior_pythonpath = os.environ.get("PYTHONPATH")
-        os.environ["PYTHONPATH"] = os.pathsep.join(
-            [p for p in sys.path if p] + ([prior_pythonpath] if prior_pythonpath else [])
-        )
+        os.environ["PYTHONPATH"] = inherited_pythonpath()
         try:
             with ctx.Pool(
                 processes=pool_size, initializer=_pool_init, initargs=(list(sys.path),)
@@ -198,11 +256,26 @@ class ProcessPoolBackend:
         return f"ProcessPoolBackend(workers={self.workers})"
 
 
-#: Name → constructor for the built-in backends (a cross-host dispatcher
-#: registers here when it lands).
+def _make_distributed_backend(*, workers: int, hosts: Optional[str]):
+    """Lazy factory: :mod:`repro.runner.distributed` imports this module
+    for the work-item types, so importing it back at top level would be a
+    cycle — it is resolved here, at call time, instead."""
+    from repro.runner.distributed import DistributedBackend
+
+    if hosts is None:
+        # No --hosts spec: all slots on this machine, mirroring what the
+        # process backend would do with the same worker count.
+        hosts = f"localhost:{max(workers, 1)}"
+    return DistributedBackend(hosts)
+
+
+#: Name → constructor for the built-in backends.  ``distributed`` is a
+#: lazy factory (see :func:`_make_distributed_backend`); third-party
+#: backends can be added here too.
 BACKENDS = {
     "serial": SerialBackend,
     "process": ProcessPoolBackend,
+    "distributed": _make_distributed_backend,
 }
 
 #: Names accepted by ``repro-runner sweep --backend`` (``auto`` picks
@@ -210,12 +283,18 @@ BACKENDS = {
 BACKEND_CHOICES = ("auto", *sorted(BACKENDS))
 
 
-def make_backend(name: str, *, workers: int = 1) -> ExecutionBackend:
+def make_backend(
+    name: str, *, workers: int = 1, hosts: Optional[str] = None
+) -> ExecutionBackend:
     """Build a backend from a CLI-style name.
 
     ``auto`` preserves the engine's historical behavior: a process pool
-    when ``workers > 1``, otherwise serial.
+    when ``workers > 1``, otherwise serial.  ``hosts`` is the
+    ``--hosts``-style spec (``"localhost:2,nodeA:4"``) consumed only by
+    the ``distributed`` backend; it defaults to ``localhost:<workers>``.
     """
+    if hosts is not None and name not in ("distributed",):
+        raise ValueError(f"--hosts only applies to the distributed backend, not {name!r}")
     if name == "auto":
         return ProcessPoolBackend(workers) if workers > 1 else SerialBackend()
     try:
@@ -226,4 +305,6 @@ def make_backend(name: str, *, workers: int = 1) -> ExecutionBackend:
         ) from None
     if factory is ProcessPoolBackend:
         return ProcessPoolBackend(max(workers, 1))
+    if factory is _make_distributed_backend:
+        return _make_distributed_backend(workers=workers, hosts=hosts)
     return factory()

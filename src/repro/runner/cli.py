@@ -6,14 +6,19 @@ Subcommands:
     Show every registered scenario with its paper figure and parameters;
     ``-v`` renders each scenario's typed knob table (type, unit, choices,
     default) and metric schema (unit, direction) from its declarations.
+    ``--format md`` emits the same catalogue as Markdown —
+    ``docs/scenarios.md`` is generated from ``list -v --format md`` and CI
+    fails when it goes stale.
 ``run``
     Execute a single scenario cell and print its metrics.
 ``sweep``
     Expand a sweep (from ``--spec FILE.json``, inline ``--grid`` axes, or
     the built-in ``--smoke`` grid) and execute it on the selected
-    ``--backend`` (serial / process / auto); repeat invocations are served
-    from the result cache, and the summary line reports the cache-hit
-    percentage.
+    ``--backend`` (serial / process / auto / distributed — the latter
+    fanning out to ``--hosts host[:slots],...`` over local subprocesses or
+    SSH); repeat invocations are served from the result cache, and the
+    summary line reports the cache-hit percentage.  ``--progress`` streams
+    per-cell scheduling events to stderr as they happen.
 ``report``
     Render cached results; ``--aggregate`` groups by (scenario, params)
     with mean ± 95% CI per metric across seeds.  ``--format`` selects
@@ -39,7 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.metrics.reporting import Table, format_aggregate_cells, format_run_results
 from repro.runner.aggregate import aggregate_results
-from repro.runner.backends import BACKEND_CHOICES
+from repro.runner.backends import BACKEND_CHOICES, make_backend
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.engine import run_sweep
 from repro.runner.export import EXPORT_FORMATS, export_aggregates, export_runs
@@ -111,8 +116,72 @@ def _parse_grid(pairs: Sequence[str]) -> Dict[str, List[Any]]:
     return grid
 
 
+def _md_escape(text: Any) -> str:
+    return str(text).replace("|", "\\|").replace("\n", " ")
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_md_escape(cell) for cell in row) + " |")
+    return lines
+
+
+def render_scenarios_markdown(registry, *, verbose: bool = False) -> str:
+    """The scenario catalogue as Markdown (``list --format md``).
+
+    ``docs/scenarios.md`` is exactly ``list -v --format md``'s output;
+    ``tests/test_docs.py`` regenerates it through this function and fails
+    when the committed file no longer matches the registry.
+    """
+    lines = [
+        "# Registered scenarios",
+        "",
+        "<!-- Auto-generated; do not edit by hand.  Regenerate with:",
+        "     PYTHONPATH=src python -m repro.runner list -v --format md > docs/scenarios.md -->",
+        "",
+        "Every figure and table of the paper's evaluation, as a registered",
+        "sweep scenario (see [runner.md](runner.md) for how to run them).",
+        "",
+    ]
+    index_rows = []
+    for name in registry.names():
+        scenario = registry.get(name)
+        index_rows.append(
+            (f"`{name}`", scenario.figure or "-", scenario.description or "-")
+        )
+    lines.extend(_md_table(["scenario", "paper figure / section", "description"], index_rows))
+    if verbose:
+        for name in registry.names():
+            scenario = registry.get(name)
+            lines.extend(["", f"## `{name}`", ""])
+            if scenario.description:
+                lines.extend([_md_escape(scenario.description), ""])
+            lines.extend(
+                _md_table(
+                    ["parameter", "type", "default", "description"],
+                    scenario.params.describe_rows(),
+                )
+            )
+            if scenario.metrics is not None:
+                lines.append("")
+                lines.extend(
+                    _md_table(
+                        ["metric", "unit", "direction", "description"],
+                        scenario.metrics.describe_rows(),
+                    )
+                )
+    return "\n".join(lines) + "\n"
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     registry = load_builtin_scenarios()
+    if args.format == "md":
+        sys.stdout.write(render_scenarios_markdown(registry, verbose=args.verbose))
+        return 0
     table = Table(["scenario", "figure", "parameters"], title="Registered scenarios")
     for name in registry.names():
         scenario = registry.get(name)
@@ -203,20 +272,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = sweep.expand()
     if not specs:
         raise SystemExit("sweep expanded to zero runs")
+    # Build the backend up front when a flag only some backends understand
+    # is involved (--hosts), so bad combinations fail before any work.
+    backend = args.backend
+    if args.hosts is not None or args.backend == "distributed":
+        backend = make_backend(args.backend, workers=args.workers, hosts=args.hosts)
     # Mirror the concurrency the backend will actually run with, so the
     # header and the outcome summary line agree.
-    shown_workers = 1 if args.backend == "serial" else args.workers
+    if not isinstance(backend, str):
+        shown_workers = backend.workers
+    else:
+        shown_workers = 1 if args.backend == "serial" else args.workers
     print(
         f"sweep {sweep.scenario}: {len(specs)} cells on {shown_workers} worker(s) "
         f"[{args.backend} backend]"
     )
+    on_progress = None
+    if args.progress:
+        def on_progress(event):
+            print(f"  {event.describe()}", file=sys.stderr, flush=True)
     cache = ResultCache(args.cache_dir)
     outcome = run_sweep(
         specs,
         workers=args.workers,
         cache=cache,
         use_cache=not args.no_cache,
-        backend=args.backend,
+        backend=backend,
+        on_progress=on_progress,
     )
     schema = registry.get(sweep.scenario).metrics if sweep.scenario in registry else None
     print(
@@ -307,6 +389,10 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true",
         help="include per-scenario knob tables and metric schemas",
     )
+    p_list.add_argument(
+        "--format", choices=("table", "md"), default="table",
+        help="output format; 'md' is the source of docs/scenarios.md",
+    )
     p_list.set_defaults(fn=_cmd_list)
 
     p_run = sub.add_parser("run", help="execute one scenario cell", parents=[common])
@@ -336,6 +422,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--backend", choices=BACKEND_CHOICES, default="auto",
         help="execution backend (auto = process pool when --workers > 1)",
+    )
+    p_sweep.add_argument(
+        "--hosts", default=None, metavar="HOST[:SLOTS],...",
+        help="distributed backend only: worker hosts, e.g. localhost:2 or "
+             "nodeA:4,nodeB:4 (remote hosts are reached over ssh; default: "
+             "localhost:<--workers>)",
+    )
+    p_sweep.add_argument(
+        "--progress", action="store_true",
+        help="stream per-cell scheduling events (completions, re-dispatches, "
+             "worker quarantines) to stderr",
     )
     p_sweep.add_argument("--no-cache", action="store_true", help="force re-simulation of every cell")
     p_sweep.set_defaults(fn=_cmd_sweep)

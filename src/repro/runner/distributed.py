@@ -1,0 +1,711 @@
+"""Cross-host dispatch: the ``distributed`` execution backend.
+
+The paper's evaluation sweeps 16 scenarios over large parameter grids —
+more cells than one host's cores.  :class:`DistributedBackend` implements
+the :class:`~repro.runner.backends.ExecutionBackend` protocol by shipping
+:class:`~repro.runner.backends.WorkItem` records to worker *processes*
+(:mod:`repro.runner.worker`) over the length-prefixed JSON frames of
+:mod:`repro.runner.wire`, and collecting
+:class:`~repro.runner.backends.WorkOutcome` payloads back.  Where those
+processes live is a :class:`WorkerTransport`'s business:
+
+* :class:`LocalSubprocessTransport` — plain subprocesses on this host;
+  process isolation without SSH, and the CI/test harness for everything
+  below;
+* :class:`SSHTransport` — ``ssh <host> python -m repro.runner.worker``;
+  the remote host needs the package importable (installed or via a
+  ``remote_env`` ``PYTHONPATH``), nothing else — no daemon, no listener.
+
+Mirroring the paper's control plane, scheduling stays centralized while
+execution fans out: workers never touch the result cache; every outcome
+returns to the calling engine, which writes the single shared
+``.repro-cache/``.  Cache keys hash ``(scenario, version, params, seed)``
+only, so a distributed sweep is byte-for-byte cache-compatible with a
+serial one — the acceptance gate in ``tests/test_runner_distributed.py``.
+
+Fault tolerance (what a same-host pool never needed):
+
+* **hello handshake** — a worker that cannot import the experiments, or
+  speaks a different :data:`~repro.runner.wire.PROTOCOL_VERSION`, is
+  quarantined before it is ever handed work;
+* **heartbeats** — workers beat while a cell runs; a worker silent past
+  ``worker_timeout_s`` is presumed hung, killed, and quarantined;
+* **quarantine + re-route** — a crashed/hung/undecipherable worker is
+  removed for the rest of the sweep and its in-flight cell re-queued to
+  healthy workers (``max_attempts`` bounds re-dispatch so a cell that
+  kills every worker it touches becomes an error outcome, not a loop);
+* **straggler re-dispatch** — once the queue drains, idle workers
+  speculatively duplicate the longest-running in-flight cells; the
+  determinism contract makes whichever copy finishes first correct;
+* **partial-sweep resume** — scenario failures and gave-up cells travel
+  as error *outcomes*; the engine caches every completed cell before
+  surfacing failures, so a re-run resumes from cache.
+
+Scheduling is pull-based: one dispatch loop feeds idle workers from a
+single pending queue (per-host fan-out follows from each host's ``slots``
+in its :class:`HostSpec`), drains one shared inbox fed by per-worker
+reader threads, and accounts everything in :meth:`DistributedBackend.
+telemetry` for the engine's ``SweepOutcome.worker_stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
+
+from repro.runner.backends import (
+    ProgressEvent,
+    WorkItem,
+    WorkOutcome,
+    inherited_pythonpath,
+)
+from repro.runner.wire import PROTOCOL_VERSION, WireError, read_message, write_message
+
+#: Hosts the local transport treats as "this machine".
+_LOCAL_HOSTS = frozenset({"localhost", "127.0.0.1", "::1"})
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One execution host and how many worker slots to run on it."""
+
+    host: str
+    slots: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("host name must be non-empty")
+        if self.slots < 1:
+            raise ValueError(f"host {self.host!r}: slots must be >= 1, got {self.slots}")
+
+    @property
+    def is_local(self) -> bool:
+        return self.host in _LOCAL_HOSTS
+
+    @classmethod
+    def parse(cls, text: str) -> "HostSpec":
+        """Parse ``host`` or ``host:slots`` (e.g. ``nodeA:4``).
+
+        IPv6 literals contain colons themselves, so a bare one (``::1``)
+        is taken whole and a slot count needs brackets (``[::1]:2``).
+        """
+        text = text.strip()
+        if text.startswith("["):
+            addr, bracket, rest = text[1:].partition("]")
+            if not bracket or (rest and not (rest[0] == ":" and rest[1:].isdigit())):
+                raise ValueError(f"bad bracketed host spec {text!r} (expected '[addr]:slots')")
+            return cls(host=addr, slots=int(rest[1:])) if rest else cls(host=addr)
+        host, sep, raw_slots = text.rpartition(":")
+        if sep and raw_slots.isdigit() and ":" not in host:
+            return cls(host=host, slots=int(raw_slots))
+        return cls(host=text)
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.slots}"
+
+
+def parse_hosts(text: Union[str, Sequence[HostSpec]]) -> Tuple[HostSpec, ...]:
+    """Parse a ``--hosts`` spec: comma-separated ``host[:slots]`` entries.
+
+    Already-parsed sequences pass through, so callers can hand either form
+    to :class:`DistributedBackend`.
+    """
+    if not isinstance(text, str):
+        hosts = tuple(text)
+    else:
+        hosts = tuple(
+            HostSpec.parse(part) for part in text.split(",") if part.strip()
+        )
+    if not hosts:
+        raise ValueError("host spec expanded to zero hosts (expected 'host[:slots],...')")
+    return hosts
+
+
+def _worker_argv(python: str, heartbeat_s: float) -> List[str]:
+    return [python, "-m", "repro.runner.worker", "--heartbeat-s", repr(float(heartbeat_s))]
+
+
+class WorkerTransport(Protocol):
+    """Launches one worker process for a host slot.
+
+    The returned :class:`subprocess.Popen` must expose binary ``stdin`` /
+    ``stdout`` pipes speaking the :mod:`repro.runner.wire` framing; the
+    scheduler owns the process from then on (handshake, dispatch, kill).
+    """
+
+    name: str
+
+    def launch(self, host: HostSpec, *, heartbeat_s: float) -> subprocess.Popen:
+        ...
+
+
+class LocalSubprocessTransport:
+    """Workers as plain subprocesses of this process (host names ignored).
+
+    The child inherits this interpreter and the current ``sys.path`` via
+    ``PYTHONPATH``, so an uninstalled source checkout works unchanged.
+    ``extra_env`` merges over the inherited environment — the test suite
+    uses it to inject the worker's fault hooks.
+    """
+
+    name = "local-subprocess"
+
+    def __init__(
+        self,
+        python: Optional[str] = None,
+        extra_env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.python = python or sys.executable
+        self.extra_env = dict(extra_env or {})
+
+    def launch(self, host: HostSpec, *, heartbeat_s: float) -> subprocess.Popen:
+        env = os.environ.copy()
+        env["PYTHONPATH"] = inherited_pythonpath()
+        env.update(self.extra_env)
+        return subprocess.Popen(
+            _worker_argv(self.python, heartbeat_s),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+
+    def __repr__(self) -> str:
+        return f"LocalSubprocessTransport(python={self.python!r})"
+
+
+class SSHTransport:
+    """Workers spawned as ``ssh <host> python -m repro.runner.worker``.
+
+    Requirements on each remote host: reachable over non-interactive SSH
+    (``BatchMode=yes`` is passed, so key auth must already work) and a
+    ``python`` that can ``import repro`` — either the package is installed
+    there, or ``remote_env`` supplies a ``PYTHONPATH`` to a checkout.
+    ``docs/distributed.md`` walks through a complete example.
+    """
+
+    name = "ssh"
+
+    def __init__(
+        self,
+        python: str = "python3",
+        ssh_command: Sequence[str] = ("ssh",),
+        ssh_options: Sequence[str] = ("-o", "BatchMode=yes"),
+        remote_env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.python = python
+        self.ssh_command = tuple(ssh_command)
+        self.ssh_options = tuple(ssh_options)
+        self.remote_env = dict(remote_env or {})
+
+    def launch(self, host: HostSpec, *, heartbeat_s: float) -> subprocess.Popen:
+        remote = " ".join(
+            shlex.quote(part) for part in _worker_argv(self.python, heartbeat_s)
+        )
+        if self.remote_env:
+            exports = " ".join(
+                f"{key}={shlex.quote(value)}" for key, value in sorted(self.remote_env.items())
+            )
+            remote = f"env {exports} {remote}"
+        return subprocess.Popen(
+            [*self.ssh_command, *self.ssh_options, host.host, remote],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def __repr__(self) -> str:
+        return f"SSHTransport(python={self.python!r}, ssh={self.ssh_command!r})"
+
+
+@dataclass
+class _Tracked:
+    """Scheduler-side state of one work item."""
+
+    item: WorkItem
+    attempts: int = 0
+    #: Worker ids currently executing this item (>1 only for speculative
+    #: straggler copies).
+    assigned: Set[str] = field(default_factory=set)
+    dispatched_at: float = 0.0
+    done: bool = False
+
+
+class _WorkerHandle:
+    """One launched worker: its process, reader thread, and accounting."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        host: HostSpec,
+        proc: subprocess.Popen,
+        inbox: "queue.Queue[Tuple[_WorkerHandle, Dict[str, Any]]]",
+    ) -> None:
+        self.id = worker_id
+        self.host = host
+        self.proc = proc
+        self.state = "starting"  # starting -> idle <-> busy; terminal: quarantined
+        self.item: Optional[_Tracked] = None
+        self.launched_at = time.monotonic()
+        self.last_seen = self.launched_at
+        self.dispatched = 0
+        self.completed = 0
+        self.quarantine_reason = ""
+        self._inbox = inbox
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = read_message(self.proc.stdout)
+            except WireError as exc:
+                self._inbox.put((self, {"type": "_wire_error", "error": str(exc)}))
+                return
+            if message is None:
+                self._inbox.put((self, {"type": "_eof"}))
+                return
+            self._inbox.put((self, message))
+
+    @property
+    def live(self) -> bool:
+        return self.state != "quarantined"
+
+    def send(self, message: Dict[str, Any]) -> None:
+        write_message(self.proc.stdin, message)
+
+    def shutdown(self, timeout_s: float = 2.0) -> None:
+        """Best-effort polite stop, then kill."""
+        try:
+            self.send({"type": "shutdown"})
+            self.proc.stdin.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        try:
+            self.proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            pass
+
+
+class DistributedBackend:
+    """Fan cache-missing sweep cells out across hosts (see module docstring).
+
+    ``hosts`` is a ``--hosts``-style string (``"localhost:2,nodeA:4"``) or
+    a sequence of :class:`HostSpec`; ``transport`` defaults to
+    :class:`LocalSubprocessTransport` when every host is local and
+    :class:`SSHTransport` otherwise.  The engine treats this backend like
+    any other :class:`~repro.runner.backends.ExecutionBackend`; extras the
+    protocol does not require — :meth:`telemetry` and the ``on_progress``
+    attribute — are discovered by ``run_sweep`` via ``getattr``.
+    """
+
+    name = "distributed"
+    needs_builtin_registry = True
+
+    def __init__(
+        self,
+        hosts: Union[str, Sequence[HostSpec]] = "localhost:2",
+        transport: Optional[WorkerTransport] = None,
+        *,
+        heartbeat_s: float = 1.0,
+        worker_timeout_s: float = 60.0,
+        hello_timeout_s: float = 30.0,
+        straggler_s: Optional[float] = 30.0,
+        max_attempts: int = 3,
+        poll_s: float = 0.05,
+    ) -> None:
+        self.hosts = parse_hosts(hosts)
+        if transport is None:
+            transport = (
+                LocalSubprocessTransport()
+                if all(h.is_local for h in self.hosts)
+                else SSHTransport()
+            )
+        self.transport = transport
+        self.heartbeat_s = heartbeat_s
+        self.worker_timeout_s = worker_timeout_s
+        self.hello_timeout_s = hello_timeout_s
+        self.straggler_s = straggler_s
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.poll_s = poll_s
+        #: Optional per-event progress hook (``run_sweep(on_progress=...)``
+        #: plugs the caller's callback in here).
+        self.on_progress = None
+        self._telemetry: Dict[str, Any] = {}
+
+    @property
+    def workers(self) -> int:
+        return sum(h.slots for h in self.hosts)
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Accounting of the most recent :meth:`execute` call."""
+        return dict(self._telemetry)
+
+    def __repr__(self) -> str:
+        hosts = ",".join(str(h) for h in self.hosts)
+        return f"DistributedBackend(hosts={hosts!r}, transport={self.transport!r})"
+
+    # -- scheduling -----------------------------------------------------
+
+    def _emit(self, event: ProgressEvent) -> None:
+        if self.on_progress is not None:
+            self.on_progress(event)
+
+    def execute(
+        self, items: Sequence[WorkItem], *, registry: Optional[Any] = None
+    ) -> List[WorkOutcome]:
+        if not items:
+            return []
+        scheduler = _Scheduler(self, items)
+        try:
+            return scheduler.run()
+        finally:
+            self._telemetry = scheduler.telemetry()
+            scheduler.close()
+
+
+class _Scheduler:
+    """One :meth:`DistributedBackend.execute` call's mutable state."""
+
+    def __init__(self, backend: DistributedBackend, items: Sequence[WorkItem]) -> None:
+        self.backend = backend
+        self.items = list(items)
+        self.tracked: Dict[int, _Tracked] = {
+            item.index: _Tracked(item=item) for item in self.items
+        }
+        if len(self.tracked) != len(self.items):
+            raise ValueError("work items must have unique indices")
+        self.pending: deque = deque(self.tracked.values())
+        self.outcomes: Dict[int, WorkOutcome] = {}
+        self.inbox: "queue.Queue[Tuple[_WorkerHandle, Dict[str, Any]]]" = queue.Queue()
+        self.workers: List[_WorkerHandle] = []
+        self.requeued = 0
+        self.quarantined = 0
+        self.speculative = 0
+        self.gave_up = 0
+        self.duplicate_outcomes = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _launch_workers(self) -> None:
+        backend = self.backend
+        for host in backend.hosts:
+            for _ in range(host.slots):
+                # The slot counter is global, not per-HostSpec: repeating a
+                # host in --hosts must still give every worker a unique id
+                # (ids key telemetry and the assigned-worker sets).
+                worker_id = f"{host.host}/{len(self.workers)}"
+                try:
+                    proc = backend.transport.launch(
+                        host, heartbeat_s=backend.heartbeat_s
+                    )
+                except OSError as exc:
+                    raise RuntimeError(
+                        f"distributed backend could not launch worker {worker_id} "
+                        f"via {backend.transport.name}: {exc}"
+                    ) from exc
+                self.workers.append(_WorkerHandle(worker_id, host, proc, self.inbox))
+
+    def close(self) -> None:
+        for worker in self.workers:
+            if worker.state == "quarantined":
+                continue
+            worker.shutdown()
+
+    # -- accounting -----------------------------------------------------
+
+    def telemetry(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        return {
+            "backend": self.backend.name,
+            "transport": self.backend.transport.name,
+            "hosts": [str(h) for h in self.backend.hosts],
+            "items": len(self.items),
+            "requeued": self.requeued,
+            "quarantined": self.quarantined,
+            "speculative": self.speculative,
+            "gave_up": self.gave_up,
+            "duplicate_outcomes": self.duplicate_outcomes,
+            "workers": {
+                w.id: {
+                    "host": w.host.host,
+                    "state": w.state,
+                    "dispatched": w.dispatched,
+                    "completed": w.completed,
+                    "last_seen_age_s": round(now - w.last_seen, 3),
+                    **(
+                        {"quarantine_reason": w.quarantine_reason}
+                        if w.quarantine_reason
+                        else {}
+                    ),
+                }
+                for w in self.workers
+            },
+        }
+
+    def _emit(self, kind: str, *, tracked: Optional[_Tracked] = None,
+              worker: Optional[_WorkerHandle] = None, detail: str = "") -> None:
+        item = tracked.item if tracked is not None else None
+        self.backend._emit(
+            ProgressEvent(
+                kind=kind,
+                done=len(self.outcomes),
+                total=len(self.items),
+                index=item.index if item is not None else None,
+                scenario=item.scenario if item is not None else None,
+                worker=worker.id if worker is not None else None,
+                detail=detail,
+            )
+        )
+
+    # -- failure handling ----------------------------------------------
+
+    def _give_up(self, tracked: _Tracked, reason: str) -> None:
+        tracked.done = True
+        self.gave_up += 1
+        self.outcomes[tracked.item.index] = WorkOutcome(
+            index=tracked.item.index, payload=None, elapsed_s=0.0, error=reason
+        )
+        self._emit("gave-up", tracked=tracked, detail=reason)
+
+    def _requeue(self, tracked: _Tracked, worker: _WorkerHandle, reason: str) -> None:
+        tracked.assigned.discard(worker.id)
+        if tracked.done or tracked.assigned:
+            return  # finished, or a speculative copy is still running
+        if tracked.attempts >= self.backend.max_attempts:
+            self._give_up(
+                tracked,
+                f"cell abandoned after {tracked.attempts} dispatch attempt(s); "
+                f"last failure: {reason}",
+            )
+            return
+        self.pending.appendleft(tracked)
+        self.requeued += 1
+        self._emit("requeued", tracked=tracked, worker=worker, detail=reason)
+
+    def _quarantine(self, worker: _WorkerHandle, reason: str) -> None:
+        if worker.state == "quarantined":
+            return
+        worker.state = "quarantined"
+        worker.quarantine_reason = reason
+        self.quarantined += 1
+        worker.kill()
+        self._emit("quarantined", worker=worker, detail=reason)
+        if worker.item is not None:
+            tracked, worker.item = worker.item, None
+            self._requeue(tracked, worker, f"worker {worker.id} {reason}")
+
+    # -- message handling ----------------------------------------------
+
+    def _handle(self, worker: _WorkerHandle, message: Dict[str, Any]) -> None:
+        worker.last_seen = time.monotonic()
+        kind = message.get("type")
+        if kind == "_eof":
+            if worker.state != "quarantined":
+                code = worker.proc.poll()
+                self._quarantine(worker, f"exited (code {code})")
+        elif kind == "_wire_error":
+            self._quarantine(worker, f"wire error: {message.get('error')}")
+        elif kind == "hello":
+            protocol = message.get("protocol")
+            if protocol != PROTOCOL_VERSION:
+                self._quarantine(
+                    worker,
+                    f"protocol mismatch (worker {protocol!r}, scheduler {PROTOCOL_VERSION})",
+                )
+            elif worker.state == "starting":
+                worker.state = "idle"
+        elif kind == "heartbeat" or kind == "pong":
+            pass  # last_seen already updated
+        elif kind == "outcome":
+            self._handle_outcome(worker, message.get("outcome") or {})
+        elif kind == "error":
+            self._quarantine(worker, f"worker-reported error: {message.get('error')}")
+        else:
+            self._quarantine(worker, f"unknown message type {kind!r}")
+
+    def _handle_outcome(self, worker: _WorkerHandle, raw: Dict[str, Any]) -> None:
+        # Leave worker.item in place until the frame is validated: the
+        # quarantine paths below rely on it to requeue the in-flight cell.
+        tracked = worker.item
+        try:
+            outcome = WorkOutcome(
+                index=int(raw["index"]),
+                payload=raw.get("payload"),
+                elapsed_s=float(raw.get("elapsed_s", 0.0)),
+                error=raw.get("error"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            self._quarantine(worker, f"malformed outcome frame: {exc}")
+            return
+        target = self.tracked.get(outcome.index)
+        if target is None or (tracked is not None and tracked is not target):
+            self._quarantine(
+                worker, f"returned outcome for unassigned index {outcome.index}"
+            )
+            return
+        # A quarantined worker's last outcome may still arrive through the
+        # inbox; record the (deterministic) result but keep it quarantined.
+        if worker.state == "busy":
+            worker.state = "idle"
+        worker.item = None
+        worker.completed += 1
+        target.assigned.discard(worker.id)
+        if target.done:
+            self.duplicate_outcomes += 1  # lost a straggler race; result identical
+            return
+        target.done = True
+        self.outcomes[outcome.index] = outcome
+        self._emit("completed", tracked=target, worker=worker)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch(self, worker: _WorkerHandle, tracked: _Tracked, *, speculative: bool) -> None:
+        item = tracked.item
+        try:
+            worker.send(
+                {
+                    "type": "work",
+                    "item": {
+                        "index": item.index,
+                        "scenario": item.scenario,
+                        "params": dict(item.params),
+                        "seed": item.seed,
+                    },
+                }
+            )
+        except (OSError, ValueError):
+            self._quarantine(worker, "dispatch write failed (broken pipe)")
+            if not speculative and not tracked.done and not tracked.assigned:
+                # _quarantine only requeues worker.item, which is not yet
+                # this cell — put it back ourselves.
+                self._requeue(tracked, worker, "dispatch write failed")
+            return
+        worker.state = "busy"
+        worker.item = tracked
+        # A worker can sit idle (silent) far longer than worker_timeout_s;
+        # restart its liveness clock now or the next timeout check would
+        # quarantine it as hung before it could possibly have replied.
+        worker.last_seen = time.monotonic()
+        worker.dispatched += 1
+        tracked.attempts += 1
+        tracked.assigned.add(worker.id)
+        tracked.dispatched_at = time.monotonic()
+        if speculative:
+            self.speculative += 1
+
+    def _fill_idle_workers(self) -> None:
+        idle = [w for w in self.workers if w.state == "idle"]
+        for worker in idle:
+            tracked = None
+            while self.pending:
+                candidate = self.pending.popleft()
+                if not candidate.done and not candidate.assigned:
+                    tracked = candidate
+                    break
+            if tracked is None:
+                break
+            self._dispatch(worker, tracked, speculative=False)
+        if self.pending:
+            return
+        # Straggler re-dispatch: duplicate the longest-running in-flight
+        # cells onto workers that would otherwise sit idle.
+        straggler_s = self.backend.straggler_s
+        if straggler_s is None:
+            return
+        now = time.monotonic()
+        idle = [w for w in self.workers if w.state == "idle"]
+        if not idle:
+            return
+        in_flight = sorted(
+            (
+                t
+                for t in self.tracked.values()
+                if not t.done
+                and len(t.assigned) == 1
+                and now - t.dispatched_at > straggler_s
+                and t.attempts < self.backend.max_attempts
+            ),
+            key=lambda t: t.dispatched_at,
+        )
+        for worker, tracked in zip(idle, in_flight):
+            self._dispatch(worker, tracked, speculative=True)
+
+    def _check_timeouts(self) -> None:
+        now = time.monotonic()
+        for worker in self.workers:
+            if worker.state == "starting":
+                if now - worker.launched_at > self.backend.hello_timeout_s:
+                    self._quarantine(
+                        worker,
+                        f"no hello within {self.backend.hello_timeout_s:.0f}s",
+                    )
+            elif worker.state == "busy":
+                if now - worker.last_seen > self.backend.worker_timeout_s:
+                    self._quarantine(
+                        worker,
+                        f"silent for {now - worker.last_seen:.1f}s (presumed hung)",
+                    )
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> List[WorkOutcome]:
+        self._launch_workers()
+        while len(self.outcomes) < len(self.items):
+            if not any(w.live for w in self.workers):
+                # Results can already sit in the inbox when the last worker
+                # is quarantined (e.g. an outcome racing the hang timeout);
+                # drain them before declaring anything lost.
+                while True:
+                    try:
+                        worker, message = self.inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    self._handle(worker, message)
+                if len(self.outcomes) >= len(self.items):
+                    break
+                for tracked in self.tracked.values():
+                    if not tracked.done:
+                        self._give_up(
+                            tracked,
+                            "no live workers remain "
+                            "(all quarantined; see SweepOutcome.worker_stats)",
+                        )
+                break
+            self._fill_idle_workers()
+            try:
+                worker, message = self.inbox.get(timeout=self.backend.poll_s)
+            except queue.Empty:
+                pass
+            else:
+                self._handle(worker, message)
+                # Drain whatever else already arrived before re-checking
+                # timeouts; keeps big sweeps from being poll-bound.
+                while True:
+                    try:
+                        worker, message = self.inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    self._handle(worker, message)
+            self._check_timeouts()
+        return [self.outcomes[item.index] for item in self.items]

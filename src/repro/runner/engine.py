@@ -8,9 +8,10 @@ Given a list of :class:`~repro.runner.spec.RunSpec` cells, the engine
 2. serves every cell already present in the result cache from disk;
 3. hands the remaining cells to an
    :class:`~repro.runner.backends.ExecutionBackend` — serial in-process, a
-   :mod:`multiprocessing` pool, or any drop-in implementation of the
-   protocol — each cell with a deterministic seed derived via
-   :func:`repro.util.rng.derive_seed`;
+   :mod:`multiprocessing` pool, the cross-host
+   :class:`~repro.runner.distributed.DistributedBackend`, or any drop-in
+   implementation of the protocol — each cell with a deterministic seed
+   derived via :func:`repro.util.rng.derive_seed`;
 4. validates fresh metrics against the scenario's ``MetricSchema``, writes
    results back to the cache, and returns everything in spec order.
 
@@ -19,16 +20,25 @@ Determinism contract: a run's :class:`RunResult` depends only on
 scheduling order, or whether the result came from the cache.
 ``tests/test_runner_engine.py`` and ``tests/test_runner_backends.py`` pin
 this down by comparing canonical serializations byte for byte.
+
+Observability: ``run_sweep(on_progress=...)`` forwards the callback to
+backends that expose an ``on_progress`` attribute (the distributed
+scheduler emits :class:`~repro.runner.backends.ProgressEvent` records as
+cells complete, re-route, or workers are quarantined), and a backend's
+``telemetry()`` dict — per-worker dispatch/completion/heartbeat-age
+accounting for remote workers — is captured into
+:attr:`SweepOutcome.worker_stats`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.runner.backends import (
     ExecutionBackend,
+    ProgressEvent,
     SerialBackend,
     WorkItem,
     make_backend,
@@ -66,6 +76,12 @@ class SweepOutcome:
     #: Name of the execution backend the sweep's fresh cells ran on.
     backend: str = "serial"
     elapsed_s: float = 0.0
+    #: Backend-reported execution accounting (``backend.telemetry()``),
+    #: e.g. the distributed scheduler's per-worker dispatch/completion
+    #: counts, heartbeat ages, and quarantine reasons.  Empty for backends
+    #: without telemetry (serial, process pool) and for sweeps where no
+    #: cell executed.
+    worker_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def results(self) -> List[RunResult]:
@@ -202,16 +218,19 @@ def run_sweep(
     use_cache: bool = True,
     registry: Optional[ScenarioRegistry] = None,
     backend: Union[None, str, ExecutionBackend] = None,
+    on_progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> SweepOutcome:
     """Execute ``specs``, serving repeats from ``cache`` and running the rest.
 
     ``backend`` selects where cache-missing cells execute: a backend name
-    (``"serial"``, ``"process"``, ``"auto"``), an
+    (``"serial"``, ``"process"``, ``"auto"``, ``"distributed"``), an
     :class:`~repro.runner.backends.ExecutionBackend` instance, or ``None``
     for the historical default (a process pool when ``workers > 1``, else
     serial).  Pass ``use_cache=False`` to force every *unique* cell to
     execute (results are still written back to the cache; duplicate cells
-    within one sweep always simulate once).
+    within one sweep always simulate once).  ``on_progress`` receives
+    :class:`~repro.runner.backends.ProgressEvent` records from backends
+    that emit them (currently the distributed scheduler).
 
     A custom ``registry`` runs serially regardless of the backend request:
     backends that leave the process resolve scenario names by re-importing
@@ -251,7 +270,16 @@ def run_sweep(
             WorkItem(index=index, scenario=spec.scenario, params=params, seed=spec.seed)
         )
 
+    # Optional backend extras, discovered by duck typing so the
+    # ExecutionBackend protocol stays minimal: a settable ``on_progress``
+    # hook and an execution-accounting ``telemetry()`` dict.  Assigned
+    # unconditionally (including None) so a reused backend instance never
+    # keeps firing a previous sweep's callback.
+    if hasattr(backend, "on_progress"):
+        backend.on_progress = on_progress
     completed = backend.execute(pending, registry=registry) if pending else []
+    telemetry = getattr(backend, "telemetry", None)
+    worker_stats = telemetry() if pending and callable(telemetry) else {}
 
     # Cache every finished cell before surfacing failures, so a partially
     # failed sweep still resumes from the completed cells on rerun.  The
@@ -299,6 +327,7 @@ def run_sweep(
         workers=1 if fallback_executed else requested_workers,
         backend=backend.name if fallback_executed or not serial_fallback else requested_name,
         elapsed_s=time.perf_counter() - started,
+        worker_stats=worker_stats,
     )
 
 
@@ -309,8 +338,14 @@ def run_spec(
     cache: Optional[ResultCache] = None,
     use_cache: bool = True,
     backend: Union[None, str, ExecutionBackend] = None,
+    on_progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> SweepOutcome:
     """Expand a :class:`SweepSpec` and execute it."""
     return run_sweep(
-        sweep.expand(), workers=workers, cache=cache, use_cache=use_cache, backend=backend
+        sweep.expand(),
+        workers=workers,
+        cache=cache,
+        use_cache=use_cache,
+        backend=backend,
+        on_progress=on_progress,
     )

@@ -13,9 +13,9 @@ can ever mint distinct cache keys for the same run (a property the CLI's
 ``key=value`` parsing and JSON spec files rely on — see
 ``tests/test_runner_cli.py::TestParamRoundTrip``).
 
-Untyped registration (the deprecated ``defaults={...}`` dict) is bridged by
+A plain ``{name: default}`` dict can still seed a space explicitly via
 :meth:`ParamSpace.from_defaults`, which infers a spec from each default
-value so legacy scenarios keep resolving while they migrate.
+value (type coercion only — no units, choices, or bounds).
 """
 
 from __future__ import annotations
@@ -249,9 +249,11 @@ class ParamSpace:
     def from_defaults(cls, defaults: Mapping[str, Any]) -> "ParamSpace":
         """Infer a space from an untyped ``{name: default}`` mapping.
 
-        This is the bridge behind the deprecated ``register_scenario(...,
-        defaults={...})`` signature; inferred specs carry no units, choices
-        or bounds, only type coercion derived from the default's type.
+        Historically the bridge behind the (since removed)
+        ``register_scenario(..., defaults={...})`` signature, now an
+        explicit opt-in for callers that genuinely only have a defaults
+        dict; inferred specs carry no units, choices or bounds, only type
+        coercion derived from the default's type.
         """
         return cls(*(_infer_spec(name, value) for name, value in defaults.items()))
 

@@ -17,11 +17,13 @@ overrides through the space, so differently-spelled values (``"96"`` vs
 renders a self-describing knob table.
 
 The legacy untyped signature — ``register_scenario(name, defaults={...})``
-— still works through a deprecation shim (:class:`ScenarioAPIDeprecationWarning`;
-specs are inferred from the default values, no metric validation).  The
-shim is scheduled for removal two PRs after the `repro.api` v2 redesign;
-in-repo callers must use the typed form (CI turns the warning into an
-error).
+— went through its promised deprecation cycle (warned since the
+``repro.api`` v2 redesign) and is now **removed**: passing ``defaults=``
+raises ``TypeError``.  Code that genuinely has only a defaults dict can
+still build a space explicitly with
+:meth:`~repro.runner.params.ParamSpace.from_defaults`, accepting that
+inferred specs carry no units, choices, or bounds and that no metric
+validation happens.
 
 The registry deliberately stores only picklable data (names, specs,
 descriptions) next to the factory callables; the worker pool ships scenario
@@ -31,7 +33,6 @@ modules to resolve them.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
@@ -40,16 +41,6 @@ from repro.runner.schema import MetricSchema
 
 #: A scenario factory: ``fn(seed=..., **params) -> {metric: value}``.
 ScenarioFn = Callable[..., Dict[str, Any]]
-
-
-class ScenarioAPIDeprecationWarning(DeprecationWarning):
-    """Use of the pre-v2 untyped scenario registration API.
-
-    Emitted by ``register_scenario(name, defaults={...})``; migrate to
-    ``register_scenario(name, params=ParamSpace(...), metrics=
-    MetricSchema(...))``.  The shim will be removed two PRs after the
-    ``repro.api`` v2 redesign.
-    """
 
 
 @dataclass(frozen=True)
@@ -111,35 +102,30 @@ class ScenarioRegistry:
         *,
         params: Optional[ParamSpace] = None,
         metrics: Optional[MetricSchema] = None,
-        defaults: Optional[Mapping[str, Any]] = None,
         description: str = "",
         figure: str = "",
         version: int = 1,
         seed_sensitive: bool = True,
+        **legacy: Any,
     ) -> Callable[[ScenarioFn], ScenarioFn]:
         """Decorator registering ``fn`` as scenario ``name``.
 
         Pass ``params=ParamSpace(...)`` (and ideally
-        ``metrics=MetricSchema(...)``).  The legacy ``defaults={...}`` form
-        is deprecated: it infers an untyped space from the default values
-        and skips metric validation.
+        ``metrics=MetricSchema(...)``).  The pre-v2 untyped
+        ``defaults={...}`` form completed its deprecation cycle and was
+        removed; it now raises ``TypeError`` with migration guidance.
         """
-        if params is not None and defaults is not None:
+        if "defaults" in legacy:
             raise TypeError(
-                f"scenario {name!r}: pass either params=ParamSpace(...) or the "
-                f"deprecated defaults={{...}}, not both"
-            )
-        if defaults is not None:
-            warnings.warn(
-                f"register_scenario({name!r}, defaults={{...}}) is deprecated; "
-                f"declare a typed ParamSpace (and a MetricSchema) instead: "
+                f"register_scenario({name!r}, defaults={{...}}) was removed after "
+                f"its deprecation cycle; declare a typed space instead: "
                 f"register_scenario({name!r}, params=ParamSpace(...), "
-                f"metrics=MetricSchema(...)).  The untyped shim will be removed "
-                f"two PRs after the repro.api v2 redesign.",
-                ScenarioAPIDeprecationWarning,
-                stacklevel=2,
+                f"metrics=MetricSchema(...)) — or ParamSpace.from_defaults({{...}}) "
+                f"to infer one from a plain defaults dict (docs/api.md#migrating)"
             )
-            params = ParamSpace.from_defaults(defaults)
+        if legacy:
+            unexpected = ", ".join(sorted(legacy))
+            raise TypeError(f"register() got unexpected keyword argument(s): {unexpected}")
         if params is None:
             params = ParamSpace()
 

@@ -1,0 +1,108 @@
+"""Length-prefixed JSON framing for the distributed dispatch protocol.
+
+The :class:`~repro.runner.distributed.DistributedBackend` and the remote
+worker (:mod:`repro.runner.worker`) talk over byte pipes — a subprocess's
+stdin/stdout locally, an SSH channel remotely.  Pipes have no message
+boundaries, so every message is framed as::
+
+    +----------------+----------------------------+
+    | 4-byte big-    | UTF-8 JSON object,         |
+    | endian length  | exactly <length> bytes     |
+    +----------------+----------------------------+
+
+JSON (not pickle) is deliberate: the payloads crossing this boundary are
+the same plain dicts the result cache stores, the format is inspectable
+with a hex dump, and a worker running a different repo revision can never
+execute arbitrary unpickled code.  Every message is a JSON *object* with a
+``"type"`` key; the protocol's message vocabulary lives with its speakers
+(:mod:`repro.runner.worker` documents the worker side).
+
+``PROTOCOL_VERSION`` is checked during the hello handshake so a scheduler
+and a worker from incompatible revisions fail loudly instead of
+misinterpreting each other's frames.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, BinaryIO, Dict, Optional
+
+#: Version of the message vocabulary; bump on incompatible changes.  The
+#: scheduler refuses workers whose hello carries a different version.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload.  Far above any real
+#: WorkOutcome (metrics are flat scalar dicts); its job is to turn a
+#: corrupt or misaligned length prefix into an immediate WireError instead
+#: of a multi-gigabyte read.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(RuntimeError):
+    """A malformed, truncated, or oversized frame on the wire."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to its framed byte form."""
+    if not isinstance(message, dict):
+        raise WireError(f"wire messages must be dicts, got {type(message).__name__}")
+    data = json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise WireError(f"message of {len(data)} bytes exceeds MAX_MESSAGE_BYTES")
+    return _LENGTH.pack(len(data)) + data
+
+
+def write_message(stream: BinaryIO, message: Dict[str, Any]) -> None:
+    """Frame ``message`` onto ``stream`` and flush it.
+
+    Callers sharing one stream across threads must serialize calls (the
+    worker's heartbeat thread holds a lock for this) — a frame torn by an
+    interleaved write is unrecoverable for the reader.
+    """
+    stream.write(encode_message(message))
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise WireError(
+                f"stream ended mid-frame: wanted {n} bytes, got {n - remaining}"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` on clean EOF before a frame starts.
+
+    EOF in the middle of a frame (a dead peer) raises :class:`WireError`,
+    as does a length prefix beyond :data:`MAX_MESSAGE_BYTES` or a payload
+    that is not a JSON object.
+    """
+    header = _read_exact(stream, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise WireError(f"frame length {length} exceeds MAX_MESSAGE_BYTES")
+    payload = _read_exact(stream, length) if length else b""
+    if payload is None:
+        raise WireError("stream ended between a frame's length prefix and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise WireError(f"frame payload is {type(message).__name__}, expected an object")
+    return message

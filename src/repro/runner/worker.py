@@ -1,0 +1,188 @@
+"""``python -m repro.runner.worker`` — the remote end of distributed dispatch.
+
+A worker is a long-lived process that the
+:class:`~repro.runner.distributed.DistributedBackend` launches on each
+execution slot (directly via :class:`LocalSubprocessTransport`, or through
+``ssh`` via :class:`SSHTransport`).  It speaks the length-prefixed JSON
+protocol of :mod:`repro.runner.wire` over stdin/stdout:
+
+* on startup it sends ``{"type": "hello", "protocol": ..., "pid": ...,
+  "host": ..., "scenarios": N}`` after re-importing
+  :mod:`repro.experiments` (the registry travels as *code*, never as
+  pickled state);
+* for each ``{"type": "work", "item": {...}}`` it resolves the scenario,
+  runs it via :func:`repro.runner.backends.execute_item` — which validates
+  fresh metrics against the scenario's
+  :class:`~repro.runner.schema.MetricSchema` — and replies
+  ``{"type": "outcome", "outcome": {...}}``.  Failures travel *inside*
+  the outcome (``error`` carries the traceback), never as a dead pipe;
+* while a scenario runs, a daemon thread emits ``{"type": "heartbeat"}``
+  every ``--heartbeat-s`` seconds so the scheduler can tell "slow cell"
+  from "hung worker";
+* ``{"type": "ping"}`` gets ``{"type": "pong"}``; ``{"type": "shutdown"}``
+  (or EOF on stdin) ends the process.
+
+stdout carries *only* wire frames: ``sys.stdout`` is rebound to stderr for
+the worker's lifetime, so a scenario that prints cannot corrupt the frame
+stream.  The worker never touches the result cache — outcomes flow back to
+the scheduling host, which owns the single shared ``.repro-cache/``.
+
+Fault injection (tests only): ``REPRO_WORKER_CRASH_AFTER=N`` makes the
+worker serve ``N`` items normally and then die via ``os._exit`` on the
+next one *without replying* — the harness for the scheduler's quarantine
+and re-dispatch paths.  ``REPRO_WORKER_STARTUP_DELAY_S=X`` sleeps before
+the hello, simulating a slow host so tests can pin dispatch order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from dataclasses import asdict
+from typing import BinaryIO, Optional, Sequence
+
+from repro.runner.backends import WorkItem, execute_item
+from repro.runner.wire import PROTOCOL_VERSION, WireError, read_message, write_message
+
+#: Environment variable: serve this many items, then crash (no reply) on
+#: the next.  Unset or non-integer disables the hook.
+CRASH_AFTER_ENV = "REPRO_WORKER_CRASH_AFTER"
+
+#: Environment variable: sleep this many seconds before the hello
+#: handshake (a simulated slow host).  Unset or non-numeric disables it.
+STARTUP_DELAY_ENV = "REPRO_WORKER_STARTUP_DELAY_S"
+
+#: Exit code of an injected crash, distinct from real failure codes.
+CRASH_EXIT_CODE = 117
+
+
+class _Heartbeat:
+    """Daemon thread beating ``{"type": "heartbeat"}`` while a cell runs."""
+
+    def __init__(self, send, interval_s: float) -> None:
+        self._send = send
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._send({"type": "heartbeat"})
+            except (OSError, ValueError):
+                return  # peer hung up; the main loop will notice on its own
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+def _crash_after() -> Optional[int]:
+    raw = os.environ.get(CRASH_AFTER_ENV)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def serve(stdin: BinaryIO, stdout: BinaryIO, *, heartbeat_s: float = 0.0) -> int:
+    """Run the worker protocol until shutdown/EOF; returns the exit code.
+
+    Factored from :func:`main` so tests can drive a worker over in-memory
+    streams without spawning a process.
+    """
+    from repro.runner.registry import load_builtin_scenarios
+
+    try:
+        delay_s = float(os.environ.get(STARTUP_DELAY_ENV) or 0.0)
+    except ValueError:
+        delay_s = 0.0
+    if delay_s > 0:
+        time.sleep(delay_s)
+    registry = load_builtin_scenarios()
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        with send_lock:
+            write_message(stdout, message)
+
+    send(
+        {
+            "type": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "scenarios": len(registry),
+        }
+    )
+    crash_after = _crash_after()
+    served = 0
+    while True:
+        try:
+            message = read_message(stdin)
+        except WireError as exc:
+            send({"type": "error", "error": f"unreadable frame: {exc}"})
+            return 1
+        if message is None or message.get("type") == "shutdown":
+            return 0
+        kind = message.get("type")
+        if kind == "ping":
+            send({"type": "pong"})
+            continue
+        if kind != "work":
+            send({"type": "error", "error": f"unknown message type {kind!r}"})
+            continue
+        if crash_after is not None and served >= crash_after:
+            os._exit(CRASH_EXIT_CODE)
+        raw = message.get("item") or {}
+        try:
+            item = WorkItem(
+                index=raw["index"],
+                scenario=raw["scenario"],
+                params=raw.get("params") or {},
+                seed=raw.get("seed", 0),
+            )
+        except (KeyError, TypeError) as exc:
+            # Contract: failures travel inside frames, never as a dead pipe
+            # — even for a scheduler speaking a skewed item layout.
+            send({"type": "error", "error": f"malformed work item {raw!r}: {exc!r}"})
+            continue
+        if heartbeat_s > 0:
+            with _Heartbeat(send, heartbeat_s):
+                outcome = execute_item(item)
+        else:
+            outcome = execute_item(item)
+        served += 1
+        send({"type": "outcome", "outcome": asdict(outcome)})
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-runner-worker",
+        description="Distributed-sweep worker process (launched by DistributedBackend).",
+    )
+    parser.add_argument(
+        "--heartbeat-s", type=float, default=2.0, metavar="SECONDS",
+        help="heartbeat interval while a cell runs (0 disables; default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    # Anything the scenarios (or stray library code) print must not tear
+    # the frame stream — stdout is for wire messages only.
+    sys.stdout = sys.stderr
+    return serve(stdin, stdout, heartbeat_s=args.heartbeat_s)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

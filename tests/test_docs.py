@@ -1,0 +1,70 @@
+"""Documentation checks: links resolve, the generated catalogue is fresh.
+
+CI's docs job runs exactly this file.  Two invariants:
+
+* every relative Markdown link (and anchor-less file reference) in
+  ``README.md`` and ``docs/*.md`` points at a file that exists;
+* ``docs/scenarios.md`` is byte-identical to what
+  ``repro-runner list -v --format md`` renders from the live registry —
+  adding or changing a scenario without regenerating the catalogue fails
+  here, not three PRs later.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cli import render_scenarios_markdown
+from repro.runner.registry import load_builtin_scenarios
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doc_files():
+    return [REPO_ROOT / "README.md", *sorted(DOCS.glob("*.md"))]
+
+
+def test_docs_tree_exists():
+    expected = {"architecture.md", "runner.md", "api.md", "distributed.md", "scenarios.md"}
+    assert expected <= {p.name for p in DOCS.glob("*.md")}
+
+
+@pytest.mark.parametrize("doc", _doc_files(), ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _LINK.findall(doc.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.relative_to(REPO_ROOT)} has broken links: {broken}"
+
+
+def test_scenarios_md_matches_registry():
+    generated = render_scenarios_markdown(load_builtin_scenarios(), verbose=True)
+    committed = (DOCS / "scenarios.md").read_text(encoding="utf-8")
+    assert committed == generated, (
+        "docs/scenarios.md is stale versus the scenario registry; regenerate with:\n"
+        "  PYTHONPATH=src python -m repro.runner list -v --format md > docs/scenarios.md"
+    )
+
+
+def test_scenarios_md_covers_every_scenario():
+    registry = load_builtin_scenarios()
+    text = (DOCS / "scenarios.md").read_text(encoding="utf-8")
+    missing = [name for name in registry.names() if f"`{name}`" not in text]
+    assert not missing
+
+
+def test_readme_mentions_docs_tree():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/runner.md", "docs/distributed.md", "docs/api.md"):
+        assert page in readme, f"README no longer links {page}"

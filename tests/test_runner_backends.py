@@ -46,7 +46,16 @@ class TestMakeBackend:
         assert make_backend("auto", workers=4).name == "process"
         with pytest.raises(ValueError, match="unknown backend"):
             make_backend("carrier-pigeon")
-        assert set(BACKEND_CHOICES) == {"auto", "serial", "process"}
+        assert set(BACKEND_CHOICES) == {"auto", "serial", "process", "distributed"}
+
+    def test_distributed_name(self):
+        backend = make_backend("distributed", hosts="localhost:2")
+        assert backend.name == "distributed"
+        assert backend.workers == 2
+        # Without a host spec, all slots land on this machine.
+        assert make_backend("distributed", workers=3).workers == 3
+        with pytest.raises(ValueError, match="only applies to the distributed"):
+            make_backend("process", hosts="localhost:2")
 
 
 class TestExecuteItem:

@@ -5,7 +5,6 @@ import pytest
 from repro.runner.params import ParamSpec, ParamSpace
 from repro.runner.registry import (
     REGISTRY,
-    ScenarioAPIDeprecationWarning,
     ScenarioRegistry,
     load_builtin_scenarios,
 )
@@ -165,41 +164,37 @@ class TestRunResult:
             RunResult.from_payload(payload)
 
 
-class TestDeprecatedRegistration:
-    def test_defaults_shim_warns_and_still_works(self):
+class TestRemovedLegacyRegistration:
+    def test_defaults_shim_is_gone(self):
+        # The pre-v2 untyped signature finished its deprecation cycle: it
+        # must fail loudly, pointing the caller at the migration path.
         registry = ScenarioRegistry()
-        with pytest.warns(ScenarioAPIDeprecationWarning, match="deprecated"):
-            @registry.register("legacy", defaults={"x": 1, "rate": 24.0, "name": "a"})
-            def _legacy(*, seed, x, rate, name):
-                return {"out": x + rate}
+        with pytest.raises(TypeError, match="removed after its deprecation cycle"):
+            registry.register("legacy", defaults={"x": 1, "rate": 24.0})
+
+    def test_unknown_kwargs_still_rejected(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            registry.register("bad", defautls={"x": 1})
+
+    def test_from_defaults_is_the_explicit_migration_path(self):
+        # What the shim used to do implicitly remains available, spelled
+        # out: an inferred space that coerces spellings to one value.
+        registry = ScenarioRegistry()
+
+        @registry.register(
+            "legacy", params=ParamSpace.from_defaults({"x": 1, "rate": 24.0, "name": "a"})
+        )
+        def _legacy(*, seed, x, rate, name):
+            return {"out": x + rate}
 
         scenario = registry.get("legacy")
-        # The inferred space still coerces spellings to one canonical value.
         assert scenario.resolve_params({"rate": "48"}) == scenario.resolve_params(
             {"rate": 48.0}
         )
         assert scenario.defaults == {"x": 1, "rate": 24, "name": "a"}
-        # No metric schema → no validation on legacy scenarios.
-        assert scenario.metrics is None
+        assert scenario.metrics is None  # inferred spaces carry no schema
         assert scenario.run(seed=1, params={"x": 2})["out"] == 26
-
-    def test_params_and_defaults_are_mutually_exclusive(self):
-        registry = ScenarioRegistry()
-        with pytest.raises(TypeError, match="not both"):
-            registry.register("bad", params=ParamSpace(), defaults={"x": 1})
-
-    def test_builtin_scenarios_register_without_deprecation(self):
-        # Every in-repo registration must use the typed API; importing the
-        # experiment modules may not emit the shim warning.  (pyproject's
-        # filterwarnings also enforces this across the whole suite.)
-        import warnings
-
-        import repro.experiments  # noqa: F401  (ensure modules are imported)
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", ScenarioAPIDeprecationWarning)
-            registry = load_builtin_scenarios()
-        assert len(registry) >= 16
 
 
 class TestTypedRegistration:

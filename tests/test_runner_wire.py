@@ -1,0 +1,168 @@
+"""Wire-format and worker-protocol tests (no subprocesses).
+
+The framing layer is exercised over in-memory streams; the worker's
+protocol loop is driven through :func:`repro.runner.worker.serve` with
+``BytesIO`` stand-ins for stdin/stdout, so a full request/response cycle —
+hello, ping, work, outcome, shutdown — runs in-process and fast.
+"""
+
+import io
+
+import pytest
+
+from repro.runner import worker as worker_mod
+from repro.runner.wire import (
+    MAX_MESSAGE_BYTES,
+    PROTOCOL_VERSION,
+    WireError,
+    encode_message,
+    read_message,
+    write_message,
+)
+
+
+def _roundtrip(message):
+    stream = io.BytesIO()
+    write_message(stream, message)
+    stream.seek(0)
+    return read_message(stream)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"type": "work", "item": {"index": 3, "params": {"rate": 24.0}}}
+        assert _roundtrip(message) == message
+
+    def test_unicode_roundtrip(self):
+        assert _roundtrip({"type": "x", "note": "µ-benchmark ±95%"}) == {
+            "type": "x",
+            "note": "µ-benchmark ±95%",
+        }
+
+    def test_multiple_messages_in_sequence(self):
+        stream = io.BytesIO()
+        for i in range(5):
+            write_message(stream, {"i": i})
+        stream.seek(0)
+        assert [read_message(stream)["i"] for _ in range(5)] == list(range(5))
+        assert read_message(stream) is None  # clean EOF at a boundary
+
+    def test_eof_before_frame_is_none(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(WireError, match="mid-frame"):
+            read_message(io.BytesIO(b"\x00\x00"))
+
+    def test_eof_mid_payload_raises(self):
+        data = encode_message({"type": "x"})
+        with pytest.raises(WireError, match="mid-frame|between"):
+            read_message(io.BytesIO(data[:-1]))
+
+    def test_oversized_length_prefix_rejected(self):
+        bogus = (MAX_MESSAGE_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(WireError, match="exceeds"):
+            read_message(io.BytesIO(bogus))
+
+    def test_non_object_payload_rejected(self):
+        payload = b"[1,2,3]"
+        framed = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(WireError, match="expected an object"):
+            read_message(io.BytesIO(framed))
+
+    def test_undecodable_payload_rejected(self):
+        payload = b"\xff\xfe not json"
+        framed = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(WireError, match="undecodable"):
+            read_message(io.BytesIO(framed))
+
+    def test_non_dict_message_rejected_on_encode(self):
+        with pytest.raises(WireError, match="must be dicts"):
+            encode_message(["not", "a", "dict"])
+
+
+def _drive_worker(*messages, heartbeat_s=0.0):
+    """Run the worker loop over the given inbound messages; parse replies."""
+    stdin = io.BytesIO()
+    for message in messages:
+        write_message(stdin, message)
+    stdin.seek(0)
+    stdout = io.BytesIO()
+    code = worker_mod.serve(stdin, stdout, heartbeat_s=heartbeat_s)
+    stdout.seek(0)
+    replies = []
+    while True:
+        reply = read_message(stdout)
+        if reply is None:
+            return code, replies
+        replies.append(reply)
+
+
+class TestWorkerProtocol:
+    def test_hello_then_clean_shutdown(self):
+        code, replies = _drive_worker({"type": "shutdown"})
+        assert code == 0
+        assert replies[0]["type"] == "hello"
+        assert replies[0]["protocol"] == PROTOCOL_VERSION
+        assert replies[0]["scenarios"] >= 16
+
+    def test_eof_is_a_clean_shutdown(self):
+        code, replies = _drive_worker()  # no messages at all
+        assert code == 0
+        assert [r["type"] for r in replies] == ["hello"]
+
+    def test_ping_pong(self):
+        code, replies = _drive_worker({"type": "ping"}, {"type": "shutdown"})
+        assert [r["type"] for r in replies] == ["hello", "pong"]
+
+    def test_work_produces_validated_outcome(self):
+        code, replies = _drive_worker(
+            {
+                "type": "work",
+                "item": {
+                    "index": 5,
+                    "scenario": "ablation_pi_gains",
+                    "params": {"alpha": 5.0, "beta": 10.0},
+                    "seed": 0,
+                },
+            },
+            {"type": "shutdown"},
+        )
+        assert code == 0
+        outcome = replies[1]
+        assert outcome["type"] == "outcome"
+        assert outcome["outcome"]["index"] == 5
+        assert outcome["outcome"]["error"] is None
+        assert outcome["outcome"]["payload"]["metrics"]["settled"] in (True, False)
+
+    def test_scenario_failure_travels_as_outcome_not_crash(self):
+        code, replies = _drive_worker(
+            {
+                "type": "work",
+                "item": {"index": 0, "scenario": "no_such_scenario", "params": {}, "seed": 1},
+            },
+            {"type": "shutdown"},
+        )
+        assert code == 0  # the worker survives to serve the next item
+        outcome = replies[1]["outcome"]
+        assert outcome["payload"] is None
+        assert "no_such_scenario" in outcome["error"]
+
+    def test_malformed_work_item_reported_not_fatal(self):
+        # A skewed scheduler sending an item without index/scenario must
+        # get an error frame back, not a dead pipe.
+        code, replies = _drive_worker(
+            {"type": "work", "item": {}},
+            {"type": "ping"},
+            {"type": "shutdown"},
+        )
+        assert code == 0
+        assert replies[1]["type"] == "error"
+        assert "malformed work item" in replies[1]["error"]
+        assert replies[2]["type"] == "pong"  # still serving afterwards
+
+    def test_unknown_message_type_reported_not_fatal(self):
+        code, replies = _drive_worker({"type": "dance"}, {"type": "shutdown"})
+        assert code == 0
+        assert replies[1]["type"] == "error"
+        assert "dance" in replies[1]["error"]
