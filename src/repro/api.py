@@ -41,6 +41,14 @@ The surface, by layer:
   (:class:`LongTable`; ``to_csv`` / ``to_jsonl``) and the
   :func:`export_runs` / :func:`export_aggregates` one-shots: long-format,
   schema-annotated tables ready for pandas.
+* **Traffic traces** — the trace-driven workload subsystem
+  (``docs/workloads.md``): canonical :class:`TraceEvent` records with
+  streaming I/O (:func:`write_trace` / :func:`read_trace` /
+  :func:`trace_digest` → :class:`TraceDigest`), deterministic generators
+  (:data:`GENERATORS`, :func:`generate_trace`), trace specs
+  (:func:`open_trace`), and :class:`TraceReplayWorkload`.  Scenario
+  parameters of kind ``"trace"`` accept any trace spec and are
+  digest-addressed in cache keys.
 
 Quick start::
 
@@ -132,6 +140,17 @@ from repro.runner.schema import (
     MetricValidationError,
 )
 from repro.runner.spec import RunSpec, SweepSpec, expand_grid, expand_zip
+from repro.traffic import (
+    GENERATORS,
+    TraceDigest,
+    TraceEvent,
+    TraceReplayWorkload,
+    generate_trace,
+    open_trace,
+    read_trace,
+    trace_digest,
+    write_trace,
+)
 
 __all__ = [
     # params
@@ -202,4 +221,14 @@ __all__ = [
     "export_aggregates",
     "export_runs",
     "runs_long_table",
+    # traffic traces
+    "GENERATORS",
+    "TraceDigest",
+    "TraceEvent",
+    "TraceReplayWorkload",
+    "generate_trace",
+    "open_trace",
+    "read_trace",
+    "trace_digest",
+    "write_trace",
 ]

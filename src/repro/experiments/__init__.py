@@ -15,6 +15,9 @@ The remaining modules build the more specialised scenarios:
 * :mod:`repro.experiments.internet_paths` — Figure 16 / §8.
 * :mod:`repro.experiments.queue_shift` — Figure 2.
 * :mod:`repro.experiments.ablations` — design-choice ablations (no figure).
+* :mod:`repro.experiments.trace_replay` — trace-driven workload scenarios
+  (diurnal load, flash crowds, bursty cross traffic) replayed from
+  :mod:`repro.traffic` specs; beyond the paper's evaluation.
 """
 
 from repro.experiments.scenarios import (
@@ -38,6 +41,7 @@ from repro.experiments.cross_traffic import (
 )
 from repro.experiments.competing_bundles import run_competing_bundles
 from repro.experiments.multipath_sweep import run_multipath_point, run_multipath_sweep, separation_ratio
+from repro.experiments.trace_replay import run_trace_replay
 from repro.experiments.internet_paths import (
     DEFAULT_REGIONS,
     median_latency_reduction,
@@ -67,6 +71,7 @@ __all__ = [
     "run_competing_bundles",
     "run_multipath_point",
     "run_multipath_sweep",
+    "run_trace_replay",
     "separation_ratio",
     "DEFAULT_REGIONS",
     "run_region",

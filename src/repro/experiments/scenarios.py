@@ -193,6 +193,12 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         bundler_pair = install_bundler(topo, _bundler_config(config))
 
     rng = make_rng(derive_seed(config.seed, "workload"))
+    classify = None
+    if config.mode == "bundler_prio":
+        # Each request's traffic class reflects its size, from the first
+        # packet on (pre-trace versions patched the class in after the
+        # flow had started, letting the initial window out as class 0).
+        classify = config.priority_class_for_size or _default_priority_classifier
     workload = RequestWorkload(
         sim,
         topo.packet_factory,
@@ -204,21 +210,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         endhost_cc_factory=_endhost_cc_factory(config),
         max_requests=config.max_requests,
         duration_s=config.duration_s,
+        classify=classify,
     )
-    if config.mode == "bundler_prio":
-        classifier = config.priority_class_for_size or _default_priority_classifier
-        # Wrap request issuing so each flow's traffic class reflects its size.
-        original_issue = workload._issue_request
-
-        def issue_with_class() -> None:
-            original_issue()
-            if workload.flows:
-                flow = workload.flows[-1]
-                flow.traffic_class = classifier(flow.size_bytes or 0)
-                flow.sender.traffic_class = flow.traffic_class
-
-        workload._issue_request = issue_with_class  # type: ignore[assignment]
-
     workload.start()
     # Let flows that started near the end drain: run a little past the
     # workload duration so their completions are recorded.
@@ -454,4 +447,8 @@ register_scenario(
     description="Strict priority at the sendbox: the favored class beats the deprioritized one",
     params=SCENARIO_PARAMS.with_defaults(mode="bundler_prio", duration_s=12.0),
     metrics=POLICY_METRICS,
+    # v2: flows now carry their priority class from the first packet; the
+    # pre-trace implementation let each flow's initial window out as class
+    # 0 before re-classifying it.
+    version=2,
 )(_run_policy_scenario)

@@ -1,0 +1,280 @@
+"""Trace-replay scenarios: arbitrary traffic shapes through the §7.1 site.
+
+The paper's evaluation replays one traffic shape — Poisson arrivals of
+heavy-tailed requests.  This family replays *any* trace (see
+:mod:`repro.traffic`) through the same site-to-site topology and Bundler
+modes, which is what exposes control-loop behavior under arrival patterns
+the original workload never produces: diurnal load swings, flash crowds,
+adversarial bursty cross traffic.
+
+The ``trace`` parameter is a trace *spec* — a generator spec (synthetic,
+regenerated deterministically from ``(spec, seed)`` wherever the cell
+executes), a trace file, or a store digest.  Cache keys are
+digest-addressed: identical trace content yields identical keys regardless
+of where the trace lives (see ``docs/workloads.md``).
+
+Registered scenarios:
+
+``trace_diurnal_load``
+    Markov-modulated arrivals cycling a compressed diurnal profile.
+``trace_flash_crowd``
+    A non-homogeneous Poisson ramp to several times the baseline rate.
+``trace_bursty_cross``
+    The §7.1 request workload plus adversarial on/off paced cross-traffic
+    bursts injected beyond the sendbox.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import BundlerConfig, install_bundler
+from repro.metrics.fct import FctAnalysis
+from repro.net.simulator import Simulator
+from repro.net.topology import build_site_to_site
+from repro.qdisc.sfq import SfqQdisc
+from repro.runner.params import ParamSpec, ParamSpace
+from repro.runner.registry import register_scenario
+from repro.runner.schema import MetricSchema, MetricSpec
+from repro.traffic.replay import TraceReplayWorkload
+from repro.traffic.spec import open_trace
+from repro.transport.proxy import idealized_proxy_window, proxy_buffer_packets
+from repro.util.rng import derive_seed
+from repro.util.units import mbps_to_bps, ms_to_s
+from repro.experiments.scenarios import ALL_MODES, BUNDLER_MODES
+
+
+def run_trace_replay(
+    *,
+    seed: int,
+    trace,
+    mode: str = "bundler_sfq",
+    bottleneck_mbps: float = 12.0,
+    rtt_ms: float = 40.0,
+    duration_s: float = 8.0,
+    warmup_s: float = 1.0,
+    num_servers: int = 4,
+    num_clients: int = 1,
+    num_cross_pairs: int = 0,
+    endhost_cc: str = "cubic",
+    sendbox_cc: str = "copa",
+    enable_nimbus: bool = True,
+) -> Dict[str, object]:
+    """Replay ``trace`` through the site-to-site topology; return metrics.
+
+    ``trace`` is a coerced trace spec (the scenario's ``ParamSpace`` has
+    already canonicalized it).  Synthetic traces are regenerated under
+    ``derive_seed(seed, "traffic")``, so a seed sweep varies the sampled
+    trace exactly like it varies the legacy workload's RNG.
+    """
+    sim = Simulator()
+    bottleneck_qdisc_factory = None
+    if mode == "in_network_sfq":
+        bottleneck_qdisc_factory = lambda: SfqQdisc()
+    topo = build_site_to_site(
+        sim,
+        bottleneck_mbps=bottleneck_mbps,
+        rtt_ms=rtt_ms,
+        num_servers=num_servers,
+        num_clients=num_clients,
+        num_cross_pairs=num_cross_pairs,
+        bottleneck_qdisc_factory=bottleneck_qdisc_factory,
+    )
+
+    if mode in BUNDLER_MODES:
+        kwargs = dict(
+            sendbox_cc=sendbox_cc,
+            scheduler=BUNDLER_MODES[mode],
+            enable_nimbus=enable_nimbus,
+            initial_rate_bps=mbps_to_bps(bottleneck_mbps) / 2.0,
+        )
+        if mode == "proxy":
+            kwargs["sendbox_queue_packets"] = proxy_buffer_packets(
+                mbps_to_bps(bottleneck_mbps), ms_to_s(rtt_ms), num_servers
+            )
+        install_bundler(topo, BundlerConfig(**kwargs))
+
+    endhost_cc_factory = None
+    if mode == "proxy":
+        endhost_cc_factory = lambda: idealized_proxy_window(
+            mbps_to_bps(bottleneck_mbps), ms_to_s(rtt_ms)
+        )
+
+    events = open_trace(trace, seed=derive_seed(seed, "traffic"))
+    workload = TraceReplayWorkload(
+        sim,
+        topo.packet_factory,
+        topo.servers,
+        topo.clients,
+        events=events,
+        endhost_cc=endhost_cc,
+        endhost_cc_factory=endhost_cc_factory,
+        cross_senders=topo.cross_senders,
+        cross_receivers=topo.cross_receivers,
+    )
+    workload.start()
+    # Run past the replay horizon so flows started near the end can drain.
+    sim.run(until=duration_s + 5.0)
+
+    bundle_records = [
+        flow.record()
+        for flow in workload.flows
+        if flow.sender.host in topo.servers
+    ]
+    analysis = FctAnalysis.from_records(
+        bundle_records,
+        rtt_s=ms_to_s(rtt_ms),
+        bottleneck_bps=mbps_to_bps(bottleneck_mbps),
+        warmup_s=warmup_s,
+    )
+    buckets = analysis.by_size_bucket()
+
+    def _maybe(bucket, fn_name: str, *args):
+        return getattr(bucket, fn_name)(*args) if len(bucket) else None
+
+    completed = len([r for r in bundle_records if r.completed])
+    return {
+        "flows_replayed": workload.flows_issued,
+        "streams_replayed": workload.streams_started,
+        "completed": len(analysis),
+        # Bundle flows only, numerator and denominator alike: a trace that
+        # also carries cross-group *flow* events must still read 1.0 when
+        # every measured (bundle) flow completes.
+        "completion_fraction": (
+            completed / len(bundle_records) if bundle_records else 0.0
+        ),
+        "median_slowdown": _maybe(analysis, "median_slowdown"),
+        "p99_slowdown": _maybe(analysis, "percentile_slowdown", 99),
+        "small_median_slowdown": _maybe(buckets["<=10KB"], "median_slowdown"),
+        "large_median_slowdown": _maybe(buckets[">1MB"], "median_slowdown"),
+        "bottleneck_drops": sum(l.packets_dropped for l in topo.bottleneck_links),
+        "sendbox_drops": topo.sendbox_link.packets_dropped,
+    }
+
+
+#: Shared knob set of the trace-replay family.  Each registration swaps the
+#: ``trace`` default (and topology knobs) via :meth:`ParamSpace.with_defaults`.
+TRACE_REPLAY_PARAMS = ParamSpace(
+    ParamSpec("trace", kind="trace",
+              default={"generator": "diurnal"},
+              description="trace spec: generator, file path, or store digest "
+                          "(digest-addressed in cache keys)"),
+    ParamSpec("mode", kind="str", default="bundler_sfq", choices=ALL_MODES,
+              description="who controls queueing, and with which scheduler"),
+    ParamSpec("bottleneck_mbps", kind="float", default=12.0, unit="Mbit/s", minimum=1.0,
+              description="bottleneck link rate"),
+    ParamSpec("rtt_ms", kind="float", default=40.0, unit="ms", minimum=1.0,
+              description="base round-trip time of the site-to-site path"),
+    ParamSpec("duration_s", kind="float", default=8.0, unit="s", minimum=1.0,
+              description="replay horizon fed to the FCT analysis and drain"),
+    ParamSpec("warmup_s", kind="float", default=1.0, unit="s", minimum=0.0,
+              description="leading interval excluded from FCT analysis"),
+    ParamSpec("num_servers", kind="int", default=4, unit="count", minimum=1,
+              description="bundled endhosts behind the sendbox"),
+    ParamSpec("num_clients", kind="int", default=1, unit="count", minimum=1,
+              description="receiving endhosts behind the receivebox"),
+    ParamSpec("num_cross_pairs", kind="int", default=0, unit="count", minimum=0,
+              description="cross-traffic host pairs beyond the sendbox "
+                          "(required by traces with 'cross' events)"),
+    ParamSpec("endhost_cc", kind="str", default="cubic",
+              choices=("cubic", "reno", "vegas", "bbr", "constant"),
+              description="endhost window congestion controller"),
+    ParamSpec("sendbox_cc", kind="str", default="copa",
+              choices=("copa", "basic_delay", "bbr", "constant"),
+              description="bundle-level rate congestion controller"),
+    ParamSpec("enable_nimbus", kind="bool", default=True,
+              description="enable Nimbus cross-traffic elasticity detection"),
+)
+
+#: What every trace-replay scenario reports (bundle flows only — cross
+#: traffic is load, not the measured workload).
+TRACE_REPLAY_METRICS = MetricSchema(
+    MetricSpec("flows_replayed", unit="count", direction="info",
+               description="flow events issued from the trace"),
+    MetricSpec("streams_replayed", unit="count", direction="info",
+               description="paced-stream events issued from the trace"),
+    MetricSpec("completed", unit="count", direction="higher",
+               description="post-warm-up bundle flows that completed"),
+    MetricSpec("completion_fraction", unit="fraction", direction="higher",
+               description="completed bundle flows / issued bundle flows"),
+    MetricSpec("median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median FCT slowdown of bundle flows"),
+    MetricSpec("p99_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="99th-percentile FCT slowdown"),
+    MetricSpec("small_median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median slowdown of <=10KB flows"),
+    MetricSpec("large_median_slowdown", unit="ratio", direction="lower", nullable=True,
+               description="median slowdown of >1MB flows"),
+    MetricSpec("bottleneck_drops", unit="packets", direction="lower",
+               description="packets dropped at the bottleneck"),
+    MetricSpec("sendbox_drops", unit="packets", direction="info",
+               description="packets dropped at the sendbox (where drops should move)"),
+)
+
+
+def _run_registered_trace_replay(*, seed: int, **params) -> Dict[str, object]:
+    return run_trace_replay(seed=seed, **params)
+
+
+register_scenario(
+    "trace_diurnal_load",
+    figure="beyond the paper (workload family)",
+    description="Diurnal (Markov-modulated) request load replayed through the site",
+    params=TRACE_REPLAY_PARAMS.with_defaults(
+        trace={"generator": "diurnal", "params": {
+            # ~7.5 Mbit/s mean offered load against the 12 Mbit/s default
+            # bottleneck; the 1.7x peak phase briefly exceeds capacity.
+            "base_rate_per_s": 300.0,
+            "period_s": 4.0,
+            "profile": [0.4, 1.0, 1.7, 1.0],
+            "horizon_s": 8.0,
+            "num_src": 4,
+        }},
+    ),
+    metrics=TRACE_REPLAY_METRICS,
+)(_run_registered_trace_replay)
+
+register_scenario(
+    "trace_flash_crowd",
+    figure="beyond the paper (workload family)",
+    description="Flash-crowd arrival ramp: baseline to a multiple of the baseline and back",
+    params=TRACE_REPLAY_PARAMS.with_defaults(
+        trace={"generator": "flash_crowd", "params": {
+            # ~3.7 Mbit/s baseline; the 4x crowd peaks at ~125% of the
+            # 12 Mbit/s default bottleneck for the hold interval.
+            "base_rate_per_s": 150.0,
+            "peak_multiplier": 4.0,
+            "start_s": 2.0,
+            "ramp_s": 1.0,
+            "hold_s": 2.0,
+            "decay_s": 1.0,
+            "horizon_s": 8.0,
+            "num_src": 4,
+        }},
+    ),
+    metrics=TRACE_REPLAY_METRICS,
+)(_run_registered_trace_replay)
+
+register_scenario(
+    "trace_bursty_cross",
+    figure="beyond the paper (workload family)",
+    description="Request workload with adversarial on/off paced cross-traffic bursts",
+    params=TRACE_REPLAY_PARAMS.with_defaults(
+        trace={"generator": "mix", "params": {"components": [
+            {"generator": "requests", "params": {
+                "offered_load_bps": 7_000_000.0,
+                "horizon_s": 8.0,
+                "num_src": 4,
+            }},
+            {"generator": "onoff", "params": {
+                "rate_bps": 5_000_000.0,
+                "mean_on_s": 0.4,
+                "mean_off_s": 0.6,
+                "horizon_s": 8.0,
+                "group": "cross",
+            }},
+        ]}},
+        num_cross_pairs=1,
+    ),
+    metrics=TRACE_REPLAY_METRICS,
+)(_run_registered_trace_replay)

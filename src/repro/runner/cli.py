@@ -26,7 +26,19 @@ Subcommands:
     ``jsonl`` ready for pandas with no hand-editing.
 ``gc``
     Evict cached records whose scenario version is stale (and, with
-    ``--max-age-days``, records older than a cutoff), updating the manifest.
+    ``--max-age-days``, records older than a cutoff), updating the
+    manifest; orphaned generated-trace artifacts under ``<cache>/traces/``
+    — traces no surviving record references — are swept in the same pass.
+``trace``
+    Work with canonical traffic traces (see ``docs/workloads.md``):
+    ``generate`` renders a generator spec to a trace file (or the
+    content-addressed store), ``inspect`` streams a trace and prints its
+    digest and summary without ever materializing it, ``validate`` checks
+    record schema and time-ordering, exiting non-zero on a bad file.
+``workers``
+    Distributed-fleet helpers: ``doctor --hosts ...`` probes every host's
+    transport (hello handshake, ping round-trip, python/scenario report)
+    before a long sweep, exiting non-zero on unhealthy hosts.
 
 Parameter values given as ``-p key=value`` / ``-g key=v1,v2`` are parsed
 as JSON-ish literals and then *coerced through the scenario's typed
@@ -39,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -205,7 +218,36 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The trace-store value this process's CLI invocations exported, so a
+#: later invocation (tests drive ``main`` in-process) can tell its own
+#: earlier export apart from a user-provided override.
+_trace_store_exported: Optional[str] = None
+
+
+def _point_trace_store_at_cache(args: argparse.Namespace) -> None:
+    """Resolve digest-only trace specs against this invocation's cache dir.
+
+    Scenario code reads the store through ``trace_store_dir()`` (it never
+    sees ``--cache-dir``), so align the environment override with the
+    cache the user selected — otherwise ``trace generate --store`` under a
+    custom cache dir would write where no sweep looks.  An explicit
+    user-set ``REPRO_TRACE_STORE`` still wins; local worker subprocesses
+    inherit the setting, remote SSH workers need it in their
+    ``remote_env``.
+    """
+    global _trace_store_exported
+    from repro.traffic.format import TRACE_STORE_ENV, trace_store_dir
+
+    current = os.environ.get(TRACE_STORE_ENV)
+    if current is not None and current != _trace_store_exported:
+        return  # the user's own override outranks --cache-dir
+    value = trace_store_dir(args.cache_dir)
+    os.environ[TRACE_STORE_ENV] = value
+    _trace_store_exported = value
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _point_trace_store_at_cache(args)
     registry = load_builtin_scenarios()
     spec = RunSpec(scenario=args.scenario, params=_parse_params(args.param), seed=args.seed)
     outcome = run_sweep(
@@ -267,6 +309,7 @@ def _load_sweep_spec(args: argparse.Namespace) -> SweepSpec:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    _point_trace_store_at_cache(args)
     registry = load_builtin_scenarios()
     sweep = _load_sweep_spec(args)
     specs = sweep.expand()
@@ -357,11 +400,128 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_spec_from_args(args: argparse.Namespace) -> Dict[str, Any]:
+    if args.spec and (args.generator or args.param):
+        raise SystemExit("--spec defines the whole generator; drop --generator/-p")
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    if not args.generator:
+        raise SystemExit("trace generate needs --generator NAME or --spec FILE")
+    return {"generator": args.generator, "params": _parse_params(args.param)}
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    from repro.traffic.format import TraceWriter, store_trace_path, trace_store_dir
+    from repro.traffic.generators import coerce_generator_spec, generate_trace
+
+    spec = coerce_generator_spec(_trace_spec_from_args(args))
+    if bool(args.out) == bool(args.store):
+        raise SystemExit("trace generate needs exactly one of --out PATH or --store")
+    path = args.out
+    if args.store:
+        # Content-addressed names need the digest, which needs the events:
+        # write to a temp name in the store dir, then rename into place.
+        import tempfile
+
+        store_dir = trace_store_dir(args.cache_dir)
+        os.makedirs(store_dir, exist_ok=True)
+        fd, path = tempfile.mkstemp(dir=store_dir, suffix=".jsonl.gz")
+        os.close(fd)
+    meta = {"spec": spec, "seed": args.seed}
+    try:
+        with TraceWriter(path, meta=meta) as writer:
+            for event in generate_trace(spec, args.seed):
+                writer.write(event)
+    except BaseException:
+        # Never leave a truncated trace behind — a partial file would still
+        # digest as a valid (shorter) trace.
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        raise
+    digest = writer.digest
+    if args.store:
+        final = store_trace_path(digest.id, args.cache_dir)
+        os.replace(path, final)
+        path = final
+    print(f"wrote {path}")
+    table = Table(["property", "value"])
+    for row in digest.summary_rows():
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    from repro.traffic.format import trace_digest
+
+    # Streams the file record by record — constant memory however many
+    # million flows the trace holds (pinned by tests/test_trace_cli.py).
+    digest = trace_digest(args.path)
+    table = Table(["property", "value"], title=f"trace {args.path}")
+    for row in digest.summary_rows():
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    from repro.traffic.format import validate_trace
+
+    digest, errors = validate_trace(args.path, max_errors=args.max_errors)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(f"{args.path}: INVALID ({len(errors)} problem(s) shown)")
+        return 1
+    assert digest is not None
+    print(f"{args.path}: valid trace, {digest.events} event(s), digest {digest.id}")
+    return 0
+
+
+def _cmd_workers_doctor(args: argparse.Namespace) -> int:
+    from repro.runner.doctor import probe_hosts
+
+    if not args.hosts:
+        raise SystemExit("workers doctor needs --hosts HOST[:SLOTS],...")
+    report = probe_hosts(
+        args.hosts,
+        hello_timeout_s=args.hello_timeout,
+        ping_timeout_s=args.ping_timeout,
+    )
+    table = Table(
+        ["host", "slots", "status", "python", "scenarios", "hello", "ping"],
+        title="workers doctor",
+    )
+    for health in report.hosts:
+        table.add_row(
+            health.host,
+            health.slots,
+            "ok" if health.healthy else f"UNHEALTHY [{health.failure}]",
+            health.python or "-",
+            health.scenarios if health.scenarios is not None else "-",
+            f"{health.hello_s:.2f}s" if health.hello_s is not None else "-",
+            f"{health.ping_rtt_s * 1000.0:.1f}ms" if health.ping_rtt_s is not None else "-",
+        )
+    print(table.render())
+    for health in report.unhealthy_hosts:
+        print(f"{health.host}: {health.error}", file=sys.stderr)
+    print(report.summary())
+    return 0 if report.healthy else 1
+
+
 def _cmd_gc(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     registry = None if args.keep_stale_versions else load_builtin_scenarios()
     max_age_s = args.max_age_days * 86400.0 if args.max_age_days is not None else None
-    stats = cache.gc(registry=registry, max_age_s=max_age_s, dry_run=args.dry_run)
+    stats = cache.gc(
+        registry=registry,
+        max_age_s=max_age_s,
+        dry_run=args.dry_run,
+        trace_grace_s=args.trace_grace_days * 86400.0,
+    )
     prefix = "gc (dry run): " if args.dry_run else "gc: "
     print(f"{prefix}{stats.summary()} in {cache.root!r}")
     return 0
@@ -450,6 +610,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.set_defaults(fn=_cmd_report)
 
+    p_trace = sub.add_parser(
+        "trace", help="generate, inspect, and validate traffic traces", parents=[common]
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_generate = trace_sub.add_parser(
+        "generate", help="render a generator spec to a trace file", parents=[common]
+    )
+    p_generate.add_argument("--generator", help="generator name (see docs/workloads.md)")
+    p_generate.add_argument(
+        "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="generator parameter override (repeatable)",
+    )
+    p_generate.add_argument("--spec", help="JSON generator-spec file (instead of --generator)")
+    p_generate.add_argument("--seed", type=int, default=1, help="generation seed (default: 1)")
+    p_generate.add_argument(
+        "-o", "--out", metavar="PATH",
+        help="output trace path (.jsonl or .jsonl.gz)",
+    )
+    p_generate.add_argument(
+        "--store", action="store_true",
+        help="write into the content-addressed trace store "
+             "(<cache>/traces/<digest>.jsonl.gz) instead of --out",
+    )
+    p_generate.set_defaults(fn=_cmd_trace_generate)
+
+    p_inspect = trace_sub.add_parser(
+        "inspect", help="stream a trace and print its digest and summary", parents=[common]
+    )
+    p_inspect.add_argument("path", help="trace file (.jsonl or .jsonl.gz)")
+    p_inspect.set_defaults(fn=_cmd_trace_inspect)
+
+    p_validate = trace_sub.add_parser(
+        "validate", help="check a trace file; non-zero exit when invalid", parents=[common]
+    )
+    p_validate.add_argument("path", help="trace file (.jsonl or .jsonl.gz)")
+    p_validate.add_argument(
+        "--max-errors", type=int, default=20, metavar="N",
+        help="stop after reporting N problems (default: 20)",
+    )
+    p_validate.set_defaults(fn=_cmd_trace_validate)
+
+    p_workers = sub.add_parser(
+        "workers", help="distributed worker-fleet helpers", parents=[common]
+    )
+    workers_sub = p_workers.add_subparsers(dest="workers_command", required=True)
+    p_doctor = workers_sub.add_parser(
+        "doctor",
+        help="probe --hosts health (handshake, ping, python) before a sweep",
+        parents=[common],
+    )
+    p_doctor.add_argument(
+        "--hosts", required=True, metavar="HOST[:SLOTS],...",
+        help="hosts to probe, same syntax as sweep --hosts",
+    )
+    p_doctor.add_argument(
+        "--hello-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="max wait for a worker's hello handshake (default: 30)",
+    )
+    p_doctor.add_argument(
+        "--ping-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="max wait for a ping round-trip (default: 10)",
+    )
+    p_doctor.set_defaults(fn=_cmd_workers_doctor)
+
     p_gc = sub.add_parser("gc", help="evict stale cached results", parents=[common])
     p_gc.add_argument(
         "--max-age-days", type=float, default=None, metavar="DAYS",
@@ -458,6 +683,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_gc.add_argument(
         "--keep-stale-versions", action="store_true",
         help="skip the default eviction of records with outdated scenario versions",
+    )
+    p_gc.add_argument(
+        "--trace-grace-days", type=float, default=1.0, metavar="DAYS",
+        help="keep unreferenced stored traces younger than this many days "
+             "(default: 1; 0 evicts every orphan immediately)",
     )
     p_gc.add_argument(
         "--dry-run", action="store_true",

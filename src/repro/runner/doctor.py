@@ -1,0 +1,245 @@
+"""``repro-runner workers doctor`` — probe hosts before a distributed sweep.
+
+A long sweep dispatched to a half-configured fleet fails slowly: the
+scheduler quarantines the broken hosts one hello-timeout at a time while
+the healthy ones shoulder the whole grid.  The doctor front-loads that
+discovery.  For each ``--hosts`` entry it launches one worker through the
+same transport the sweep would use and checks, in order:
+
+1. **hello handshake** — the worker starts, imports the experiment
+   modules, and speaks the expected
+   :data:`~repro.runner.wire.PROTOCOL_VERSION`;
+2. **heartbeat round-trip** — a ``ping`` comes back as ``pong``, with the
+   measured round-trip time;
+3. **environment report** — the worker's Python version, pid, reported
+   hostname, and registered-scenario count (a worker seeing fewer
+   scenarios than the scheduler would cache-miss every cell it runs).
+
+Probing is parallel (one thread per host) and side-effect free: the probe
+worker is shut down as soon as the checks finish.  Any unhealthy host
+makes the CLI exit non-zero, so the doctor can gate CI jobs and scripted
+sweeps.
+"""
+
+from __future__ import annotations
+
+import queue
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.runner.distributed import (
+    HostSpec,
+    LocalSubprocessTransport,
+    SSHTransport,
+    WorkerTransport,
+    parse_hosts,
+)
+from repro.runner.wire import PROTOCOL_VERSION, WireError, read_message, write_message
+
+
+@dataclass
+class HostHealth:
+    """Outcome of probing one host."""
+
+    host: str
+    slots: int = 1
+    healthy: bool = False
+    #: Which check failed (empty when healthy): "launch", "hello",
+    #: "protocol", "ping".
+    failure: str = ""
+    error: str = ""
+    protocol: Optional[int] = None
+    python: str = ""
+    pid: Optional[int] = None
+    reported_host: str = ""
+    scenarios: Optional[int] = None
+    hello_s: Optional[float] = None
+    ping_rtt_s: Optional[float] = None
+
+    def describe(self) -> str:
+        if self.healthy:
+            rtt = f"{self.ping_rtt_s * 1000.0:.1f}ms" if self.ping_rtt_s is not None else "-"
+            return (
+                f"ok (python {self.python or '?'}, {self.scenarios} scenarios, "
+                f"hello {self.hello_s:.2f}s, ping {rtt})"
+            )
+        return f"UNHEALTHY [{self.failure}]: {self.error}"
+
+
+def _read_with_deadline(proc: subprocess.Popen, deadline: float):
+    """Read one frame, or raise ``TimeoutError`` when the deadline passes.
+
+    Pipe reads cannot be interrupted portably, so the read runs on a
+    daemon thread; on timeout the process is killed, which also unblocks
+    the reader.
+    """
+    inbox: "queue.Queue" = queue.Queue()
+
+    def reader() -> None:
+        try:
+            inbox.put(("message", read_message(proc.stdout)))
+        except WireError as exc:
+            inbox.put(("error", exc))
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    remaining = deadline - time.monotonic()
+    try:
+        kind, value = inbox.get(timeout=max(remaining, 0.0))
+    except queue.Empty:
+        raise TimeoutError("no frame before the deadline") from None
+    if kind == "error":
+        raise value
+    return value
+
+
+def probe_host(
+    host: HostSpec,
+    transport: WorkerTransport,
+    *,
+    hello_timeout_s: float = 30.0,
+    ping_timeout_s: float = 10.0,
+) -> HostHealth:
+    """Run the doctor's checks against one host (see the module docstring)."""
+    health = HostHealth(host=host.host, slots=host.slots)
+    started = time.monotonic()
+    try:
+        proc = transport.launch(host, heartbeat_s=0.0)
+    except OSError as exc:
+        health.failure, health.error = "launch", f"could not launch worker: {exc}"
+        return health
+    try:
+        # -- hello ----------------------------------------------------------
+        deadline = started + hello_timeout_s
+        while True:
+            try:
+                message = _read_with_deadline(proc, deadline)
+            except TimeoutError:
+                health.failure = "hello"
+                health.error = f"no hello within {hello_timeout_s:.0f}s"
+                return health
+            except WireError as exc:
+                health.failure, health.error = "hello", f"wire error: {exc}"
+                return health
+            if message is None:
+                code = proc.poll()
+                health.failure = "hello"
+                health.error = f"worker exited before hello (code {code})"
+                return health
+            if message.get("type") == "hello":
+                break
+            # Tolerate stray heartbeats from eager workers.
+        health.hello_s = time.monotonic() - started
+        health.protocol = message.get("protocol")
+        health.python = str(message.get("python", ""))
+        health.pid = message.get("pid")
+        health.reported_host = str(message.get("host", ""))
+        health.scenarios = message.get("scenarios")
+        if health.protocol != PROTOCOL_VERSION:
+            health.failure = "protocol"
+            health.error = (
+                f"protocol mismatch: worker speaks {health.protocol!r}, "
+                f"this scheduler speaks {PROTOCOL_VERSION}"
+            )
+            return health
+        # -- ping round-trip ------------------------------------------------
+        ping_at = time.monotonic()
+        try:
+            write_message(proc.stdin, {"type": "ping"})
+        except (OSError, ValueError) as exc:
+            health.failure, health.error = "ping", f"could not send ping: {exc}"
+            return health
+        deadline = ping_at + ping_timeout_s
+        while True:
+            try:
+                message = _read_with_deadline(proc, deadline)
+            except TimeoutError:
+                health.failure = "ping"
+                health.error = f"no pong within {ping_timeout_s:.0f}s"
+                return health
+            except WireError as exc:
+                health.failure, health.error = "ping", f"wire error: {exc}"
+                return health
+            if message is None:
+                health.failure, health.error = "ping", "worker hung up before pong"
+                return health
+            if message.get("type") == "pong":
+                break
+        health.ping_rtt_s = time.monotonic() - ping_at
+        health.healthy = True
+        return health
+    finally:
+        try:
+            write_message(proc.stdin, {"type": "shutdown"})
+            proc.stdin.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+@dataclass
+class DoctorReport:
+    """All probed hosts, with the overall verdict."""
+
+    hosts: List[HostHealth] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return bool(self.hosts) and all(h.healthy for h in self.hosts)
+
+    @property
+    def unhealthy_hosts(self) -> List[HostHealth]:
+        return [h for h in self.hosts if not h.healthy]
+
+    def summary(self) -> str:
+        bad = len(self.unhealthy_hosts)
+        total = len(self.hosts)
+        if bad == 0:
+            return f"all {total} host(s) healthy"
+        return f"{bad} of {total} host(s) unhealthy"
+
+
+def probe_hosts(
+    hosts: Union[str, Sequence[HostSpec]],
+    transport: Optional[WorkerTransport] = None,
+    *,
+    hello_timeout_s: float = 30.0,
+    ping_timeout_s: float = 10.0,
+) -> DoctorReport:
+    """Probe every host in parallel; transport defaults like the sweep's.
+
+    One probe worker per *host* (not per slot — the checks are about the
+    host's environment, which its slots share).
+    """
+    specs = parse_hosts(hosts)
+    if transport is None:
+        transport = (
+            LocalSubprocessTransport()
+            if all(h.is_local for h in specs)
+            else SSHTransport()
+        )
+    results: Dict[int, HostHealth] = {}
+
+    def probe(index: int, spec: HostSpec) -> None:
+        results[index] = probe_host(
+            spec,
+            transport,
+            hello_timeout_s=hello_timeout_s,
+            ping_timeout_s=ping_timeout_s,
+        )
+
+    threads = [
+        threading.Thread(target=probe, args=(index, spec), daemon=True)
+        for index, spec in enumerate(specs)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return DoctorReport(hosts=[results[i] for i in range(len(specs))])

@@ -150,7 +150,14 @@ def resolve_cell(
     scenario = registry.get(spec.scenario)
     spec = _normalize_spec(spec, scenario)
     params = scenario.resolve_params(spec.params)
-    key = run_key(spec.scenario, params, spec.seed, version=scenario.version)
+    # The key hashes the params' *cache view*: identity for ordinary kinds,
+    # digest-only for trace specs (a file-backed trace is keyed by content,
+    # so two paths to identical bytes share one cell and an edited file
+    # mints a new one).
+    key = run_key(
+        spec.scenario, scenario.params.cache_view(params), spec.seed,
+        version=scenario.version,
+    )
     return spec, params, key
 
 

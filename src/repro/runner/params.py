@@ -25,7 +25,10 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from repro.util.canonical import canonicalize
 
-#: Parameter kinds a :class:`ParamSpec` may declare.
+#: Parameter kinds a :class:`ParamSpec` may declare.  ``trace`` is a trace
+#: spec (generator / file / digest — see :mod:`repro.traffic.spec`): it
+#: coerces through the traffic subsystem and is *digest-addressed* in cache
+#: keys (a file-backed trace is keyed by content, never by path).
 PARAM_KINDS = (
     "int",
     "float",
@@ -35,6 +38,7 @@ PARAM_KINDS = (
     "list[float]",
     "list[str]",
     "json",
+    "trace",
 )
 
 
@@ -177,6 +181,16 @@ class ParamSpec:
                 raise _reject(self.name, value, self.kind)
             element = _ELEMENT_COERCERS[self.kind[5:-1]]
             coerced = [element(self.name, v) for v in value]
+        elif self.kind == "trace":
+            # Imported at call time: the traffic subsystem sits below the
+            # runner in the layering, and only trace-kind specs need it.
+            from repro.traffic.spec import coerce_trace_spec
+            from repro.traffic.generators import TraceSpecError
+
+            try:
+                coerced = coerce_trace_spec(value)
+            except TraceSpecError as exc:
+                raise ParamValidationError(f"parameter {self.name!r}: {exc}") from None
         else:  # "json"
             coerced = value  # the shared canonicalize below does the work
         try:
@@ -204,6 +218,19 @@ class ParamSpec:
             except ValueError as exc:
                 raise ParamValidationError(f"parameter {self.name!r}: {exc}") from None
         return coerced
+
+    def cache_view(self, value: Any) -> Any:
+        """The cache-key projection of an already-coerced value.
+
+        Identity for every kind except ``trace``, where file-backed specs
+        collapse to their content digest — so a run's key depends on what
+        the trace *is*, never on where its file happens to live.
+        """
+        if self.kind != "trace":
+            return value
+        from repro.traffic.spec import trace_cache_view
+
+        return trace_cache_view(value)
 
     def describe(self) -> str:
         """Compact one-line rendering for CLI knob tables."""
@@ -324,6 +351,18 @@ class ParamSpace:
             except ParamValidationError as exc:
                 raise ParamValidationError(f"{exc}{suffix}") from None
         return canonicalize(resolved)
+
+    def cache_view(self, resolved: Mapping[str, Any]) -> Dict[str, Any]:
+        """Project resolved params into their cache-key form.
+
+        Applies each spec's :meth:`ParamSpec.cache_view`; values without a
+        declared spec (none today — ``resolve`` rejects unknown keys) pass
+        through unchanged.
+        """
+        return {
+            name: (self._specs[name].cache_view(value) if name in self._specs else value)
+            for name, value in resolved.items()
+        }
 
     def describe_rows(self) -> List[Tuple[str, str, str, str]]:
         """``(name, type, default, description)`` rows for the CLI table."""

@@ -7,7 +7,7 @@ execution slot (directly via :class:`LocalSubprocessTransport`, or through
 protocol of :mod:`repro.runner.wire` over stdin/stdout:
 
 * on startup it sends ``{"type": "hello", "protocol": ..., "pid": ...,
-  "host": ..., "scenarios": N}`` after re-importing
+  "host": ..., "python": ..., "scenarios": N}`` after re-importing
   :mod:`repro.experiments` (the registry travels as *code*, never as
   pickled state);
 * for each ``{"type": "work", "item": {...}}`` it resolves the scenario,
@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import platform
 import socket
 import sys
 import threading
@@ -122,6 +123,9 @@ def serve(stdin: BinaryIO, stdout: BinaryIO, *, heartbeat_s: float = 0.0) -> int
             "protocol": PROTOCOL_VERSION,
             "pid": os.getpid(),
             "host": socket.gethostname(),
+            # Additive field (old schedulers ignore it): lets `workers
+            # doctor` report each host's interpreter at a glance.
+            "python": platform.python_version(),
             "scenarios": len(registry),
         }
     )

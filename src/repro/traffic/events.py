@@ -1,0 +1,173 @@
+"""The canonical trace record: one event per flow or stream.
+
+A *trace* is an ordered sequence of :class:`TraceEvent` records, each
+describing one unit of offered traffic:
+
+* ``kind="flow"`` — a request/response transfer of ``size_bytes`` issued at
+  ``time_s`` (replayed as a TCP flow);
+* ``kind="stream"`` — an application-limited paced stream of ``rate_bps``
+  lasting ``duration_s`` (replayed as a paced UDP stream — the
+  "non-buffer-filling" cross traffic of §7.3).
+
+``src``/``dst`` are indices into the replaying topology's host pools (the
+replay maps them modulo the pool size, so a trace written against 16
+servers still replays on 4), ``group`` selects the pool pair ("bundle" =
+servers→clients through the sendbox, "cross" = cross-traffic hosts beyond
+it), and ``traffic_class`` feeds class-aware qdiscs.
+
+Every event has exactly one **canonical record** form (:meth:`to_record`):
+compact field names, sorted keys, default-valued fields omitted, floats
+canonicalized via :func:`repro.util.canonical.canonicalize`.  The trace
+digest hashes canonical records, so two spellings of the same event — or
+the same trace stored plain vs gzipped — can never produce different
+digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.util.canonical import canonical_json
+
+#: Version of the on-disk trace layout (the header's ``format`` field).
+TRACE_FORMAT = 1
+
+#: The ``type`` tag of a trace file's header line.
+TRACE_HEADER_TYPE = "repro-trace"
+
+#: Event kinds a trace may contain.
+EVENT_KINDS = ("flow", "stream")
+
+#: Host-pool groups the replay understands.
+EVENT_GROUPS = ("bundle", "cross")
+
+#: Record keys of the canonical form (compact on purpose: a million-flow
+#: trace is a million of these lines).
+_RECORD_KEYS = frozenset({"t", "kind", "size", "rate", "dur", "cls", "src", "dst", "group"})
+
+
+class TraceFormatError(ValueError):
+    """A malformed trace record, header, or file."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One canonical trace record (see the module docstring)."""
+
+    time_s: float
+    kind: str = "flow"
+    size_bytes: Optional[int] = None
+    rate_bps: Optional[float] = None
+    duration_s: Optional[float] = None
+    traffic_class: int = 0
+    src: int = 0
+    dst: int = 0
+    group: str = "bundle"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time_s, (int, float)) or isinstance(self.time_s, bool):
+            raise TraceFormatError(f"event time must be a number, got {self.time_s!r}")
+        if self.time_s < 0:
+            raise TraceFormatError(f"event time must be >= 0, got {self.time_s!r}")
+        if self.kind not in EVENT_KINDS:
+            raise TraceFormatError(
+                f"unknown event kind {self.kind!r}; expected one of {EVENT_KINDS}"
+            )
+        if self.kind == "flow":
+            if not isinstance(self.size_bytes, int) or self.size_bytes < 1:
+                raise TraceFormatError(
+                    f"flow event needs size_bytes >= 1, got {self.size_bytes!r}"
+                )
+            if self.rate_bps is not None or self.duration_s is not None:
+                raise TraceFormatError("flow events carry size_bytes, not rate/duration")
+        else:  # stream
+            if self.size_bytes is not None:
+                raise TraceFormatError("stream events carry rate/duration, not size_bytes")
+            if not isinstance(self.rate_bps, (int, float)) or self.rate_bps <= 0:
+                raise TraceFormatError(
+                    f"stream event needs rate_bps > 0, got {self.rate_bps!r}"
+                )
+            if not isinstance(self.duration_s, (int, float)) or self.duration_s <= 0:
+                raise TraceFormatError(
+                    f"stream event needs duration_s > 0, got {self.duration_s!r}"
+                )
+        for name, value in (("traffic_class", self.traffic_class),
+                            ("src", self.src), ("dst", self.dst)):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise TraceFormatError(f"event {name} must be an int >= 0, got {value!r}")
+        if self.group not in EVENT_GROUPS:
+            raise TraceFormatError(
+                f"unknown event group {self.group!r}; expected one of {EVENT_GROUPS}"
+            )
+
+    def to_record(self) -> Dict[str, Any]:
+        """The canonical (compact, defaults-omitted) record form."""
+        record: Dict[str, Any] = {"t": self.time_s, "kind": self.kind}
+        if self.kind == "flow":
+            record["size"] = self.size_bytes
+        else:
+            record["rate"] = self.rate_bps
+            record["dur"] = self.duration_s
+        if self.traffic_class != 0:
+            record["cls"] = self.traffic_class
+        if self.src != 0:
+            record["src"] = self.src
+        if self.dst != 0:
+            record["dst"] = self.dst
+        if self.group != "bundle":
+            record["group"] = self.group
+        return record
+
+    def canonical(self) -> str:
+        """Canonical JSON line of this event — what the trace digest hashes."""
+        return canonical_json(self.to_record())
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any], *, index: Optional[int] = None) -> "TraceEvent":
+        """Parse one record dict; raises :class:`TraceFormatError` when invalid."""
+        where = f" (record {index})" if index is not None else ""
+        if not isinstance(record, Mapping):
+            raise TraceFormatError(f"trace record must be an object{where}, got {record!r}")
+        unknown = sorted(set(record) - _RECORD_KEYS)
+        if unknown:
+            raise TraceFormatError(f"unknown trace record key(s) {unknown}{where}")
+        if "t" not in record:
+            raise TraceFormatError(f"trace record has no time 't'{where}")
+
+        def _as_int(value: Any) -> Any:
+            # JSON writers may spell integers as 5000.0; the canonical form
+            # is the int, so collapse integral floats before validating.
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            return value
+
+        try:
+            return cls(
+                time_s=float(record["t"]),
+                kind=record.get("kind", "flow"),
+                size_bytes=_as_int(record.get("size")),
+                rate_bps=(None if record.get("rate") is None else float(record["rate"])),
+                duration_s=(None if record.get("dur") is None else float(record["dur"])),
+                traffic_class=_as_int(record.get("cls", 0)),
+                src=_as_int(record.get("src", 0)),
+                dst=_as_int(record.get("dst", 0)),
+                group=record.get("group", "bundle"),
+            )
+        except TraceFormatError as exc:
+            raise TraceFormatError(f"{exc}{where}") from None
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(f"bad trace record{where}: {exc}") from None
+
+
+def header_record(meta: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """The header line every trace file starts with.
+
+    The header identifies the file and carries free-form generator metadata;
+    it is **excluded from the digest**, so annotating a trace (or stripping
+    its metadata) never changes its content identity.
+    """
+    record: Dict[str, Any] = {"type": TRACE_HEADER_TYPE, "format": TRACE_FORMAT}
+    if meta:
+        record["meta"] = dict(meta)
+    return record

@@ -1,0 +1,203 @@
+"""Replaying a trace through the simulator.
+
+:class:`TraceReplayWorkload` drives the existing transport stack from any
+time-ordered :class:`~repro.traffic.events.TraceEvent` stream: ``flow``
+events become TCP transfers (exactly what ``RequestWorkload`` issues),
+``stream`` events become paced UDP streams.  The stream is consumed
+**lazily, one event ahead** — the next event is pulled only inside the
+previous event's callback — so replaying a million-flow trace holds O(1)
+events in memory and, just as importantly, preserves the RNG draw order of
+generator-backed streams (draws happen at the same points of the event
+loop the pre-trace workload made them, which keeps legacy runs
+byte-for-byte reproducible; see ``repro.workload.generators``).
+
+Host mapping: ``group="bundle"`` events run between the ``servers`` and
+``clients`` pools (through the sendbox), ``group="cross"`` events between
+``cross_senders`` and ``cross_receivers`` (beyond it); ``src``/``dst``
+index the pools modulo their size, so a trace recorded against a wider
+site still replays on a narrow one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.cc import make_window_cc
+from repro.net.node import Host
+from repro.net.packet import PacketFactory
+from repro.net.simulator import Simulator
+from repro.traffic.events import TraceEvent, TraceFormatError
+from repro.transport.flow import FlowRecord, TcpFlow
+from repro.transport.udp import PacedUdpStream
+
+#: A replay source: an event iterable (times are trace-relative, offset by
+#: the start time), or a factory called with the start time that yields
+#: events at *absolute* simulated times (what RequestWorkload uses to keep
+#: float arithmetic identical to its pre-trace implementation).
+EventSource = Union[Iterable[TraceEvent], Callable[[float], Iterable[TraceEvent]]]
+
+
+class TraceReplayWorkload:
+    """Drive the simulator from a trace (see the module docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        servers: Sequence[Host],
+        clients: Sequence[Host],
+        *,
+        events: EventSource,
+        endhost_cc: str = "cubic",
+        endhost_cc_factory: Optional[Callable[[], object]] = None,
+        cross_senders: Sequence[Host] = (),
+        cross_receivers: Sequence[Host] = (),
+        classify: Optional[Callable[[int], int]] = None,
+        mss: int = 1500,
+        stream_packet_size: int = 1200,
+    ) -> None:
+        if not servers or not clients:
+            raise ValueError("need at least one server and one client")
+        self.sim = sim
+        self.factory = factory
+        self.servers = list(servers)
+        self.clients = list(clients)
+        self.cross_senders = list(cross_senders)
+        self.cross_receivers = list(cross_receivers)
+        self.endhost_cc = endhost_cc
+        self.endhost_cc_factory = endhost_cc_factory
+        self.classify = classify
+        self.mss = mss
+        self.stream_packet_size = stream_packet_size
+
+        self._source = events
+        self._events: Optional[Iterator[TraceEvent]] = None
+        self._absolute_times = callable(events)
+        self._running = False
+        self._start_time = 0.0
+        self._last_time: Optional[float] = None
+
+        self.flows: List[TcpFlow] = []
+        self.streams: List[PacedUdpStream] = []
+        self.completed_records: List[FlowRecord] = []
+        self._flows_issued = 0
+        self._streams_started = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self, at: float = 0.0) -> "TraceReplayWorkload":
+        """Begin replaying at simulated time ``at`` (events offset from it)."""
+        if self._events is not None:
+            raise RuntimeError("trace replay already started")
+        self._running = True
+        self._start_time = at
+        source = self._source
+        self._events = iter(source(at) if callable(source) else source)
+        self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        for stream in self.streams:
+            stream.stop()
+
+    # -- internals --------------------------------------------------------
+
+    def _target_time(self, event: TraceEvent) -> float:
+        if self._absolute_times:
+            return event.time_s
+        return self._start_time + event.time_s
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        assert self._events is not None
+        event = next(self._events, None)
+        if event is None:
+            return
+        target = self._target_time(event)
+        if self._last_time is not None and target < self._last_time - 1e-12:
+            raise TraceFormatError(
+                f"trace event at {target:.9f}s precedes the previous event at "
+                f"{self._last_time:.9f}s — traces must be time-ordered"
+            )
+        self._last_time = target
+        self.sim.at(max(target, self.sim.now), lambda: self._issue(event))
+
+    def _make_cc(self):
+        if self.endhost_cc_factory is not None:
+            return self.endhost_cc_factory()
+        return make_window_cc(self.endhost_cc, mss=self.mss)
+
+    def _pools(self, event: TraceEvent):
+        if event.group == "cross":
+            if not self.cross_senders or not self.cross_receivers:
+                raise ValueError(
+                    "trace contains 'cross' events but the replay was built "
+                    "without cross_senders/cross_receivers pools"
+                )
+            return self.cross_senders, self.cross_receivers
+        return self.servers, self.clients
+
+    def _issue(self, event: TraceEvent) -> None:
+        if not self._running:
+            return
+        sources, sinks = self._pools(event)
+        src = sources[event.src % len(sources)]
+        dst = sinks[event.dst % len(sinks)]
+        if event.kind == "flow":
+            traffic_class = event.traffic_class
+            if self.classify is not None:
+                traffic_class = self.classify(event.size_bytes or 0)
+            flow = TcpFlow(
+                self.sim,
+                self.factory,
+                src,
+                dst,
+                size_bytes=event.size_bytes,
+                cc=self._make_cc(),
+                mss=self.mss,
+                traffic_class=traffic_class,
+                on_complete=self._flow_done,
+            )
+            self.flows.append(flow)
+            self._flows_issued += 1
+            flow.start()
+        else:
+            stream = PacedUdpStream(
+                self.sim,
+                self.factory,
+                src,
+                dst,
+                rate_bps=event.rate_bps,
+                packet_size=self.stream_packet_size,
+                traffic_class=event.traffic_class,
+            )
+            self.streams.append(stream)
+            self._streams_started += 1
+            stream.start(duration=event.duration_s)
+        self._schedule_next()
+
+    def _flow_done(self, flow: TcpFlow) -> None:
+        self.completed_records.append(flow.record())
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def flows_issued(self) -> int:
+        return self._flows_issued
+
+    @property
+    def streams_started(self) -> int:
+        return self._streams_started
+
+    @property
+    def requests_issued(self) -> int:
+        """Alias kept for the pre-trace ``RequestWorkload`` interface."""
+        return self._flows_issued
+
+    def records(self, include_incomplete: bool = False) -> List[FlowRecord]:
+        """Flow records (completed only by default)."""
+        if not include_incomplete:
+            return list(self.completed_records)
+        return [flow.record() for flow in self.flows]

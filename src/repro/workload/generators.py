@@ -11,6 +11,14 @@
   "non-buffer-filling" cross traffic).
 * :class:`ClosedLoopProbes` — parallel closed-loop 40-byte request/response
   probes measuring application-level RTTs (§8).
+
+Since the :mod:`repro.traffic` subsystem, :class:`RequestWorkload` is
+generate-then-replay internally: it builds a lazy trace-event stream
+(:func:`repro.traffic.generators.poisson_flow_events`) and replays it
+through :class:`repro.traffic.replay.TraceReplayWorkload` — the same code
+path that replays recorded traces — preserving the pre-trace RNG draw
+order, event timing, and results byte for byte
+(``tests/test_traffic_replay.py`` pins the equivalence).
 """
 
 from __future__ import annotations
@@ -22,14 +30,27 @@ from repro.cc import make_window_cc
 from repro.net.node import Host
 from repro.net.packet import PacketFactory
 from repro.net.simulator import Simulator
-from repro.transport.flow import FlowRecord, TcpFlow
+from repro.transport.flow import TcpFlow
 from repro.transport.udp import ClosedLoopPinger, PacedUdpStream
-from repro.workload.arrivals import PoissonArrivals, arrival_rate_for_load
+from repro.workload.arrivals import arrival_rate_for_load
 from repro.workload.flowsize import EmpiricalSizeDistribution, internet_core_cdf
+# Imported lazily inside RequestWorkload.__init__ to keep the import graph
+# acyclic: repro.traffic.generators itself imports this package's siblings
+# (arrivals, flowsize), so a module-level import here would bite its tail
+# when repro.traffic is imported first.
 
 
 class RequestWorkload:
-    """Poisson request arrivals with sizes from an empirical distribution."""
+    """Poisson request arrivals with sizes from an empirical distribution.
+
+    A thin generate-then-replay composition: the constructor builds the
+    arrival/size event stream and a
+    :class:`~repro.traffic.replay.TraceReplayWorkload` to drive it; the
+    public surface (``flows``, ``records()``, ``requests_issued``...) is
+    unchanged from the pre-trace implementation.  ``classify`` optionally
+    maps each request's size to a traffic class (the §7.2 strict-priority
+    scenario classifies bulk transfers into the deprioritized class).
+    """
 
     def __init__(
         self,
@@ -46,107 +67,89 @@ class RequestWorkload:
         max_requests: Optional[int] = None,
         duration_s: Optional[float] = None,
         traffic_class: int = 0,
+        classify: Optional[Callable[[int], int]] = None,
         mss: int = 1500,
     ) -> None:
-        if not servers or not clients:
-            raise ValueError("need at least one server and one client")
+        from repro.traffic.generators import poisson_flow_events
+        from repro.traffic.replay import TraceReplayWorkload
+
         if max_requests is None and duration_s is None:
             raise ValueError("bound the workload with max_requests and/or duration_s")
-        self.sim = sim
-        self.factory = factory
-        self.servers = list(servers)
-        self.clients = list(clients)
         self.offered_load_bps = offered_load_bps
         self.rng = rng
         self.sizes = size_distribution if size_distribution is not None else internet_core_cdf()
-        self.endhost_cc = endhost_cc
-        self.endhost_cc_factory = endhost_cc_factory
         self.max_requests = max_requests
         self.duration_s = duration_s
         self.traffic_class = traffic_class
-        self.mss = mss
 
         self.mean_size_bytes = self.sizes.mean()
         self.arrival_rate = arrival_rate_for_load(offered_load_bps, self.mean_size_bytes)
-        self._arrivals = PoissonArrivals(self.arrival_rate, rng)
-        self.flows: List[TcpFlow] = []
-        self.completed_records: List[FlowRecord] = []
-        self._requests_issued = 0
-        self._running = False
-        self._start_time = 0.0
 
-    # -- lifecycle --------------------------------------------------------------
+        def events(start_s: float):
+            # Absolute event times anchored at the replay's start keep the
+            # float arithmetic identical to the pre-trace implementation
+            # (t accumulates from `start_s`, never re-offset afterwards).
+            return poisson_flow_events(
+                rng,
+                rate_per_s=self.arrival_rate,
+                sizes=self.sizes,
+                horizon_s=duration_s,
+                max_flows=max_requests,
+                start_s=start_s,
+                traffic_class=traffic_class,
+                num_src=len(servers),
+                num_dst=len(clients),
+            )
+
+        self._replay = TraceReplayWorkload(
+            sim,
+            factory,
+            servers,
+            clients,
+            events=events,
+            endhost_cc=endhost_cc,
+            endhost_cc_factory=endhost_cc_factory,
+            classify=classify,
+            mss=mss,
+        )
+
+    # -- delegation to the replay core ------------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        return self._replay.sim
+
+    @property
+    def servers(self) -> List[Host]:
+        return self._replay.servers
+
+    @property
+    def clients(self) -> List[Host]:
+        return self._replay.clients
+
+    @property
+    def flows(self) -> List[TcpFlow]:
+        return self._replay.flows
+
+    @property
+    def completed_records(self):
+        return self._replay.completed_records
 
     def start(self, at: float = 0.0) -> "RequestWorkload":
         """Begin issuing requests at simulated time ``at``."""
-        self._running = True
-        self._start_time = at
-
-        def kick_off() -> None:
-            self._schedule_next()
-
-        if at <= self.sim.now:
-            kick_off()
-        else:
-            self.sim.at(at, kick_off)
+        self._replay.start(at=at)
         return self
 
     def stop(self) -> None:
-        self._running = False
-
-    # -- internals --------------------------------------------------------------------
-
-    def _schedule_next(self) -> None:
-        if not self._running:
-            return
-        if self.max_requests is not None and self._requests_issued >= self.max_requests:
-            return
-        delay = self._arrivals.next_interarrival()
-        if self.duration_s is not None and (self.sim.now + delay) > self._start_time + self.duration_s:
-            return
-        self.sim.schedule(delay, self._issue_request)
-
-    def _make_cc(self):
-        if self.endhost_cc_factory is not None:
-            return self.endhost_cc_factory()
-        return make_window_cc(self.endhost_cc, mss=self.mss)
-
-    def _issue_request(self) -> None:
-        if not self._running:
-            return
-        self._requests_issued += 1
-        size = self.sizes.sample(self.rng)
-        server = self.rng.choice(self.servers)
-        client = self.rng.choice(self.clients)
-        flow = TcpFlow(
-            self.sim,
-            self.factory,
-            server,
-            client,
-            size_bytes=size,
-            cc=self._make_cc(),
-            mss=self.mss,
-            traffic_class=self.traffic_class,
-            on_complete=self._flow_done,
-        )
-        self.flows.append(flow)
-        flow.start()
-        self._schedule_next()
-
-    def _flow_done(self, flow: TcpFlow) -> None:
-        self.completed_records.append(flow.record())
-
-    # -- results ------------------------------------------------------------------------
+        self._replay.stop()
 
     @property
     def requests_issued(self) -> int:
-        return self._requests_issued
+        return self._replay.flows_issued
 
-    def records(self, include_incomplete: bool = False) -> List[FlowRecord]:
+    def records(self, include_incomplete: bool = False):
         """Flow records (completed only by default)."""
-        if not include_incomplete:
-            return list(self.completed_records)
-        return [flow.record() for flow in self.flows]
+        return self._replay.records(include_incomplete=include_incomplete)
 
 
 class BackloggedFlows:
