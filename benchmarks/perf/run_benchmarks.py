@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Regenerate the repo-root BENCH_*.json perf baselines.
+
+Thin wrapper over ``repro-runner perf run`` (the harness itself lives in
+:mod:`repro.obs.perf`) that defaults the output directory to the repo
+root, where the committed baselines live.  Run it from anywhere:
+
+    python benchmarks/perf/run_benchmarks.py               # all scenarios
+    python benchmarks/perf/run_benchmarks.py --scenario fig02_queue_shift
+
+then inspect the diff and commit the updated records — their git history
+is the project's performance trajectory.  See benchmarks/perf/README.md
+and docs/observability.md.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.runner.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    argv = ["perf", "run", "--out-dir", REPO_ROOT] + sys.argv[1:]
+    sys.exit(main(argv))

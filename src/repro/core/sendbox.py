@@ -98,6 +98,7 @@ class Sendbox:
         self.tbf = TokenBucketQdisc(rate_bps=config.initial_rate_bps, inner=inner)
         egress_link.qdisc = self.tbf
         egress_link.add_transmit_hook(self._on_transmit)
+        sim.observe_bundle(self)
         edge_router.register_agent(config.sendbox_control_port, self)
 
         self.bundles: Dict[int, SendBundleState] = {}

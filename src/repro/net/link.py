@@ -57,6 +57,7 @@ class Link:
         self.bytes_sent = 0
         self.packets_sent = 0
         self.packets_dropped = 0
+        sim.observe_link(self)
 
     def connect(self, dst_node) -> "Link":
         """Attach the downstream node; returns ``self`` for chaining."""

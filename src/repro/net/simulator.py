@@ -20,7 +20,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
+
+from repro.obs.collect import current_collector
+from repro.obs.stats import SimStats
 
 
 class CancelToken:
@@ -43,8 +47,19 @@ class Simulator:
         self._queue: List[Tuple[float, int, CancelToken, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._now = 0.0
-        self._events_processed = 0
         self._running = False
+        #: Hot-path counters (see :mod:`repro.obs.stats`): always present,
+        #: incremented inline by the event loop.
+        self.stats = SimStats()
+        # Components register here so the observability layer can fold
+        # their existing counters into a run snapshot *after* the run —
+        # nothing is counted per packet on their behalf.
+        self.observed_links: List[Any] = []
+        self.observed_flows: List[Any] = []
+        self.observed_bundles: List[Any] = []
+        collector = current_collector()
+        if collector is not None:
+            collector.register_simulator(self)
         # Identifier allocators scoped to this simulation.  These used to be
         # module-level globals, which made node addresses, flow ids and ports
         # depend on how many simulations the process had already run — and,
@@ -75,7 +90,27 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (useful for profiling tests)."""
-        return self._events_processed
+        return self.stats.events_processed
+
+    # -- component registration (observability) ---------------------------
+
+    def observe_link(self, link) -> None:
+        """Register a link so its counters appear in run telemetry.
+
+        The link's qdisc is *not* captured here: control planes swap a
+        link's qdisc after construction (the sendbox installs its token
+        bucket over the egress FIFO), so qdiscs are discovered from the
+        registered links at snapshot time instead.
+        """
+        self.observed_links.append(link)
+
+    def observe_flow(self, flow) -> None:
+        """Register a transport endpoint (TCP sender, paced UDP stream)."""
+        self.observed_flows.append(flow)
+
+    def observe_bundle(self, sendbox) -> None:
+        """Register a Bundler sendbox for epoch accounting."""
+        self.observed_bundles.append(sendbox)
 
     def at(self, time: float, callback: Callable[[], None]) -> CancelToken:
         """Schedule ``callback`` to run at absolute simulated ``time``.
@@ -88,6 +123,7 @@ class Simulator:
                 f"cannot schedule event in the past (now={self._now:.9f}, requested={time:.9f})"
             )
         token = CancelToken()
+        self.stats.events_scheduled += 1
         heapq.heappush(self._queue, (max(time, self._now), next(self._counter), token, callback))
         return token
 
@@ -151,6 +187,8 @@ class Simulator:
         """
         self._running = True
         executed = 0
+        stats = self.stats
+        started = perf_counter()
         try:
             while self._queue:
                 time, _, token, callback = self._queue[0]
@@ -159,10 +197,11 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 if token.cancelled:
+                    stats.events_cancelled += 1
                     continue
                 self._now = time
                 callback()
-                self._events_processed += 1
+                stats.events_processed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break
@@ -171,6 +210,9 @@ class Simulator:
                     self._now = max(self._now, until)
         finally:
             self._running = False
+            stats.run_calls += 1
+            stats.run_wall_s += perf_counter() - started
+            stats.sim_time_s = self._now
         return self._now
 
     def pending_events(self) -> int:

@@ -1,0 +1,53 @@
+"""repro.obs — always-on, near-zero-overhead observability.
+
+Three layers (see ``docs/observability.md`` for the full catalogue):
+
+* **hot-path counters** — :class:`~repro.obs.stats.SimStats`, the
+  ``__slots__`` struct every simulator owns, fed inline by the event loop;
+  links, qdiscs, transports, and sendboxes are registered with their
+  simulator and their existing counters are folded in at snapshot time
+  (zero added work per packet);
+* **phase timing** — :class:`~repro.obs.timeline.Timeline` spans collected
+  per run by :class:`~repro.obs.collect.TelemetryCollector` and attached to
+  ``RunResult.telemetry``, which flows through the cache envelope, the
+  manifest, sweep summaries, exports, and distributed workers'
+  ``WorkOutcome`` frames;
+* **the perf trajectory** — :mod:`repro.obs.perf` runs every registered
+  scenario at pinned params/seeds, writes ``BENCH_<scenario>.json``
+  baselines, and ``repro-runner perf compare`` gates CI on events/sec
+  regressions; :mod:`repro.obs.profiling` wraps cProfile for
+  ``repro-runner profile``.
+
+Telemetry is metrics-*about*-the-run, never metrics-*of*-the-run: cache
+keys and result bytes are identical with the layer on or off
+(``REPRO_OBS=0`` disables collection; ``tests/test_obs_parity.py``
+enforces the parity).
+"""
+
+from repro.obs.collect import (
+    OBS_ENV,
+    TELEMETRY_FORMAT,
+    TelemetryCollector,
+    collect,
+    current_collector,
+    obs_enabled,
+    span,
+    timed_iter,
+)
+from repro.obs.stats import SimStats, merge_counters, simulator_counters
+from repro.obs.timeline import Timeline
+
+__all__ = [
+    "OBS_ENV",
+    "TELEMETRY_FORMAT",
+    "SimStats",
+    "TelemetryCollector",
+    "Timeline",
+    "collect",
+    "current_collector",
+    "merge_counters",
+    "obs_enabled",
+    "simulator_counters",
+    "span",
+    "timed_iter",
+]

@@ -1,0 +1,142 @@
+"""Run-scoped telemetry collection.
+
+The engine opens a :class:`TelemetryCollector` around each scenario
+execution; every :class:`~repro.net.simulator.Simulator` built while it is
+active registers itself (one thread-local lookup at construction — the only
+cost the layer adds outside the event loop's integer counters).  When the
+run finishes, :meth:`TelemetryCollector.snapshot` folds the simulators'
+counters and the phase :class:`~repro.obs.timeline.Timeline` into the plain
+dict that becomes :attr:`RunResult.telemetry`.
+
+The collector is deliberately *about* the run, never *of* it: nothing here
+feeds back into simulation behavior, and the engine attaches the snapshot
+outside the result's canonical payload, so cache keys and result bytes are
+byte-identical whether the layer is on or off (``tests/test_obs_parity.py``
+pins this).  Set ``REPRO_OBS=0`` to disable collection entirely — runs then
+produce an empty telemetry dict.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.stats import merge_counters, simulator_counters
+from repro.obs.timeline import Timeline
+
+#: Environment kill-switch: set to ``0`` / ``false`` / ``off`` to disable
+#: telemetry collection (counters still tick — they are part of the
+#: simulator — but nothing is snapshotted or attached to results).
+OBS_ENV = "REPRO_OBS"
+
+#: Version of the telemetry dict layout attached to results.
+TELEMETRY_FORMAT = 1
+
+_active = threading.local()
+
+
+def obs_enabled() -> bool:
+    """Whether telemetry collection is enabled (default: yes)."""
+    return os.environ.get(OBS_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def current_collector() -> Optional["TelemetryCollector"]:
+    """The collector active on this thread, or ``None``."""
+    return getattr(_active, "collector", None)
+
+
+class TelemetryCollector:
+    """Gathers one run's simulators and phase spans.
+
+    Context-manager protocol: entering installs the collector as the
+    thread's active one (stacking — a nested run restores the outer
+    collector on exit) and starts the run wall clock.
+    """
+
+    def __init__(self) -> None:
+        self.timeline = Timeline()
+        self.simulators: List[Any] = []
+        self.wall_s = 0.0
+        self._started: Optional[float] = None
+        self._previous: Optional["TelemetryCollector"] = None
+
+    def register_simulator(self, sim) -> None:
+        self.simulators.append(sim)
+
+    def __enter__(self) -> "TelemetryCollector":
+        self._previous = current_collector()
+        _active.collector = self
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._started is not None:
+            self.wall_s = perf_counter() - self._started
+        _active.collector = self._previous
+        self._previous = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The run's telemetry dict (see ``docs/observability.md``)."""
+        counters = merge_counters(
+            [simulator_counters(sim) for sim in self.simulators]
+        )
+        events = counters.get("events_processed", 0)
+        sim_wall = counters.get("run_wall_s", 0.0)
+        sim_time = counters.get("sim_time_s", 0.0)
+        return {
+            "format": TELEMETRY_FORMAT,
+            "wall_s": round(self.wall_s, 6),
+            "simulators": len(self.simulators),
+            "events_processed": events,
+            "sim_time_s": sim_time,
+            "sim_wall_s": sim_wall,
+            "events_per_sec": round(events / sim_wall, 1) if sim_wall > 0 else 0.0,
+            "speedup": round(sim_time / sim_wall, 3) if sim_wall > 0 else 0.0,
+            "counters": counters,
+            "spans": self.timeline.snapshot(),
+        }
+
+
+@contextlib.contextmanager
+def collect() -> Iterator[Optional[TelemetryCollector]]:
+    """Open a collector for the enclosed run; yields ``None`` when disabled."""
+    if not obs_enabled():
+        yield None
+        return
+    with TelemetryCollector() as collector:
+        yield collector
+
+
+@contextlib.contextmanager
+def span(name: str) -> Iterator[None]:
+    """Time the enclosed block into the active collector's timeline.
+
+    A no-op (beyond one thread-local lookup) when no collector is active,
+    so library code can annotate phases unconditionally.
+    """
+    collector = current_collector()
+    if collector is None:
+        yield
+        return
+    with collector.timeline.span(name):
+        yield
+
+
+def timed_iter(name: str, iterator):
+    """Meter time spent pulling from ``iterator`` into span ``name``.
+
+    Returns the iterator unchanged when no collector is active, so lazily
+    consumed workload streams cost nothing un-instrumented.
+    """
+    collector = current_collector()
+    if collector is None:
+        return iterator
+    return collector.timeline.wrap_iter(name, iterator)

@@ -1,0 +1,329 @@
+"""Perf-trajectory harness: pinned benchmark runs and regression gates.
+
+Every registered scenario gets one *bench profile* — a reduced-scale,
+pinned parameterization (and pinned seed) chosen so a run takes seconds,
+not minutes, while still exercising the scenario's real hot path.  Running
+the harness produces one ``BENCH_<scenario>.json`` per scenario: the run's
+events/sec, wall time, peak RSS, and full counter snapshot, plus the run
+key that identifies exactly which (scenario, version, params, seed) the
+numbers were measured at.
+
+The committed ``BENCH_*.json`` files at the repo root are the perf
+*trajectory*: every PR that touches the hot path regenerates them, so the
+git history of those files is a per-commit performance record.  ``compare``
+is the gate — it exits non-zero when a candidate run's events/sec falls
+more than ``tolerance`` (default 15%) below the committed baseline, and
+when a baseline's run key no longer matches the current pinned profile
+(stale baseline — regenerate).
+
+Benchmark runs execute in a subprocess per scenario by default:
+``ru_maxrss`` is a process-lifetime high-water mark, so per-scenario peak
+RSS is only meaningful from a fresh process.  ``python -m repro.obs.perf
+--single NAME`` is that subprocess entry point.
+
+CLI: ``repro-runner perf {run,compare,report}`` (see
+``docs/observability.md`` for a walkthrough).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Version of the BENCH_*.json record layout.
+BENCH_FORMAT = 1
+
+#: Benchmark records are ``BENCH_<scenario>.json`` (repo root by default).
+BENCH_PREFIX = "BENCH_"
+
+#: All bench runs are pinned to this seed — the numbers in a record are
+#: only comparable when produced from identical (params, seed).
+BENCH_SEED = 1
+
+#: Default events/sec regression gate: candidate must reach at least
+#: ``(1 - tolerance)`` of the baseline's rate.
+DEFAULT_TOLERANCE = 0.15
+
+#: Pinned reduced-scale parameter overrides per scenario (missing keys
+#: take scenario defaults).  These are deliberately small — a bench run
+#: should take seconds — but leave every scenario's mechanism (bundler
+#: feedback loop, qdisc, cross traffic, trace replay) fully engaged.
+#: Changing a profile invalidates the scenario's committed baseline (the
+#: run key no longer matches); regenerate with ``repro-runner perf run``.
+PERF_PROFILES: Dict[str, Dict[str, Any]] = {
+    "ablation_epoch_sampling": {"duration_s": 5, "warmup_s": 1, "num_servers": 4},
+    "ablation_pi_gains": {"horizon_s": 10},
+    "fig02_queue_shift": {"duration_s": 8},
+    "fig05_fig06_estimates": {"duration_s": 8},
+    "fig07_multipath": {"duration_s": 6},
+    "fig09_slowdown": {"duration_s": 6, "warmup_s": 1, "num_servers": 4},
+    "fig10_phased_cross_traffic": {"phase_duration_s": 5, "num_servers": 4},
+    "fig11_short_cross_traffic": {"duration_s": 6},
+    "fig12_elastic_cross": {"duration_s": 8, "warmup_s": 2},
+    "fig13_competing_bundles": {"duration_s": 6},
+    "fig14_sendbox_cc": {"duration_s": 6, "warmup_s": 1, "num_servers": 4},
+    "fig15_proxy": {"duration_s": 6, "warmup_s": 1, "num_servers": 4},
+    "fig16_internet_paths": {"duration_s": 8, "num_probes": 5, "num_bulk_flows": 3},
+    "sec72_fq_codel": {"duration_s": 6, "warmup_s": 1, "num_servers": 4},
+    "sec72_priority": {"duration_s": 6, "warmup_s": 1, "num_servers": 4},
+    "sec74_endhost_cc": {"duration_s": 6, "warmup_s": 1, "num_servers": 4},
+    "trace_bursty_cross": {},
+    "trace_diurnal_load": {},
+    "trace_flash_crowd": {},
+}
+
+
+def bench_path(scenario: str, out_dir: str = ".") -> str:
+    return os.path.join(out_dir, f"{BENCH_PREFIX}{scenario}.json")
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """This process's peak resident set size in KiB, if the platform
+    exposes it (Linux ``ru_maxrss`` is KiB; macOS reports bytes)."""
+    try:
+        import resource
+    except ImportError:  # non-unix
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def run_bench(scenario: str, *, seed: int = BENCH_SEED) -> Dict[str, Any]:
+    """Execute ``scenario`` at its pinned profile and build a bench record.
+
+    Always simulates fresh (no cache involvement) with telemetry forced
+    on, whatever ``REPRO_OBS`` says — a bench without counters is useless.
+    """
+    from repro.obs.collect import OBS_ENV
+    from repro.runner.engine import execute_run
+    from repro.runner.registry import load_builtin_scenarios
+    from repro.runner.spec import RunSpec
+
+    if scenario not in PERF_PROFILES:
+        raise KeyError(
+            f"no perf profile for scenario {scenario!r}; "
+            f"add one to repro.obs.perf.PERF_PROFILES"
+        )
+    registry = load_builtin_scenarios()
+    prior_obs = os.environ.get(OBS_ENV)
+    os.environ[OBS_ENV] = "1"
+    try:
+        result = execute_run(
+            RunSpec(scenario=scenario, params=PERF_PROFILES[scenario], seed=seed),
+            registry=registry,
+        )
+    finally:
+        if prior_obs is None:
+            os.environ.pop(OBS_ENV, None)
+        else:
+            os.environ[OBS_ENV] = prior_obs
+    telemetry = result.telemetry
+    return {
+        "format": BENCH_FORMAT,
+        "scenario": scenario,
+        "scenario_version": result.scenario_version,
+        "params": dict(result.params),
+        "seed": seed,
+        "run_key": result.key,
+        "events_processed": telemetry.get("events_processed", 0),
+        "events_per_sec": telemetry.get("events_per_sec", 0.0),
+        "wall_s": telemetry.get("wall_s", 0.0),
+        "sim_time_s": telemetry.get("sim_time_s", 0.0),
+        "speedup": telemetry.get("speedup", 0.0),
+        "simulators": telemetry.get("simulators", 0),
+        "peak_rss_kb": _peak_rss_kb(),
+        "counters": telemetry.get("counters", {}),
+        "spans": telemetry.get("spans", {}),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+    }
+
+
+def write_bench(record: Mapping[str, Any], out_dir: str = ".") -> str:
+    path = bench_path(record["scenario"], out_dir)
+    os.makedirs(out_dir or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    if record.get("format") != BENCH_FORMAT:
+        raise ValueError(f"{path}: unsupported bench record format {record.get('format')!r}")
+    return record
+
+
+def load_bench_dir(directory: str = ".") -> Dict[str, Dict[str, Any]]:
+    """All ``BENCH_*.json`` records under ``directory``, by scenario."""
+    records: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(directory, f"{BENCH_PREFIX}*.json"))):
+        record = load_bench(path)
+        records[record["scenario"]] = record
+    return records
+
+
+def run_scenarios(
+    scenarios: Sequence[str],
+    out_dir: str = ".",
+    *,
+    seed: int = BENCH_SEED,
+    isolate: bool = True,
+    log=None,
+) -> List[str]:
+    """Run the harness for ``scenarios``, writing one BENCH file each.
+
+    ``isolate=True`` (the default) runs each scenario in a fresh
+    subprocess so its ``peak_rss_kb`` is a per-scenario high-water mark
+    rather than the max over everything run so far in this process.
+    """
+    paths = []
+    for name in scenarios:
+        if log:
+            log(f"bench {name} ...")
+        if isolate:
+            path = _run_isolated(name, out_dir, seed=seed)
+        else:
+            path = write_bench(run_bench(name, seed=seed), out_dir)
+        if log:
+            record = load_bench(path)
+            log(
+                f"bench {name}: {record['events_processed']:,} events, "
+                f"{record['events_per_sec']:,.0f} events/s, "
+                f"{record['wall_s']:.2f}s wall"
+            )
+        paths.append(path)
+    return paths
+
+
+def _run_isolated(scenario: str, out_dir: str, *, seed: int) -> str:
+    from repro.runner.backends import inherited_pythonpath
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = inherited_pythonpath()
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.obs.perf",
+            "--single", scenario, "--seed", str(seed), "--out-dir", out_dir or ".",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench subprocess for {scenario!r} failed "
+            f"(exit {proc.returncode}):\n{proc.stderr.strip()}"
+        )
+    return bench_path(scenario, out_dir)
+
+
+def compare_benches(
+    baseline: Mapping[str, Mapping[str, Any]],
+    candidate: Mapping[str, Mapping[str, Any]],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[str], List[str]]:
+    """Gate a candidate bench set against a baseline set.
+
+    Returns ``(failures, notes)``.  Failures (any → non-zero exit from the
+    CLI): a baseline scenario missing from the candidate, a run-key
+    mismatch (the pinned profile or scenario version changed — the
+    baseline is stale and must be regenerated), or events/sec below
+    ``baseline * (1 - tolerance)``.  Notes are informational: event-count
+    drift (deterministic, so a count change means the simulation itself
+    changed — expected when a PR touches behavior, and exactly what the
+    regenerated baseline should record) and improvements.
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        cand = candidate.get(name)
+        if cand is None:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        if cand.get("run_key") != base.get("run_key"):
+            failures.append(
+                f"{name}: run key changed ({str(base.get('run_key'))[:12]} -> "
+                f"{str(cand.get('run_key'))[:12]}); the pinned profile, seed, or "
+                f"scenario version moved — regenerate the baseline with "
+                f"'repro-runner perf run'"
+            )
+            continue
+        base_events = base.get("events_processed", 0)
+        cand_events = cand.get("events_processed", 0)
+        if base_events != cand_events:
+            notes.append(
+                f"{name}: event count drifted {base_events:,} -> {cand_events:,} "
+                f"(simulation behavior changed under identical params+seed)"
+            )
+        base_eps = float(base.get("events_per_sec") or 0.0)
+        cand_eps = float(cand.get("events_per_sec") or 0.0)
+        if base_eps > 0:
+            floor = base_eps * (1.0 - tolerance)
+            if cand_eps < floor:
+                failures.append(
+                    f"{name}: events/sec regressed {base_eps:,.0f} -> {cand_eps:,.0f} "
+                    f"({cand_eps / base_eps - 1.0:+.1%}, tolerance -{tolerance:.0%})"
+                )
+            elif cand_eps > base_eps * (1.0 + tolerance):
+                notes.append(
+                    f"{name}: events/sec improved {base_eps:,.0f} -> {cand_eps:,.0f} "
+                    f"({cand_eps / base_eps - 1.0:+.1%})"
+                )
+    for name in sorted(candidate):
+        if name not in baseline:
+            notes.append(f"{name}: new scenario (no baseline yet)")
+    return failures, notes
+
+
+def format_bench_table(records: Iterable[Mapping[str, Any]]) -> str:
+    from repro.metrics.reporting import Table
+
+    table = Table(
+        ["scenario", "events", "events/s", "wall", "sim time", "speedup", "peak RSS"],
+        title="perf benchmarks",
+    )
+    for record in sorted(records, key=lambda r: r["scenario"]):
+        rss = record.get("peak_rss_kb")
+        table.add_row(
+            record["scenario"],
+            f"{record.get('events_processed', 0):,}",
+            f"{record.get('events_per_sec', 0.0):,.0f}",
+            f"{record.get('wall_s', 0.0):.2f}s",
+            f"{record.get('sim_time_s', 0.0):.1f}s",
+            f"{record.get('speedup', 0.0):,.1f}x",
+            f"{rss / 1024.0:.0f} MiB" if rss else "-",
+        )
+    return table.render()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Subprocess entry point: ``python -m repro.obs.perf --single NAME``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.perf",
+        description="Run one pinned benchmark in this process (fresh-process "
+        "peak RSS); normally invoked by 'repro-runner perf run'.",
+    )
+    parser.add_argument("--single", required=True, metavar="SCENARIO")
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--out-dir", default=".")
+    args = parser.parse_args(argv)
+    path = write_bench(run_bench(args.single, seed=args.seed), args.out_dir)
+    print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

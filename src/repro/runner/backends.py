@@ -69,12 +69,18 @@ class WorkOutcome:
     Exactly one of ``payload`` (a :meth:`RunResult.to_payload` dict) and
     ``error`` (a formatted traceback) is set.  Failures travel as data, not
     exceptions, so one bad cell cannot poison a batch.
+
+    ``telemetry`` is the run's observability snapshot (see
+    :mod:`repro.obs`), carried *next to* the payload — never inside it —
+    so distributed workers ship execution accounting home without touching
+    the result bytes the cache keys are computed over.
     """
 
     index: int
     payload: Optional[Dict[str, Any]]
     elapsed_s: float
     error: Optional[str]
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -162,6 +168,7 @@ def execute_item(item: WorkItem, registry: Optional[Any] = None) -> WorkOutcome:
         payload=result.to_payload(),
         elapsed_s=time.perf_counter() - started,
         error=None,
+        telemetry=result.telemetry or None,
     )
 
 

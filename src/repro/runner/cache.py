@@ -145,7 +145,9 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 record = json.load(fh)
-            result = RunResult.from_payload(record["result"])
+            result = RunResult.from_payload(
+                record["result"], telemetry=record.get("telemetry")
+            )
         except (OSError, ValueError, KeyError):
             # Missing or corrupt record — treat as a miss; a fresh run will
             # overwrite it.
@@ -164,6 +166,11 @@ class ResultCache:
         record: Dict[str, Any] = {"result": result.to_payload(), "created_at": created_at}
         if elapsed_s is not None:
             record["elapsed_s"] = elapsed_s
+        # Telemetry lives in the record *envelope*, beside elapsed_s and
+        # created_at — never inside "result", whose bytes are the identity
+        # the cache keys over.
+        if result.telemetry:
+            record["telemetry"] = dict(result.telemetry)
         path = self._path(result.key)
         self._write_json_atomic(path, record)
         self.stats.writes += 1
@@ -214,7 +221,9 @@ class ResultCache:
             try:
                 with open(os.path.join(self.root, name), "r", encoding="utf-8") as fh:
                     record = json.load(fh)
-                yield RunResult.from_payload(record["result"])
+                yield RunResult.from_payload(
+                    record["result"], telemetry=record.get("telemetry")
+                )
             except (OSError, ValueError, KeyError):
                 continue
 
@@ -233,6 +242,12 @@ class ResultCache:
             entry["elapsed_s"] = record["elapsed_s"]
         if record.get("created_at") is not None:
             entry["created_at"] = record["created_at"]
+        # Surface the headline perf numbers in the index so `perf report`
+        # and ad-hoc inspection never need to open every record.
+        telemetry = record.get("telemetry")
+        if isinstance(telemetry, dict) and telemetry.get("events_processed"):
+            entry["events_processed"] = telemetry["events_processed"]
+            entry["events_per_sec"] = telemetry.get("events_per_sec")
         return entry
 
     def manifest(self) -> Dict[str, Dict[str, Any]]:

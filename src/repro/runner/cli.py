@@ -39,6 +39,16 @@ Subcommands:
     Distributed-fleet helpers: ``doctor --hosts ...`` probes every host's
     transport (hello handshake, ping round-trip, python/scenario report)
     before a long sweep, exiting non-zero on unhealthy hosts.
+``perf``
+    The benchmark trajectory (see ``docs/observability.md``): ``run``
+    executes every scenario's pinned reduced-scale profile into
+    ``BENCH_<scenario>.json`` records, ``compare`` gates a candidate set
+    against the committed baselines (non-zero exit on an events/sec
+    regression beyond ``--tolerance`` or a stale baseline), ``report``
+    renders a record table.
+``profile``
+    Run one scenario cell fresh under ``cProfile`` and print the top-N
+    functions by cumulative time; ``--out`` dumps raw pstats data.
 
 Parameter values given as ``-p key=value`` / ``-g key=v1,v2`` are parsed
 as JSON-ish literals and then *coerced through the scenario's typed
@@ -53,6 +63,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.metrics.reporting import Table, format_aggregate_cells, format_run_results
@@ -332,8 +343,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     on_progress = None
     if args.progress:
+        progress_started = time.perf_counter()
+
         def on_progress(event):
-            print(f"  {event.describe()}", file=sys.stderr, flush=True)
+            line = event.describe()
+            if event.kind == "completed" and event.done:
+                elapsed = time.perf_counter() - progress_started
+                if elapsed > 0:
+                    line += f"  [{event.done / elapsed:.1f} cells/s]"
+            print(f"  {line}", file=sys.stderr, flush=True)
     cache = ResultCache(args.cache_dir)
     outcome = run_sweep(
         specs,
@@ -369,7 +387,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if args.aggregate:
             text = export_aggregates(aggregate_results(results), args.format, registry=registry)
         else:
-            text = export_runs(results, args.format, registry=registry)
+            text = export_runs(
+                results, args.format, registry=registry, telemetry=args.telemetry
+            )
         sys.stdout.write(text)
         return 0
     total = 0
@@ -490,9 +510,11 @@ def _cmd_workers_doctor(args: argparse.Namespace) -> int:
         args.hosts,
         hello_timeout_s=args.hello_timeout,
         ping_timeout_s=args.ping_timeout,
+        calibrate=not args.no_calibrate,
+        calibrate_timeout_s=args.calibrate_timeout,
     )
     table = Table(
-        ["host", "slots", "status", "python", "scenarios", "hello", "ping"],
+        ["host", "slots", "status", "python", "scenarios", "hello", "ping", "events/s"],
         title="workers doctor",
     )
     for health in report.hosts:
@@ -504,12 +526,89 @@ def _cmd_workers_doctor(args: argparse.Namespace) -> int:
             health.scenarios if health.scenarios is not None else "-",
             f"{health.hello_s:.2f}s" if health.hello_s is not None else "-",
             f"{health.ping_rtt_s * 1000.0:.1f}ms" if health.ping_rtt_s is not None else "-",
+            f"{health.events_per_sec:,.0f}" if health.events_per_sec is not None else "-",
         )
     print(table.render())
     for health in report.unhealthy_hosts:
         print(f"{health.host}: {health.error}", file=sys.stderr)
     print(report.summary())
     return 0 if report.healthy else 1
+
+
+def _cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.obs.perf import PERF_PROFILES, run_scenarios
+
+    scenarios = args.scenario or sorted(PERF_PROFILES)
+    unknown = [s for s in scenarios if s not in PERF_PROFILES]
+    if unknown:
+        raise SystemExit(
+            f"no perf profile for: {', '.join(unknown)} "
+            f"(see repro.obs.perf.PERF_PROFILES)"
+        )
+    run_scenarios(
+        scenarios,
+        args.out_dir,
+        seed=args.seed,
+        isolate=not args.no_isolate,
+        log=lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    print(f"wrote {len(scenarios)} BENCH_*.json record(s) to {args.out_dir or '.'}")
+    return 0
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.obs.perf import compare_benches, load_bench_dir
+
+    baseline = load_bench_dir(args.baseline)
+    candidate = load_bench_dir(args.candidate)
+    if not baseline:
+        raise SystemExit(f"no BENCH_*.json baselines under {args.baseline!r}")
+    if not candidate:
+        raise SystemExit(f"no BENCH_*.json candidates under {args.candidate!r}")
+    failures, notes = compare_benches(baseline, candidate, tolerance=args.tolerance)
+    for note in notes:
+        print(f"note: {note}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    compared = len(set(baseline) & set(candidate))
+    if failures:
+        print(
+            f"perf compare: {len(failures)} failure(s) across {compared} "
+            f"scenario(s) (tolerance -{args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf compare: {compared} scenario(s) within -{args.tolerance:.0%} "
+        f"of baseline"
+    )
+    return 0
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.obs.perf import format_bench_table, load_bench_dir
+
+    records = load_bench_dir(args.dir)
+    if not records:
+        raise SystemExit(f"no BENCH_*.json records under {args.dir!r}")
+    print(format_bench_table(records.values()))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profiling import profile_run
+
+    _point_trace_store_at_cache(args)
+    profile_run(
+        args.scenario,
+        params=_parse_params(args.param),
+        seed=args.seed,
+        top=args.top,
+        sort=args.sort,
+        out=args.out,
+        stream=sys.stdout,
+    )
+    return 0
 
 
 def _cmd_gc(args: argparse.Namespace) -> int:
@@ -608,6 +707,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format: human tables, or long-format csv/jsonl with "
              "schema unit/direction columns (plot-ready)",
     )
+    p_report.add_argument(
+        "--telemetry", action="store_true",
+        help="csv/jsonl run exports only: also emit each run's recorded "
+             "execution telemetry (events, events/s, wall time, speedup) "
+             "as direction=info rows",
+    )
     p_report.set_defaults(fn=_cmd_report)
 
     p_trace = sub.add_parser(
@@ -673,7 +778,104 @@ def build_parser() -> argparse.ArgumentParser:
         "--ping-timeout", type=float, default=10.0, metavar="SECONDS",
         help="max wait for a ping round-trip (default: 10)",
     )
+    p_doctor.add_argument(
+        "--no-calibrate", action="store_true",
+        help="skip the per-host calibration cell (the events/s column "
+             "measuring each host's simulator throughput)",
+    )
+    p_doctor.add_argument(
+        "--calibrate-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="max wait for the calibration cell (default: 60)",
+    )
     p_doctor.set_defaults(fn=_cmd_workers_doctor)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="run pinned benchmarks and gate on the BENCH_*.json trajectory",
+        parents=[common],
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    p_perf_run = perf_sub.add_parser(
+        "run",
+        help="execute pinned-profile benchmarks, one BENCH_<scenario>.json each",
+        parents=[common],
+    )
+    p_perf_run.add_argument(
+        "--scenario", action="append", default=[], metavar="NAME",
+        help="benchmark only this scenario (repeatable; default: all profiles)",
+    )
+    p_perf_run.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="where BENCH_*.json records land (default: current directory — "
+             "committed baselines live at the repo root)",
+    )
+    p_perf_run.add_argument(
+        "--seed", type=int, default=1,
+        help="bench seed (default: 1; baselines are only comparable at the "
+             "same seed)",
+    )
+    p_perf_run.add_argument(
+        "--no-isolate", action="store_true",
+        help="run benchmarks in-process instead of one subprocess each "
+             "(faster, but peak-RSS becomes a shared high-water mark)",
+    )
+    p_perf_run.set_defaults(fn=_cmd_perf_run)
+
+    p_perf_compare = perf_sub.add_parser(
+        "compare",
+        help="gate candidate BENCH records against committed baselines "
+             "(non-zero exit on events/sec regression or stale baseline)",
+        parents=[common],
+    )
+    p_perf_compare.add_argument(
+        "--baseline", default=".", metavar="DIR",
+        help="directory of committed BENCH_*.json baselines (default: .)",
+    )
+    p_perf_compare.add_argument(
+        "--candidate", required=True, metavar="DIR",
+        help="directory of freshly produced BENCH_*.json records",
+    )
+    p_perf_compare.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="FRACTION",
+        help="allowed events/sec drop before failing (default: 0.15; CI "
+             "uses a looser value — shared runners are noisy)",
+    )
+    p_perf_compare.set_defaults(fn=_cmd_perf_compare)
+
+    p_perf_report = perf_sub.add_parser(
+        "report", help="print a table of BENCH_*.json records", parents=[common]
+    )
+    p_perf_report.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory of BENCH_*.json records (default: .)",
+    )
+    p_perf_report.set_defaults(fn=_cmd_perf_report)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one scenario under cProfile and print the hot functions",
+        parents=[common],
+    )
+    p_profile.add_argument("scenario", help="registered scenario name")
+    p_profile.add_argument(
+        "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    p_profile.add_argument("--seed", type=int, default=1)
+    p_profile.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="number of functions to print (default: 25)",
+    )
+    p_profile.add_argument(
+        "--sort", choices=("cumulative", "tottime", "ncalls"), default="cumulative",
+        help="pstats sort key (default: cumulative)",
+    )
+    p_profile.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="also dump raw pstats data for snakeviz/pstats",
+    )
+    p_profile.set_defaults(fn=_cmd_profile)
 
     p_gc = sub.add_parser("gc", help="evict stale cached results", parents=[common])
     p_gc.add_argument(

@@ -554,6 +554,9 @@ class _Scheduler:
                 payload=raw.get("payload"),
                 elapsed_s=float(raw.get("elapsed_s", 0.0)),
                 error=raw.get("error"),
+                # Additive frame field: run telemetry measured where the
+                # cell executed (absent from old workers' frames).
+                telemetry=raw.get("telemetry"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             self._quarantine(worker, f"malformed outcome frame: {exc}")

@@ -13,7 +13,12 @@ same transport the sweep would use and checks, in order:
    measured round-trip time;
 3. **environment report** — the worker's Python version, pid, reported
    hostname, and registered-scenario count (a worker seeing fewer
-   scenarios than the scheduler would cache-miss every cell it runs).
+   scenarios than the scheduler would cache-miss every cell it runs);
+4. **calibration** (skippable with ``--no-calibrate``) — one tiny pinned
+   cell (:data:`CALIBRATION_ITEM`) runs end to end on the worker, and the
+   outcome frame's telemetry reports the host's measured events/sec — a
+   like-for-like throughput number for sizing ``--hosts`` slot counts
+   across a heterogeneous fleet.
 
 Probing is parallel (one thread per host) and side-effect free: the probe
 worker is shut down as soon as the checks finish.  Any unhealthy host
@@ -39,6 +44,18 @@ from repro.runner.distributed import (
 )
 from repro.runner.wire import PROTOCOL_VERSION, WireError, read_message, write_message
 
+#: The calibration cell: small enough to finish in about a second on
+#: commodity hardware, big enough (tens of thousands of simulator events,
+#: real bundler + qdisc machinery) that its telemetry events/sec is a
+#: meaningful throughput proxy.  Pinned — every host runs the identical
+#: cell, so the numbers are comparable across a fleet.
+CALIBRATION_ITEM: Dict[str, object] = {
+    "index": 0,
+    "scenario": "fig13_competing_bundles",
+    "params": {"duration_s": 2},
+    "seed": 1,
+}
+
 
 @dataclass
 class HostHealth:
@@ -48,7 +65,7 @@ class HostHealth:
     slots: int = 1
     healthy: bool = False
     #: Which check failed (empty when healthy): "launch", "hello",
-    #: "protocol", "ping".
+    #: "protocol", "ping", "calibrate".
     failure: str = ""
     error: str = ""
     protocol: Optional[int] = None
@@ -58,13 +75,25 @@ class HostHealth:
     scenarios: Optional[int] = None
     hello_s: Optional[float] = None
     ping_rtt_s: Optional[float] = None
+    #: Wall time of the calibration cell on the worker (None when
+    #: calibration was skipped).
+    calibrate_s: Optional[float] = None
+    #: Host throughput measured by the calibration cell's telemetry (None
+    #: when calibration was skipped, or the worker predates the
+    #: observability layer / runs with ``REPRO_OBS=0``).
+    events_per_sec: Optional[float] = None
 
     def describe(self) -> str:
         if self.healthy:
             rtt = f"{self.ping_rtt_s * 1000.0:.1f}ms" if self.ping_rtt_s is not None else "-"
+            rate = (
+                f", {self.events_per_sec:,.0f} events/s"
+                if self.events_per_sec is not None
+                else ""
+            )
             return (
                 f"ok (python {self.python or '?'}, {self.scenarios} scenarios, "
-                f"hello {self.hello_s:.2f}s, ping {rtt})"
+                f"hello {self.hello_s:.2f}s, ping {rtt}{rate})"
             )
         return f"UNHEALTHY [{self.failure}]: {self.error}"
 
@@ -102,6 +131,8 @@ def probe_host(
     *,
     hello_timeout_s: float = 30.0,
     ping_timeout_s: float = 10.0,
+    calibrate: bool = True,
+    calibrate_timeout_s: float = 60.0,
 ) -> HostHealth:
     """Run the doctor's checks against one host (see the module docstring)."""
     health = HostHealth(host=host.host, slots=host.slots)
@@ -169,6 +200,49 @@ def probe_host(
             if message.get("type") == "pong":
                 break
         health.ping_rtt_s = time.monotonic() - ping_at
+        # -- calibration cell -----------------------------------------------
+        if calibrate:
+            calibrate_at = time.monotonic()
+            try:
+                write_message(proc.stdin, {"type": "work", "item": CALIBRATION_ITEM})
+            except (OSError, ValueError) as exc:
+                health.failure = "calibrate"
+                health.error = f"could not send calibration cell: {exc}"
+                return health
+            deadline = calibrate_at + calibrate_timeout_s
+            while True:
+                try:
+                    message = _read_with_deadline(proc, deadline)
+                except TimeoutError:
+                    health.failure = "calibrate"
+                    health.error = (
+                        f"calibration cell not done within {calibrate_timeout_s:.0f}s"
+                    )
+                    return health
+                except WireError as exc:
+                    health.failure, health.error = "calibrate", f"wire error: {exc}"
+                    return health
+                if message is None:
+                    health.failure = "calibrate"
+                    health.error = "worker hung up during the calibration cell"
+                    return health
+                if message.get("type") == "outcome":
+                    break
+                # Heartbeats tick while the cell runs; skip them.
+            health.calibrate_s = time.monotonic() - calibrate_at
+            outcome = message.get("outcome") or {}
+            if outcome.get("error"):
+                health.failure = "calibrate"
+                health.error = (
+                    f"calibration cell failed on the worker: "
+                    f"{str(outcome['error']).strip().splitlines()[-1]}"
+                )
+                return health
+            telemetry = outcome.get("telemetry")
+            if isinstance(telemetry, dict) and telemetry.get("events_per_sec"):
+                # Absent from old workers' frames and under REPRO_OBS=0 —
+                # the host is still healthy, just unmeasured.
+                health.events_per_sec = float(telemetry["events_per_sec"])
         health.healthy = True
         return health
     finally:
@@ -211,6 +285,8 @@ def probe_hosts(
     *,
     hello_timeout_s: float = 30.0,
     ping_timeout_s: float = 10.0,
+    calibrate: bool = True,
+    calibrate_timeout_s: float = 60.0,
 ) -> DoctorReport:
     """Probe every host in parallel; transport defaults like the sweep's.
 
@@ -232,6 +308,8 @@ def probe_hosts(
             transport,
             hello_timeout_s=hello_timeout_s,
             ping_timeout_s=ping_timeout_s,
+            calibrate=calibrate,
+            calibrate_timeout_s=calibrate_timeout_s,
         )
 
     threads = [

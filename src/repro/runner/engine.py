@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.runner.backends import (
     ExecutionBackend,
     ProgressEvent,
@@ -108,16 +109,56 @@ class SweepOutcome:
             return 0.0
         return self.hits / len(self.outcomes)
 
+    @property
+    def events_processed(self) -> int:
+        """Simulator events fired across the sweep's *executed* cells.
+
+        Summed from per-run telemetry (see :mod:`repro.obs`); cache-served
+        cells carry their recorded telemetry but did no work in this sweep,
+        so only fresh cells count here.
+        """
+        return sum(
+            o.result.telemetry.get("events_processed", 0)
+            for o in self.outcomes
+            if not o.cached and not o.deduped
+        )
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulator events/sec over the executed cells' sim wall time."""
+        wall = sum(
+            o.result.telemetry.get("sim_wall_s", 0.0)
+            for o in self.outcomes
+            if not o.cached and not o.deduped
+        )
+        if wall <= 0.0:
+            return 0.0
+        return self.events_processed / wall
+
+    @property
+    def cells_per_sec(self) -> float:
+        """Sweep cells resolved per wall second (hits, dedups, and runs)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed_s
+
     def summary(self) -> str:
         """One-line, human-readable account of the sweep."""
         total = len(self.outcomes)
         dedup = f", {self.deduplicated} deduplicated" if self.deduplicated else ""
+        throughput = f" ({self.cells_per_sec:.1f} cells/s"
+        if self.events_processed:
+            throughput += (
+                f", {self.events_processed:,} events at "
+                f"{self.events_per_sec:,.0f} events/s"
+            )
+        throughput += ")"
         return (
             f"{total} run{'s' if total != 1 else ''}: "
             f"{self.misses} executed, {self.hits} served from cache{dedup} "
             f"({self.hit_rate * 100.0:.0f}% cache hits) "
             f"in {self.elapsed_s:.1f}s on {self.workers} worker"
-            f"{'s' if self.workers != 1 else ''}"
+            f"{'s' if self.workers != 1 else ''}{throughput}"
         )
 
 
@@ -172,12 +213,21 @@ def execute_run(spec: RunSpec, *, registry: Optional[ScenarioRegistry] = None) -
     scenario = registry.get(spec.scenario)
     spec, params, key = resolve_cell(spec, registry=registry)
     seed = effective_seed(spec)
-    metrics = scenario.fn(seed=seed, **params)
-    if not isinstance(metrics, dict):
-        raise TypeError(
-            f"scenario {spec.scenario!r} returned {type(metrics).__name__}, expected a metrics dict"
-        )
-    scenario.validate_metrics(metrics)
+    # The collector gathers every Simulator the scenario builds plus the
+    # phase timeline; it yields None when REPRO_OBS=0.  Nothing inside it
+    # can influence the metrics or the key — the snapshot is attached
+    # outside the canonical payload.
+    with obs.collect() as collector:
+        with obs.span("scenario-body"):
+            metrics = scenario.fn(seed=seed, **params)
+        if not isinstance(metrics, dict):
+            raise TypeError(
+                f"scenario {spec.scenario!r} returned {type(metrics).__name__}, "
+                "expected a metrics dict"
+            )
+        with obs.span("metrics-finalize"):
+            scenario.validate_metrics(metrics)
+    telemetry = collector.snapshot() if collector is not None else {}
     return RunResult(
         scenario=spec.scenario,
         params=params,
@@ -186,6 +236,7 @@ def execute_run(spec: RunSpec, *, registry: Optional[ScenarioRegistry] = None) -
         key=key,
         metrics=metrics,
         scenario_version=scenario.version,
+        telemetry=telemetry,
     )
 
 
@@ -285,8 +336,12 @@ def run_sweep(
     if hasattr(backend, "on_progress"):
         backend.on_progress = on_progress
     completed = backend.execute(pending, registry=registry) if pending else []
+    # Collected unconditionally (not only when cells executed): a backend
+    # like the distributed scheduler probes its workers even when a sweep
+    # turns out fully cache-warm, and dropping that accounting made
+    # 100%-hit sweeps report empty worker_stats.
     telemetry = getattr(backend, "telemetry", None)
-    worker_stats = telemetry() if pending and callable(telemetry) else {}
+    worker_stats = telemetry() if callable(telemetry) else {}
 
     # Cache every finished cell before surfacing failures, so a partially
     # failed sweep still resumes from the completed cells on rerun.  The
@@ -298,7 +353,7 @@ def run_sweep(
             if work.error is not None:
                 failures.append((spec, work.error))
                 continue
-            result = RunResult.from_payload(work.payload)
+            result = RunResult.from_payload(work.payload, telemetry=work.telemetry)
             cache.put(result, elapsed_s=work.elapsed_s)
             outcomes[work.index] = CellOutcome(
                 spec=spec, result=result, cached=False, elapsed_s=work.elapsed_s

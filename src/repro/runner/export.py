@@ -43,6 +43,18 @@ AGGREGATE_TAIL = ("n", "metric", "unit", "direction", "mean", "stdev", "ci95")
 #: Formats accepted by ``repro-runner report --format``.
 EXPORT_FORMATS = ("table", "csv", "jsonl")
 
+#: Headline telemetry fields exported per run by ``--telemetry``: row
+#: metric name → (telemetry dict key, unit).  Execution accounting, so
+#: every row carries ``direction: "info"`` — these are measurements *about*
+#: the run (see :mod:`repro.obs`), never paper metrics.
+TELEMETRY_EXPORT_FIELDS = (
+    ("telemetry_events", "events_processed", "events"),
+    ("telemetry_events_per_sec", "events_per_sec", "events/s"),
+    ("telemetry_wall_s", "wall_s", "s"),
+    ("telemetry_sim_time_s", "sim_time_s", "s"),
+    ("telemetry_speedup", "speedup", "x"),
+)
+
 
 def _cell_text(value: Any) -> str:
     """CSV rendering of one cell: containers as canonical JSON, None empty."""
@@ -113,29 +125,45 @@ def _assemble(
     return [*head, *params, *tail]
 
 
-def runs_long_table(results, *, registry: Optional[Any] = None) -> LongTable:
+def runs_long_table(
+    results, *, registry: Optional[Any] = None, telemetry: bool = False
+) -> LongTable:
     """One row per (run, metric) across ``results``.
 
     ``registry`` (e.g. :func:`repro.runner.registry.load_builtin_scenarios`)
     supplies metric schemas for unit/direction annotations and column
-    ordering; unknown scenarios export with empty units.
+    ordering; unknown scenarios export with empty units.  ``telemetry``
+    additionally emits the run's headline execution accounting
+    (:data:`TELEMETRY_EXPORT_FIELDS`) as ``direction: "info"`` rows —
+    runs without a recorded snapshot (``REPRO_OBS=0``, pre-layer cache
+    records) simply contribute none.
     """
     results = list(results)
     columns = _assemble(RUN_HEAD, (k for r in results for k in r.params), RUN_TAIL)
     rows: List[Dict[str, Any]] = []
     for result in results:
         schema = _schema_for(result.scenario, registry)
+        base = {"scenario": result.scenario, "seed": result.seed, **dict(result.params)}
         for name in _metric_order(schema, result.metrics):
             rows.append(
                 {
-                    "scenario": result.scenario,
-                    "seed": result.seed,
-                    **dict(result.params),
+                    **base,
                     "metric": name,
                     **_metric_annotations(schema, name),
                     "value": result.metrics[name],
                 }
             )
+        if telemetry and result.telemetry:
+            for metric_name, key, unit in TELEMETRY_EXPORT_FIELDS:
+                rows.append(
+                    {
+                        **base,
+                        "metric": metric_name,
+                        "unit": unit,
+                        "direction": "info",
+                        "value": result.telemetry.get(key),
+                    }
+                )
     return LongTable(columns=columns, rows=rows)
 
 
@@ -170,10 +198,10 @@ def aggregates_long_table(cells, *, registry: Optional[Any] = None) -> LongTable
 
 
 def export_runs(
-    results, fmt: str, *, registry: Optional[Any] = None
+    results, fmt: str, *, registry: Optional[Any] = None, telemetry: bool = False
 ) -> str:
     """Serialize runs in ``fmt`` (``csv`` or ``jsonl``)."""
-    table = runs_long_table(results, registry=registry)
+    table = runs_long_table(results, registry=registry, telemetry=telemetry)
     return _serialize(table, fmt)
 
 

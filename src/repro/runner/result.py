@@ -8,12 +8,21 @@ a parallel sweep serializes byte-for-byte identically to a serial sweep of
 the same spec.  Execution metadata (elapsed time, cache hit/miss, worker
 count) lives in the engine's :class:`repro.runner.engine.CellOutcome` and
 the cache record envelope instead.
+
+The one carve-out is :attr:`RunResult.telemetry` — the run's observability
+snapshot (hot-path counters, phase spans; see :mod:`repro.obs`).  It rides
+*on* the result so it flows through the engine, the cache envelope, and
+distributed workers' outcome frames, but it is metrics-about-the-run, not
+part of the run's identity: it is excluded from equality, from
+:meth:`RunResult.to_payload`, and therefore from :meth:`RunResult.canonical`
+and every cache key.  ``tests/test_obs_parity.py`` pins byte-for-byte
+parity with the observability layer on and off.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.util.canonical import canonical_json, canonicalize, stable_digest
 
@@ -62,6 +71,13 @@ class RunResult:
     metrics: Dict[str, Any] = field(default_factory=dict)
     #: Scenario version the run was produced under.
     scenario_version: int = 1
+    #: Observability snapshot of the *execution* (counters, spans; see
+    #: :mod:`repro.obs`).  Never part of the result's identity: excluded
+    #: from equality, ``to_payload`` and ``canonical``, carried in the
+    #: cache record's envelope instead of its ``result`` payload.  Empty
+    #: when collection is disabled (``REPRO_OBS=0``) or the result
+    #: predates the layer.
+    telemetry: Dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", canonicalize(dict(self.params)))
@@ -81,7 +97,15 @@ class RunResult:
         }
 
     @classmethod
-    def from_payload(cls, payload: Mapping[str, Any]) -> "RunResult":
+    def from_payload(
+        cls,
+        payload: Mapping[str, Any],
+        *,
+        telemetry: Optional[Mapping[str, Any]] = None,
+    ) -> "RunResult":
+        """Rebuild from a payload dict; ``telemetry`` re-attaches the
+        envelope-carried observability snapshot (it is never *inside* the
+        payload — that would change the result bytes)."""
         fmt = payload.get("format", PAYLOAD_FORMAT)
         if fmt != PAYLOAD_FORMAT:
             raise ValueError(f"unsupported RunResult payload format {fmt!r}")
@@ -93,6 +117,7 @@ class RunResult:
             key=payload["key"],
             metrics=payload.get("metrics", {}),
             scenario_version=payload.get("scenario_version", 1),
+            telemetry=dict(telemetry) if telemetry else {},
         )
 
     def canonical(self) -> str:

@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.cc import make_window_cc
 from repro.net.node import Host
+from repro.obs.collect import span, timed_iter
 from repro.net.packet import PacketFactory
 from repro.net.simulator import Simulator
 from repro.traffic.events import TraceEvent, TraceFormatError
@@ -92,7 +93,12 @@ class TraceReplayWorkload:
         self._running = True
         self._start_time = at
         source = self._source
-        self._events = iter(source(at) if callable(source) else source)
+        # Trace events are pulled lazily during the run; the wrapper meters
+        # time spent generating them into the "workload-generate" span (a
+        # plain pass-through when no telemetry collector is active).
+        self._events = timed_iter(
+            "workload-generate", iter(source(at) if callable(source) else source)
+        )
         self._schedule_next()
         return self
 
@@ -142,6 +148,14 @@ class TraceReplayWorkload:
     def _issue(self, event: TraceEvent) -> None:
         if not self._running:
             return
+        # The next event is pulled in _schedule_next, *outside* the span,
+        # so "trace-replay" (issuing) and "workload-generate" (pulling)
+        # stay disjoint.
+        with span("trace-replay"):
+            self._issue_event(event)
+        self._schedule_next()
+
+    def _issue_event(self, event: TraceEvent) -> None:
         sources, sinks = self._pools(event)
         src = sources[event.src % len(sources)]
         dst = sinks[event.dst % len(sinks)]
@@ -176,7 +190,6 @@ class TraceReplayWorkload:
             self.streams.append(stream)
             self._streams_started += 1
             stream.start(duration=event.duration_s)
-        self._schedule_next()
 
     def _flow_done(self, flow: TcpFlow) -> None:
         self.completed_records.append(flow.record())

@@ -113,6 +113,7 @@ class TcpSender:
         self._recovery_until = -1  # end (snd_nxt) of the current loss-recovery window
 
         host.register_agent(port, self)
+        sim.observe_flow(self)
 
     # -- lifecycle -----------------------------------------------------------
 

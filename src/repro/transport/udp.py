@@ -54,6 +54,7 @@ class PacedUdpStream:
         self.packets_sent = 0
         self.bytes_sent = 0
         self._running = False
+        sim.observe_flow(self)
 
     @property
     def interval(self) -> float:

@@ -1,0 +1,261 @@
+"""Tests for the perf harness (`repro.obs.perf`), its CLI, and profiling.
+
+The committed repo-root ``BENCH_*.json`` baselines are themselves under
+test here: every registered scenario must have one, and each baseline's
+``run_key`` must match what the current pinned profile resolves to — a
+stale baseline (profile, seed, or scenario version moved without a
+regeneration) fails the suite, not just the CI perf gate.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.perf import (
+    BENCH_FORMAT,
+    BENCH_SEED,
+    PERF_PROFILES,
+    bench_path,
+    compare_benches,
+    format_bench_table,
+    load_bench,
+    load_bench_dir,
+    run_bench,
+    run_scenarios,
+    write_bench,
+)
+from repro.runner.cli import main
+from repro.runner.engine import resolve_cell
+from repro.runner.registry import load_builtin_scenarios
+from repro.runner.spec import RunSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestProfiles:
+    def test_every_registered_scenario_has_a_profile(self):
+        registry = load_builtin_scenarios()
+        missing = [name for name in registry.names() if name not in PERF_PROFILES]
+        assert not missing, f"scenarios without a perf profile: {missing}"
+
+    def test_no_profile_for_unknown_scenarios(self):
+        registry = load_builtin_scenarios()
+        stale = [name for name in PERF_PROFILES if name not in registry]
+        assert not stale, f"profiles for unregistered scenarios: {stale}"
+
+    def test_profiles_resolve_against_their_param_spaces(self):
+        registry = load_builtin_scenarios()
+        for name, overrides in PERF_PROFILES.items():
+            registry.get(name).resolve_params(overrides)  # raises on a bad knob
+
+
+class TestCommittedBaselines:
+    def test_every_scenario_has_a_committed_baseline(self):
+        missing = [
+            name
+            for name in PERF_PROFILES
+            if not (REPO_ROOT / f"BENCH_{name}.json").exists()
+        ]
+        assert not missing, (
+            f"missing repo-root baselines: {missing}; regenerate with "
+            f"'python benchmarks/perf/run_benchmarks.py'"
+        )
+
+    def test_baseline_keys_match_current_pinned_profiles(self):
+        registry = load_builtin_scenarios()
+        stale = []
+        for name, overrides in PERF_PROFILES.items():
+            path = REPO_ROOT / f"BENCH_{name}.json"
+            if not path.exists():
+                continue
+            record = json.loads(path.read_text())
+            _, _, expected_key = resolve_cell(
+                RunSpec(name, overrides, seed=BENCH_SEED), registry=registry
+            )
+            if record.get("run_key") != expected_key:
+                stale.append(name)
+        assert not stale, (
+            f"stale baselines (run_key no longer matches the pinned profile): "
+            f"{stale}; regenerate with 'python benchmarks/perf/run_benchmarks.py'"
+        )
+
+    def test_baselines_recorded_real_runs(self):
+        for name in ("fig13_competing_bundles", "trace_flash_crowd"):
+            record = json.loads((REPO_ROOT / f"BENCH_{name}.json").read_text())
+            assert record["format"] == BENCH_FORMAT
+            assert record["events_processed"] > 0
+            assert record["events_per_sec"] > 0
+            assert record["counters"]["links"]["count"] > 0
+
+
+class TestRunBench:
+    def test_record_shape_and_roundtrip(self, tmp_path):
+        record = run_bench("ablation_pi_gains")  # no event loop: near-instant
+        assert record["format"] == BENCH_FORMAT
+        assert record["scenario"] == "ablation_pi_gains"
+        assert record["seed"] == BENCH_SEED
+        assert record["run_key"]
+        assert "counters" in record and "spans" in record
+        path = write_bench(record, str(tmp_path))
+        assert path == bench_path("ablation_pi_gains", str(tmp_path))
+        assert load_bench(path) == record
+        assert load_bench_dir(str(tmp_path)) == {"ablation_pi_gains": record}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench("nope")
+
+    def test_run_scenarios_in_process(self, tmp_path):
+        lines = []
+        paths = run_scenarios(
+            ["ablation_pi_gains"], str(tmp_path), isolate=False, log=lines.append
+        )
+        assert len(paths) == 1 and Path(paths[0]).exists()
+        assert any("ablation_pi_gains" in line for line in lines)
+
+    @pytest.mark.distributed  # spawns a subprocess, same tier as worker tests
+    def test_run_scenarios_isolated_records_fresh_process_rss(self, tmp_path):
+        [path] = run_scenarios(["ablation_pi_gains"], str(tmp_path), isolate=True)
+        record = load_bench(path)
+        assert record["peak_rss_kb"] is None or record["peak_rss_kb"] > 0
+
+
+def _record(name, *, eps=1000.0, events=500, key="k1"):
+    return {
+        "format": BENCH_FORMAT,
+        "scenario": name,
+        "run_key": key,
+        "events_processed": events,
+        "events_per_sec": eps,
+    }
+
+
+class TestCompare:
+    def test_identical_sets_pass(self):
+        base = {"a": _record("a")}
+        failures, notes = compare_benches(base, {"a": _record("a")})
+        assert failures == [] and notes == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        failures, _ = compare_benches(
+            {"a": _record("a", eps=1000.0)},
+            {"a": _record("a", eps=800.0)},
+            tolerance=0.15,
+        )
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_regression_within_tolerance_passes(self):
+        failures, _ = compare_benches(
+            {"a": _record("a", eps=1000.0)},
+            {"a": _record("a", eps=900.0)},
+            tolerance=0.15,
+        )
+        assert failures == []
+
+    def test_stale_run_key_fails_even_when_faster(self):
+        failures, _ = compare_benches(
+            {"a": _record("a", key="old")},
+            {"a": _record("a", key="new", eps=99999.0)},
+        )
+        assert len(failures) == 1 and "run key changed" in failures[0]
+
+    def test_missing_candidate_fails(self):
+        failures, _ = compare_benches({"a": _record("a")}, {})
+        assert len(failures) == 1 and "missing" in failures[0]
+
+    def test_count_drift_and_improvement_are_notes(self):
+        failures, notes = compare_benches(
+            {"a": _record("a", events=500, eps=1000.0)},
+            {"a": _record("a", events=600, eps=2000.0)},
+        )
+        assert failures == []
+        assert any("drifted" in n for n in notes)
+        assert any("improved" in n for n in notes)
+
+    def test_new_scenario_is_a_note(self):
+        failures, notes = compare_benches({}, {"b": _record("b")})
+        assert failures == []
+        assert any("new scenario" in n for n in notes)
+
+    def test_zero_rate_baseline_skips_the_rate_gate(self):
+        # ablation_pi_gains runs no event loop: events/sec is 0 in its
+        # baseline, which must not divide-by-zero or fail every compare.
+        failures, _ = compare_benches(
+            {"a": _record("a", eps=0.0, events=0)},
+            {"a": _record("a", eps=0.0, events=0)},
+        )
+        assert failures == []
+
+
+class TestPerfCli:
+    def test_report_renders_table(self, tmp_path, capsys):
+        write_bench(_record("a", eps=1234.0) | {
+            "wall_s": 1.0, "sim_time_s": 5.0, "speedup": 5.0, "peak_rss_kb": 2048,
+        }, str(tmp_path))
+        assert main(["perf", "report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perf benchmarks" in out and "1,234" in out
+
+    def test_compare_exit_codes(self, tmp_path, capsys):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        write_bench(_record("a", eps=1000.0), str(base))
+        write_bench(_record("a", eps=990.0), str(cand))
+        assert main(["perf", "compare", "--baseline", str(base),
+                     "--candidate", str(cand)]) == 0
+        write_bench(_record("a", eps=100.0), str(cand))
+        assert main(["perf", "compare", "--baseline", str(base),
+                     "--candidate", str(cand)]) == 1
+        err = capsys.readouterr().err
+        assert "regressed" in err
+
+    def test_compare_tolerance_flag(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        write_bench(_record("a", eps=1000.0), str(base))
+        write_bench(_record("a", eps=600.0), str(cand))
+        assert main(["perf", "compare", "--baseline", str(base),
+                     "--candidate", str(cand)]) == 1
+        assert main(["perf", "compare", "--baseline", str(base),
+                     "--candidate", str(cand), "--tolerance", "0.5"]) == 0
+
+    def test_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "run", "--scenario", "nope", "--out-dir", "/tmp/x"])
+
+    def test_run_in_process_writes_record(self, tmp_path):
+        assert main(["perf", "run", "--scenario", "ablation_pi_gains",
+                     "--out-dir", str(tmp_path), "--no-isolate"]) == 0
+        assert (tmp_path / "BENCH_ablation_pi_gains.json").exists()
+
+    def test_format_bench_table_handles_minimal_records(self):
+        text = format_bench_table([_record("a")])
+        assert "a" in text
+
+
+class TestProfileCli:
+    def test_profile_prints_hot_functions_and_dumps_pstats(self, tmp_path, capsys):
+        out = tmp_path / "prof.pstats"
+        code = main([
+            "profile", "fig13_competing_bundles", "-p", "duration_s=1",
+            "--top", "5", "--sort", "tottime", "-o", str(out),
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "profile: fig13_competing_bundles" in captured
+        assert "function calls" in captured
+        assert out.exists() and out.stat().st_size > 0
+
+    def test_profile_run_api(self):
+        from repro.obs.profiling import profile_run
+
+        result, report = profile_run(
+            "fig13_competing_bundles", {"duration_s": 1}, seed=1, top=3
+        )
+        assert result.metrics
+        assert "function calls" in report
+
+    def test_bad_sort_rejected(self):
+        from repro.obs.profiling import profile_run
+
+        with pytest.raises(ValueError):
+            profile_run("fig13_competing_bundles", {"duration_s": 1}, sort="zorp")

@@ -22,7 +22,30 @@ class TestProbeHost:
         assert health.scenarios and health.scenarios >= 19
         assert health.hello_s is not None and health.hello_s > 0
         assert health.ping_rtt_s is not None and health.ping_rtt_s > 0
-        assert "ok" in health.describe()
+        # Calibration ran by default: the worker executed the pinned cell
+        # and its outcome telemetry measured the host's throughput.
+        assert health.calibrate_s is not None and health.calibrate_s > 0
+        assert health.events_per_sec is not None and health.events_per_sec > 0
+        assert "events/s" in health.describe()
+
+    def test_no_calibrate_skips_the_cell(self):
+        health = probe_host(
+            HostSpec("localhost"), LocalSubprocessTransport(), calibrate=False
+        )
+        assert health.healthy, health.error
+        assert health.calibrate_s is None
+        assert health.events_per_sec is None
+        assert "events/s" not in health.describe()
+
+    def test_calibration_timeout_marks_unhealthy(self):
+        health = probe_host(
+            HostSpec("localhost"),
+            LocalSubprocessTransport(),
+            calibrate_timeout_s=0.01,
+        )
+        assert not health.healthy
+        assert health.failure == "calibrate"
+        assert "not done within" in health.error
 
     def test_hello_timeout_marks_unhealthy(self):
         transport = LocalSubprocessTransport(
@@ -91,6 +114,15 @@ class TestDoctorCli:
         captured = capsys.readouterr()
         assert "workers doctor" in captured.out
         assert "all 1 host(s) healthy" in captured.out
+        assert "events/s" in captured.out
+
+    def test_doctor_no_calibrate_leaves_column_empty(self, capsys):
+        assert main(["workers", "doctor", "--hosts", "localhost",
+                     "--no-calibrate"]) == 0
+        captured = capsys.readouterr()
+        # Column header still present, value dashed out.
+        lines = [l for l in captured.out.splitlines() if l.startswith("localhost")]
+        assert lines and lines[0].rstrip().endswith("-")
 
     def test_doctor_unhealthy_exit_nonzero(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_WORKER_STARTUP_DELAY_S", "30")

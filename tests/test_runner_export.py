@@ -172,3 +172,42 @@ class TestTableShape:
         with pytest.raises(ValueError, match="unknown export format"):
             export_runs(_results(), "xml")
         assert EXPORT_FORMATS == ("table", "csv", "jsonl")
+
+
+class TestTelemetryRows:
+    def _with_telemetry(self):
+        params = {"mode": "b", "rate": 12}
+        return RunResult(
+            scenario="toy_fct",
+            params=params,
+            seed=7,
+            effective_seed=70,
+            key=run_key("toy_fct", params, 7, version=1),
+            metrics={"completed": 3, "median_slowdown": 1.1},
+            telemetry={
+                "events_processed": 1000,
+                "events_per_sec": 500.0,
+                "wall_s": 2.0,
+                "sim_time_s": 4.0,
+                "speedup": 2.0,
+            },
+        )
+
+    def test_opt_in_appends_info_rows(self):
+        table = runs_long_table([self._with_telemetry()], registry=_registry(), telemetry=True)
+        telemetry_rows = [r for r in table.rows if r["metric"].startswith("telemetry_")]
+        assert {r["metric"] for r in telemetry_rows} == {
+            "telemetry_events", "telemetry_events_per_sec", "telemetry_wall_s",
+            "telemetry_sim_time_s", "telemetry_speedup",
+        }
+        assert all(r["direction"] == "info" for r in telemetry_rows)
+        rates = {r["metric"]: r["value"] for r in telemetry_rows}
+        assert rates["telemetry_events_per_sec"] == 500.0
+
+    def test_default_export_has_no_telemetry_rows(self):
+        table = runs_long_table([self._with_telemetry()], registry=_registry())
+        assert not any(r["metric"].startswith("telemetry_") for r in table.rows)
+
+    def test_runs_without_snapshots_contribute_none(self):
+        table = runs_long_table(_results(), registry=_registry(), telemetry=True)
+        assert not any(r["metric"].startswith("telemetry_") for r in table.rows)
