@@ -39,6 +39,7 @@ class MultipathDetector:
         self.window_s = window_s
         self.min_samples = min_samples
         self._samples: Deque[Tuple[float, bool]] = deque()
+        self._window_out_of_order = 0  # running count over ``_samples``
         self.total_samples = 0
         self.total_out_of_order = 0
 
@@ -47,13 +48,16 @@ class MultipathDetector:
         self._samples.append((now, out_of_order))
         self.total_samples += 1
         if out_of_order:
+            self._window_out_of_order += 1
             self.total_out_of_order += 1
         self._evict(now)
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.window_s
-        while self._samples and self._samples[0][0] < cutoff:
-            self._samples.popleft()
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            if samples.popleft()[1]:
+                self._window_out_of_order -= 1
 
     def fraction(self, now: float = None) -> float:
         """Out-of-order fraction over the sliding window."""
@@ -61,7 +65,7 @@ class MultipathDetector:
             self._evict(now)
         if not self._samples:
             return 0.0
-        return sum(1 for _, ooo in self._samples if ooo) / len(self._samples)
+        return self._window_out_of_order / len(self._samples)
 
     def lifetime_fraction(self) -> float:
         """Out-of-order fraction over the entire run (used by §7.6's sweep)."""

@@ -135,6 +135,9 @@ def _check_load_split(split) -> None:
 @register_scenario(
     "fig13_competing_bundles",
     figure="Figure 13 / §7.4",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Multiple bundles sharing one bottleneck at a given load split",
     params=ParamSpace(
         ParamSpec("load_split", kind="list[float]", default=[0.5, 0.5], unit="fraction",

@@ -393,6 +393,9 @@ def run_elastic_cross_sweep(
 @register_scenario(
     "fig10_phased_cross_traffic",
     figure="Figure 10 / §7.3",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Three cross-traffic phases; Bundler yields during buffer-filling phases",
     params=ParamSpace(
         ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,
@@ -439,6 +442,9 @@ def _phased_scenario(*, seed: int, **params):
 @register_scenario(
     "fig11_short_cross_traffic",
     figure="Figure 11 / §7.3",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Bundle FCTs under increasing short-flow cross-traffic load",
     params=ParamSpace(
         ParamSpec("mode", kind="str", default="bundler", choices=("status_quo", "bundler"),
@@ -483,6 +489,9 @@ def _short_cross_scenario(*, seed: int, **params):
 @register_scenario(
     "fig12_elastic_cross",
     figure="Figure 12 / §7.3",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Bundle throughput share against persistent buffer-filling cross flows",
     params=ParamSpace(
         ParamSpec("mode", kind="str", default="bundler", choices=("status_quo", "bundler"),

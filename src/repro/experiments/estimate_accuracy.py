@@ -150,6 +150,9 @@ def run_estimate_sweep(
 @register_scenario(
     "fig05_fig06_estimates",
     figure="Figures 5-6 / §7.1",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Accuracy of Bundler's epoch-based RTT and receive-rate estimates",
     params=ParamSpace(
         ParamSpec("bottleneck_mbps", kind="float", default=24.0, unit="Mbit/s", minimum=1.0,

@@ -150,6 +150,9 @@ def run_internet_paths_study(
 @register_scenario(
     "fig16_internet_paths",
     figure="Figure 16 / §8",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Emulated WAN region: probe RTTs under base / status-quo / Bundler",
     params=ParamSpace(
         ParamSpec("region", kind="str", default="belgium",

@@ -128,6 +128,9 @@ def run_multipath_sweep(
 @register_scenario(
     "fig07_multipath",
     figure="Figure 7 / §7.6",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Out-of-order epoch measurements under imbalanced multipath routing",
     params=ParamSpace(
         ParamSpec("num_paths", kind="int", default=1, unit="count", minimum=1,

@@ -97,6 +97,9 @@ def run_queue_shift(
 @register_scenario(
     "fig02_queue_shift",
     figure="Figure 2",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Bundler moves the standing queue from the bottleneck to the sendbox",
     params=ParamSpace(
         ParamSpec("with_bundler", kind="bool", default=True,

@@ -359,6 +359,9 @@ def _run_registered_scenario(*, seed: int, **params) -> Dict[str, object]:
 register_scenario(
     "fig09_slowdown",
     figure="Figure 9 / §7.2",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="FCT slowdown distribution of the §7.1 workload under a given mode",
     params=SCENARIO_PARAMS,
     metrics=SCENARIO_METRICS,
@@ -367,6 +370,9 @@ register_scenario(
 register_scenario(
     "fig14_sendbox_cc",
     figure="Figure 14 / §7.2",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Sendbox congestion-control choice (Copa / BasicDelay / BBR) on the §7.1 workload",
     params=SCENARIO_PARAMS.with_defaults(duration_s=12.0),
     metrics=SCENARIO_METRICS,
@@ -375,6 +381,9 @@ register_scenario(
 register_scenario(
     "fig15_proxy",
     figure="Figure 15 / §7.5",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Idealized TCP-terminating proxy emulation vs plain Bundler",
     params=SCENARIO_PARAMS.with_defaults(mode="proxy", load_fraction=0.8, duration_s=12.0),
     metrics=SCENARIO_METRICS,
@@ -383,6 +392,9 @@ register_scenario(
 register_scenario(
     "sec74_endhost_cc",
     figure="§7.4 (table)",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Bundler's gains across endhost congestion controllers (Cubic / Reno / BBR)",
     params=SCENARIO_PARAMS.with_defaults(duration_s=10.0),
     metrics=SCENARIO_METRICS,
@@ -436,6 +448,9 @@ def _run_policy_scenario(*, seed: int, **params) -> Dict[str, object]:
 register_scenario(
     "sec72_fq_codel",
     figure="§7.2 (text)",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="FQ-CoDel at the sendbox: short-flow latency versus the Status Quo FIFO",
     params=SCENARIO_PARAMS.with_defaults(mode="bundler_fq_codel", duration_s=12.0),
     metrics=POLICY_METRICS,
@@ -450,5 +465,7 @@ register_scenario(
     # v2: flows now carry their priority class from the first packet; the
     # pre-trace implementation let each flow's initial window out as class
     # 0 before re-classifying it.
-    version=2,
+    # v3: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=3,
 )(_run_policy_scenario)

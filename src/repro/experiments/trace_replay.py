@@ -219,6 +219,9 @@ def _run_registered_trace_replay(*, seed: int, **params) -> Dict[str, object]:
 register_scenario(
     "trace_diurnal_load",
     figure="beyond the paper (workload family)",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Diurnal (Markov-modulated) request load replayed through the site",
     params=TRACE_REPLAY_PARAMS.with_defaults(
         trace={"generator": "diurnal", "params": {
@@ -237,6 +240,9 @@ register_scenario(
 register_scenario(
     "trace_flash_crowd",
     figure="beyond the paper (workload family)",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Flash-crowd arrival ramp: baseline to a multiple of the baseline and back",
     params=TRACE_REPLAY_PARAMS.with_defaults(
         trace={"generator": "flash_crowd", "params": {
@@ -258,6 +264,9 @@ register_scenario(
 register_scenario(
     "trace_bursty_cross",
     figure="beyond the paper (workload family)",
+    # v2: every() timers compute drift-free tick times (origin + k*interval),
+    # shifting control-epoch instants by accumulated float error.
+    version=2,
     description="Request workload with adversarial on/off paced cross-traffic bursts",
     params=TRACE_REPLAY_PARAMS.with_defaults(
         trace={"generator": "mix", "params": {"components": [

@@ -14,10 +14,18 @@ they have a backlog; in that case the link re-polls the qdisc at the time the
 qdisc reports the next packet could become available.  Control-plane code
 that changes a qdisc's rate must call :meth:`Link.kick` so a waiting link
 notices the new schedule immediately.
+
+The datapath is closure-free and batched (see ``docs/simcore.md``): finish
+and delivery events are pushed as ``(fn, args)`` heap entries, and
+:meth:`Link._finish_transmit` drains back-to-back departures inline whenever
+the entry it just pushed is still the heap top — an identity check that makes
+batching provably order-identical to popping one event per step.  Zero-delay
+delivery hops are executed inline under the same gate.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, List, Optional
 
 from repro.net.packet import Packet
@@ -54,6 +62,10 @@ class Link:
         self._busy = False
         self._retry_token: Optional[CancelToken] = None
         self._transmit_hooks: List[Callable[[Packet, float], None]] = []
+        #: Optional recycle hook (e.g. ``factory.recycle``): called when
+        #: this link drops an arrival at enqueue, the one point where the
+        #: link owns a dead packet (see PacketFactory pooling).
+        self.drop_recycler: Optional[Callable[[Packet], None]] = None
         self.bytes_sent = 0
         self.packets_sent = 0
         self.packets_dropped = 0
@@ -76,12 +88,13 @@ class Link:
 
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet for transmission.  Returns False if it was dropped."""
-        now = self.sim.now
+        now = self.sim._now
         packet.enqueued_at = now
-        accepted = self.qdisc.enqueue(packet, now)
-        if not accepted:
+        if not self.qdisc.enqueue(packet, now):
             self.packets_dropped += 1
             self.monitor.on_drop(now)
+            if self.drop_recycler is not None:
+                self.drop_recycler(packet)
             return False
         self.monitor.on_enqueue(now, self.qdisc.backlog_bytes)
         if not self._busy:
@@ -99,10 +112,20 @@ class Link:
             self._retry_token = None
 
     def _try_transmit(self) -> None:
+        """Start transmitting the next packet, if the qdisc releases one.
+
+        Never batches: callers (``send``, ``kick``, the retry timer) continue
+        executing at the current instant after this returns, so the clock
+        must not move under them.  Batched drain lives in
+        :meth:`_finish_transmit`, which only ever runs as the tail of a
+        finish event.
+        """
         if self._busy:
             return
-        self._cancel_retry()
-        now = self.sim.now
+        if self._retry_token is not None:
+            self._retry_token.cancel()
+            self._retry_token = None
+        now = self.sim._now
         packet = self.qdisc.dequeue(now)
         if packet is None:
             if len(self.qdisc) > 0:
@@ -119,17 +142,90 @@ class Link:
             hook(packet, now)
         self._busy = True
         tx_time = packet.size * 8.0 / self.rate_bps
-        self.sim.schedule(tx_time, lambda: self._finish_transmit(packet))
+        self.sim.schedule_call(tx_time, self._finish_transmit, packet)
 
     def _finish_transmit(self, packet: Packet) -> None:
-        now = self.sim.now
-        self._busy = False
-        self.bytes_sent += packet.size
-        self.packets_sent += 1
-        self.rate_monitor.on_delivery(now, packet.size)
-        if self.dst_node is not None:
-            self.sim.schedule(self.delay, lambda: self.dst_node.receive(packet, self))
-        self._try_transmit()
+        """Complete ``packet``'s serialization; drain the backlog batched.
+
+        Each loop iteration reproduces the historical event sequence for one
+        departure *in the exact order the closure-based datapath pushed it*:
+        delivery first, then the next packet's finish.  Inlining then only
+        happens under heap-top identity gates:
+
+        * the zero-delay delivery hop is executed in place iff its entry is
+          the very next event (nothing else is queued at the current
+          instant), and
+        * the next finish event is popped and folded into this loop iff its
+          entry is still the heap top after delivery ran (no event —
+          including anything the delivery's receive path just scheduled —
+          lands at or before it) and it does not overrun the active run
+          bound.
+
+        Both gates compare against events the old datapath would have popped
+        next anyway, so batching is byte-for-byte order-identical; inlined
+        entries are counted in ``events_processed`` to keep event counts
+        comparable.  See docs/simcore.md.
+        """
+        sim = self.sim
+        stats = sim.stats
+        queue = sim._queue
+        counter = sim._counter
+        qdisc = self.qdisc
+        rate_bps = self.rate_bps
+        while True:
+            now = sim._now
+            self._busy = False
+            size = packet.size
+            self.bytes_sent += size
+            self.packets_sent += 1
+            self.rate_monitor.on_delivery(now, size)
+            dst = self.dst_node
+            deliver_entry = None
+            if dst is not None:
+                stats.events_scheduled += 1
+                deliver_entry = (now + self.delay, next(counter), None, dst.receive, (packet, self))
+                heappush(queue, deliver_entry)
+            # Start the next transmission (the old inline _try_transmit):
+            # the finish entry is pushed *after* the delivery entry, exactly
+            # as the closure datapath ordered them.
+            finish_entry = None
+            nxt = qdisc.dequeue(now)
+            if nxt is None:
+                if len(qdisc) > 0:
+                    ready = qdisc.next_ready_time(now)
+                    if ready is not None:
+                        self._retry_token = sim.at(max(ready, now + 1e-6), self._try_transmit)
+            else:
+                wait = now - nxt.enqueued_at
+                self.monitor.on_dequeue(now, wait, qdisc.backlog_bytes)
+                for hook in self._transmit_hooks:
+                    hook(nxt, now)
+                self._busy = True
+                stats.events_scheduled += 1
+                finish_entry = (
+                    now + nxt.size * 8.0 / rate_bps,
+                    next(counter),
+                    None,
+                    self._finish_transmit,
+                    (nxt,),
+                )
+                heappush(queue, finish_entry)
+            if deliver_entry is not None and queue[0] is deliver_entry and self.delay == 0.0:
+                # Zero-delay hop: the delivery is the very next event, so run
+                # it in place instead of round-tripping through the heap.
+                heappop(queue)
+                stats.events_processed += 1
+                dst.receive(packet, self)
+            if finish_entry is None:
+                return
+            until = sim._until
+            if queue[0] is finish_entry and (until is None or finish_entry[0] <= until):
+                heappop(queue)
+                stats.events_processed += 1
+                sim.advance(finish_entry[0])
+                packet = nxt
+                continue
+            return
 
     # -- introspection ----------------------------------------------------
 

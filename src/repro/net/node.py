@@ -47,17 +47,6 @@ class Node:
     def deregister_agent(self, port: int) -> None:
         self._agents.pop(port, None)
 
-    def _run_taps(self, packet: Packet, now: float) -> None:
-        for tap in self._taps:
-            tap(packet, now)
-
-    def _deliver_local(self, packet: Packet, now: float) -> None:
-        agent = self._agents.get(packet.dst_port)
-        if agent is not None:
-            agent.on_packet(packet, now)
-        # Packets to unknown ports are silently dropped, as a real host would
-        # (we do not model ICMP port-unreachable).
-
     def receive(self, packet: Packet, link: Optional[Link]) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -71,6 +60,11 @@ class Host(Node):
     def __init__(self, sim: Simulator, name: str, address: Optional[int] = None) -> None:
         super().__init__(sim, name, address)
         self.egress: Optional[Link] = None
+        #: Optional recycle hook (e.g. ``factory.recycle``): called after a
+        #: packet is delivered locally, when this host is the packet's final
+        #: owner.  Only set it when no agent on this host retains packets
+        #: (see PacketFactory pooling).
+        self.recycler: Optional[Callable[[Packet], None]] = None
 
     def attach_egress(self, link: Link) -> None:
         """Set the link this host uses to send traffic."""
@@ -83,10 +77,17 @@ class Host(Node):
         return self.egress.send(packet)
 
     def receive(self, packet: Packet, link: Optional[Link]) -> None:
-        now = self.sim.now
+        # Hot path: taps and local delivery are inlined (no helper calls).
+        now = self.sim._now
         self.packets_received += 1
-        self._run_taps(packet, now)
-        self._deliver_local(packet, now)
+        if self._taps:
+            for tap in self._taps:
+                tap(packet, now)
+        agent = self._agents.get(packet.dst_port)
+        if agent is not None:
+            agent.on_packet(packet, now)
+        if self.recycler is not None:
+            self.recycler(packet)
 
 
 class EcmpGroup:
@@ -126,6 +127,10 @@ class EcmpGroup:
             self._cumulative.append(acc)
 
     def pick(self, packet: Packet) -> Link:
+        # Single-member groups (every plain `add_route`) need no balancing
+        # decision at all — skip the flow hash and the weight walk.
+        if len(self.links) == 1:
+            return self.links[0]
         if self.mode == "packet":
             link = self.links[self._rr % len(self.links)]
             self._rr += 1
@@ -171,11 +176,15 @@ class Router(Node):
         return group.pick(packet)
 
     def receive(self, packet: Packet, link: Optional[Link]) -> None:
-        now = self.sim.now
+        now = self.sim._now
         self.packets_received += 1
-        self._run_taps(packet, now)
+        if self._taps:
+            for tap in self._taps:
+                tap(packet, now)
         if packet.dst == self.address:
-            self._deliver_local(packet, now)
+            agent = self._agents.get(packet.dst_port)
+            if agent is not None:
+                agent.on_packet(packet, now)
             return
         out = self.route_for(packet)
         if out is None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import glob
 import json
+import math
 import os
 import platform
 import subprocess
@@ -195,12 +196,23 @@ def run_scenarios(
             path = _run_isolated(name, out_dir, seed=seed)
         else:
             path = write_bench(run_bench(name, seed=seed), out_dir)
+        record = load_bench(path)
         if log:
-            record = load_bench(path)
             log(
                 f"bench {name}: {record['events_processed']:,} events, "
                 f"{record['events_per_sec']:,.0f} events/s, "
                 f"{record['wall_s']:.2f}s wall"
+            )
+        if record.get("events_processed", 0) == 0:
+            # A benchmark that processed zero events measures nothing —
+            # the pinned profile is broken (wrong param, scenario bypassing
+            # the simulator).  Loud, on stderr, regardless of ``log``.
+            print(
+                f"WARNING: bench {name} processed 0 events — its pinned "
+                f"profile exercises no event loop, so its BENCH record "
+                f"gates nothing; fix the profile or the scenario",
+                file=sys.stderr,
+                flush=True,
             )
         paths.append(path)
     return paths
@@ -286,6 +298,47 @@ def compare_benches(
         if name not in baseline:
             notes.append(f"{name}: new scenario (no baseline yet)")
     return failures, notes
+
+
+def format_bench_diff(
+    baseline: Mapping[str, Mapping[str, Any]],
+    candidate: Mapping[str, Mapping[str, Any]],
+) -> str:
+    """Side-by-side events/sec table for two bench sets (old vs new).
+
+    Purely informational — no gating.  The final row is the geometric mean
+    of the per-scenario speedups, the single number quoted when a PR claims
+    a simulator-wide win.
+    """
+    from repro.metrics.reporting import Table
+
+    table = Table(
+        ["scenario", "base events/s", "new events/s", "speedup", "base events", "new events"],
+        title="perf diff (baseline -> candidate)",
+    )
+    ratios: List[float] = []
+    for name in sorted(set(baseline) | set(candidate)):
+        base, cand = baseline.get(name), candidate.get(name)
+        base_eps = float(base.get("events_per_sec") or 0.0) if base else 0.0
+        cand_eps = float(cand.get("events_per_sec") or 0.0) if cand else 0.0
+        if base and cand and base_eps > 0 and cand_eps > 0:
+            ratio = cand_eps / base_eps
+            ratios.append(ratio)
+            speedup = f"{ratio:.2f}x"
+        else:
+            speedup = "-"
+        table.add_row(
+            name,
+            f"{base_eps:,.0f}" if base else "-",
+            f"{cand_eps:,.0f}" if cand else "-",
+            speedup,
+            f"{base.get('events_processed', 0):,}" if base else "-",
+            f"{cand.get('events_processed', 0):,}" if cand else "-",
+        )
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        table.add_row("geomean", "", "", f"{geomean:.2f}x", "", "")
+    return table.render()
 
 
 def format_bench_table(records: Iterable[Mapping[str, Any]]) -> str:

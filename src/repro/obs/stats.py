@@ -27,16 +27,20 @@ class SimStats:
 
     ``events_scheduled`` counts heap pushes, ``events_processed`` counts
     callbacks actually fired (cancelled tokens are popped but skipped and
-    show up in ``events_cancelled``), ``run_wall_s`` is wall-clock time
-    spent inside :meth:`Simulator.run`, and ``sim_time_s`` is the final
-    simulated clock — together they give events/sec and the sim-time
-    speedup every run reports.
+    show up in ``events_cancelled``; work a batched datapath inlines
+    instead of queueing is counted here too, so counts stay comparable
+    across scheduler refactors), ``events_pending`` is the exact number of
+    live events still queued when the last :meth:`Simulator.run` returned,
+    ``run_wall_s`` is wall-clock time spent inside :meth:`Simulator.run`,
+    and ``sim_time_s`` is the final simulated clock — together they give
+    events/sec and the sim-time speedup every run reports.
     """
 
     __slots__ = (
         "events_scheduled",
         "events_processed",
         "events_cancelled",
+        "events_pending",
         "run_calls",
         "run_wall_s",
         "sim_time_s",
@@ -46,6 +50,7 @@ class SimStats:
         self.events_scheduled = 0
         self.events_processed = 0
         self.events_cancelled = 0
+        self.events_pending = 0
         self.run_calls = 0
         self.run_wall_s = 0.0
         self.sim_time_s = 0.0
@@ -69,6 +74,7 @@ class SimStats:
             "events_scheduled": self.events_scheduled,
             "events_processed": self.events_processed,
             "events_cancelled": self.events_cancelled,
+            "events_pending": self.events_pending,
             "run_calls": self.run_calls,
             "run_wall_s": round(self.run_wall_s, 6),
             "sim_time_s": round(self.sim_time_s, 9),

@@ -8,7 +8,13 @@ Every queueing discipline exposes the same small interface to the link:
 * :meth:`Qdisc.next_ready_time` — when a waiting packet could next become
   eligible (only meaningful for shapers; work-conserving qdiscs return the
   current time whenever they have a backlog).
+* :meth:`Qdisc.peek` — the head-of-line candidate, without mutating any
+  state (see the method docstring for what "candidate" means for AQMs and
+  schedulers whose dequeue is stateful).
 * ``len(qdisc)`` and :attr:`Qdisc.backlog_bytes` — queue occupancy.
+  ``backlog_bytes``/``backlog_packets`` are plain integer attributes kept
+  by the bookkeeping helpers below, so reading them is always O(1) — links
+  and monitors read them per packet.
 
 Limits may be expressed in packets (``limit_packets``) or bytes
 (``limit_bytes``); both default to "unlimited", and concrete disciplines
@@ -59,6 +65,24 @@ class Qdisc:
         ``None`` when empty.  Shapers override this.
         """
         return now if self.backlog_packets > 0 else None
+
+    def peek(self) -> Optional[Packet]:
+        """Return the head-of-line candidate without dequeuing it.
+
+        Must not mutate any state.  For plain queues this is exactly the
+        packet the next :meth:`dequeue` returns.  For disciplines whose
+        dequeue is stateful the contract is deliberately weaker — the
+        *candidate* at the head of the currently scheduled queue:
+
+        * AQMs (CoDel, RED) may still drop the candidate at dequeue time;
+        * DRR/FQ-CoDel may rotate to another class once deficits are
+          charged;
+        * a shaper (TBF) reports its staged/inner head even when no tokens
+          are available yet (pair with :meth:`next_ready_time`).
+
+        Returns ``None`` when empty.
+        """
+        raise NotImplementedError
 
     def peek_backlog(self) -> int:
         """Bytes currently queued (alias for :attr:`backlog_bytes`)."""

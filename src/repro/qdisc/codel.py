@@ -87,7 +87,7 @@ class CoDelQdisc(Qdisc):
         if self._would_exceed_limit(packet):
             self._account_drop(packet)
             return False
-        packet.meta["codel_enqueue_time"] = now
+        packet.codel_ts = now
         self._queue.append(packet)
         self._account_enqueue(packet)
         return True
@@ -95,10 +95,16 @@ class CoDelQdisc(Qdisc):
     def dequeue(self, now: float) -> Optional[Packet]:
         while self._queue:
             packet = self._queue.popleft()
-            sojourn = now - packet.meta.get("codel_enqueue_time", now)
+            # codel_ts is a dedicated Packet slot (set at enqueue above) so
+            # the sojourn read never allocates a meta dict per packet.
+            sojourn = now - packet.codel_ts
             if self.state.should_drop(sojourn, now, self.backlog_bytes):
                 self._account_drop(packet, was_queued=True)
                 continue
             self._account_dequeue(packet)
             return packet
         return None
+
+    def peek(self) -> Optional[Packet]:
+        """Head of the queue; the CoDel drop law may still claim it at dequeue."""
+        return self._queue[0] if self._queue else None

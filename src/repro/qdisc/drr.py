@@ -16,6 +16,16 @@ from repro.net.packet import Packet
 from repro.qdisc.base import Qdisc
 
 
+class _DrrClass:
+    """Per-class state: one ring buffer plus its byte deficit."""
+
+    __slots__ = ("queue", "deficit")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Packet] = deque()
+        self.deficit = 0.0
+
+
 class DrrQdisc(Qdisc):
     """Weighted deficit-round-robin over per-flow (or per-class) queues."""
 
@@ -37,8 +47,7 @@ class DrrQdisc(Qdisc):
         self.quantum = quantum
         self.classifier = classifier or (lambda pkt: pkt.flow_hash() % 1024)
         self.weights = weights or {}
-        self._queues: Dict[int, Deque[Packet]] = {}
-        self._deficits: Dict[int, float] = {}
+        self._classes: Dict[int, _DrrClass] = {}
         self._active: Deque[int] = deque()
 
     def _class_quantum(self, key: int) -> float:
@@ -49,14 +58,13 @@ class DrrQdisc(Qdisc):
             self._account_drop(packet)
             return False
         key = self.classifier(packet)
-        queue = self._queues.get(key)
-        if queue is None:
-            queue = deque()
-            self._queues[key] = queue
-        if not queue and key not in self._active:
+        cls = self._classes.get(key)
+        if cls is None:
+            cls = self._classes[key] = _DrrClass()
+        if not cls.queue and key not in self._active:
             self._active.append(key)
-            self._deficits[key] = 0.0
-        queue.append(packet)
+            cls.deficit = 0.0
+        cls.queue.append(packet)
         self._account_enqueue(packet)
         return True
 
@@ -64,31 +72,30 @@ class DrrQdisc(Qdisc):
         rounds = 0
         while self._active and rounds <= 2 * len(self._active) + 2:
             key = self._active[0]
-            queue = self._queues.get(key)
+            cls = self._classes[key]
+            queue = cls.queue
             if not queue:
                 self._active.popleft()
-                self._deficits.pop(key, None)
                 continue
             head = queue[0]
-            if self._deficits[key] < head.size:
+            if cls.deficit < head.size:
                 # Not enough deficit: grant a quantum and rotate to the back.
-                self._deficits[key] += self._class_quantum(key)
+                cls.deficit += self._class_quantum(key)
                 self._active.rotate(-1)
                 rounds += 1
                 continue
             queue.popleft()
-            self._deficits[key] -= head.size
+            cls.deficit -= head.size
             self._account_dequeue(head)
             if not queue:
                 self._active.popleft()
-                self._deficits.pop(key, None)
             return head
         # Degenerate case: a packet larger than any accumulated deficit with a
         # tiny quantum.  Serve the head of the first active queue to preserve
         # work conservation.
         while self._active:
             key = self._active[0]
-            queue = self._queues.get(key)
+            queue = self._classes[key].queue
             if not queue:
                 self._active.popleft()
                 continue
@@ -96,10 +103,18 @@ class DrrQdisc(Qdisc):
             self._account_dequeue(head)
             if not queue:
                 self._active.popleft()
-                self._deficits.pop(key, None)
             return head
+        return None
+
+    def peek(self) -> Optional[Packet]:
+        """Head of the first active class; deficit rotation at dequeue time
+        may serve a different class first."""
+        for key in self._active:
+            queue = self._classes[key].queue
+            if queue:
+                return queue[0]
         return None
 
     def active_classes(self) -> int:
         """Number of classes with queued packets."""
-        return sum(1 for q in self._queues.values() if q)
+        return sum(1 for cls in self._classes.values() if cls.queue)

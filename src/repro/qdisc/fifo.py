@@ -34,16 +34,31 @@ class FifoQdisc(Qdisc):
         self._queue: Deque[Packet] = deque()
 
     def enqueue(self, packet: Packet, now: float) -> bool:
-        if self._would_exceed_limit(packet):
-            self._account_drop(packet)
+        # FIFO sits on nearly every link, so the base-class accounting
+        # helpers are inlined here (same bookkeeping, no method calls).
+        if (
+            self.limit_packets is not None
+            and self.backlog_packets + 1 > self.limit_packets
+        ) or (
+            self.limit_bytes is not None
+            and self.backlog_bytes + packet.size > self.limit_bytes
+        ):
+            self.dropped_packets += 1
             return False
         self._queue.append(packet)
-        self._account_enqueue(packet)
+        self.backlog_packets += 1
+        self.backlog_bytes += packet.size
+        self.enqueued_packets += 1
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
         if not self._queue:
             return None
         packet = self._queue.popleft()
-        self._account_dequeue(packet)
+        self.backlog_packets -= 1
+        self.backlog_bytes -= packet.size
+        self.dequeued_packets += 1
         return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None

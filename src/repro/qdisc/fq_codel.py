@@ -69,7 +69,7 @@ class FqCoDelQdisc(Qdisc):
         if flow is None:
             flow = _FlowQueue(self.quantum, self.target, self.interval)
             self._flows[bucket] = flow
-        packet.meta["codel_enqueue_time"] = now
+        packet.codel_ts = now
         was_empty = not flow.queue
         flow.queue.append(packet)
         self._account_enqueue(packet)
@@ -117,7 +117,7 @@ class FqCoDelQdisc(Qdisc):
                 self._old_flows.append(bucket)
                 continue
             packet = flow.queue.popleft()
-            sojourn = now - packet.meta.get("codel_enqueue_time", now)
+            sojourn = now - packet.codel_ts
             if flow.codel.should_drop(sojourn, now, self.backlog_bytes):
                 self._account_drop(packet, was_queued=True)
                 continue
@@ -128,6 +128,16 @@ class FqCoDelQdisc(Qdisc):
                 if use_new:
                     self._old_flows.append(bucket)
             return packet
+
+    def peek(self) -> Optional[Packet]:
+        """Head of the first scheduled flow; deficit rotation and the CoDel
+        drop law may still pick differently at dequeue time."""
+        for active in (self._new_flows, self._old_flows):
+            for bucket in active:
+                queue = self._flows[bucket].queue
+                if queue:
+                    return queue[0]
+        return None
 
     def active_flows(self) -> int:
         """Number of flow buckets currently holding packets."""

@@ -74,6 +74,12 @@ class PrioQdisc(Qdisc):
                 return packet
         return None
 
+    def peek(self) -> Optional[Packet]:
+        for queue in self._queues:
+            if queue:
+                return queue[0]
+        return None
+
     def band_backlog(self, band: int) -> int:
         """Packets queued in ``band``."""
         return len(self._queues[band])

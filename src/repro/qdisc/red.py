@@ -83,6 +83,9 @@ class RedQdisc(Qdisc):
         self._account_dequeue(packet)
         return packet
 
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
     @property
     def average_queue_bytes(self) -> float:
         """Current EWMA of the queue size in bytes."""

@@ -102,6 +102,11 @@ class SfqQdisc(Qdisc):
         self._account_dequeue(packet)
         return packet
 
+    def peek(self) -> Optional[Packet]:
+        if not self._active:
+            return None
+        return next(iter(self._active.values()))[0]
+
     def active_flows(self) -> int:
         """Number of buckets with queued packets."""
         return len(self._active)

@@ -136,6 +136,13 @@ class TokenBucketQdisc(Qdisc):
     def __len__(self) -> int:
         return self.backlog_packets
 
+    def peek(self) -> Optional[Packet]:
+        """The staged packet, or the inner head.  Eligibility (token state)
+        is *not* checked — pair with :meth:`next_ready_time`."""
+        if self._staged is not None:
+            return self._staged
+        return self.inner.peek()
+
     # -- introspection -------------------------------------------------------
 
     @property

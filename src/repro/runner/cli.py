@@ -586,11 +586,17 @@ def _cmd_perf_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf_report(args: argparse.Namespace) -> int:
-    from repro.obs.perf import format_bench_table, load_bench_dir
+    from repro.obs.perf import format_bench_diff, format_bench_table, load_bench_dir
 
     records = load_bench_dir(args.dir)
     if not records:
         raise SystemExit(f"no BENCH_*.json records under {args.dir!r}")
+    if args.diff is not None:
+        baseline = load_bench_dir(args.diff)
+        if not baseline:
+            raise SystemExit(f"no BENCH_*.json records under {args.diff!r}")
+        print(format_bench_diff(baseline, records))
+        return 0
     print(format_bench_table(records.values()))
     return 0
 
@@ -849,6 +855,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf_report.add_argument(
         "--dir", default=".", metavar="DIR",
         help="directory of BENCH_*.json records (default: .)",
+    )
+    p_perf_report.add_argument(
+        "--diff", default=None, metavar="BASELINE_DIR",
+        help="render --dir against a baseline directory instead: old vs new "
+             "events/sec per scenario plus the geometric-mean speedup "
+             "(informational — 'perf compare' is the gate)",
     )
     p_perf_report.set_defaults(fn=_cmd_perf_report)
 

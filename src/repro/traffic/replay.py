@@ -128,7 +128,7 @@ class TraceReplayWorkload:
                 f"{self._last_time:.9f}s — traces must be time-ordered"
             )
         self._last_time = target
-        self.sim.at(max(target, self.sim.now), lambda: self._issue(event))
+        self.sim.at_call(max(target, self.sim.now), self._issue, event)
 
     def _make_cc(self):
         if self.endhost_cc_factory is not None:

@@ -22,6 +22,7 @@ all relative, so a constant per-packet overhead would cancel out).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -103,7 +104,30 @@ class TcpSender:
         self.timeouts = 0
         self.packets_sent = 0
 
+        # The scoreboard.  Segments are inserted at ever-increasing ``snd_nxt``
+        # and only ever deleted from the front (cumulative ACKs), so the dict's
+        # insertion order *is* ascending sequence order — iteration replaces
+        # every ``sorted()`` the hot path used to need.  Derived quantities the
+        # ACK path would otherwise recompute by scanning the scoreboard are
+        # maintained incrementally at each state transition:
+        #   _pipe       sum of sizes of segments neither SACKed nor lost
+        #   _hs         highest SACKed byte (``None`` when nothing is SACKed)
+        #   _retx_seqs  seqs of segments currently carrying ``retransmitted=True``
+        #   _lost_heap  min-heap of possibly-lost seqs, validated lazily
+        #   _sack_floor below this seq every segment is SACKed, lost or
+        #               retransmitted — states the SACK loss rule skips — and
+        #               provably stays that way, so loss detection never
+        #               rescans below it
+        #   _sacked_ranges sorted disjoint [lo, hi) byte ranges exactly
+        #               covering the SACKed segments, so applying an ACK's
+        #               blocks only walks the *newly* covered bytes
         self._segments: Dict[int, _SegmentState] = {}
+        self._pipe = 0
+        self._hs: Optional[int] = None
+        self._retx_seqs: set = set()
+        self._sack_floor = 0
+        self._sacked_ranges: List[List[int]] = []
+        self._lost_heap: List[int] = []
         self._has_lost = False
         self._has_sacked = False
         self._srtt: Optional[float] = None
@@ -144,7 +168,7 @@ class TcpSender:
     @property
     def pipe_bytes(self) -> int:
         """SACK-adjusted estimate of bytes currently in the network."""
-        return sum(s.size for s in self._segments.values() if not s.sacked and not s.lost)
+        return self._pipe
 
     @property
     def srtt(self) -> Optional[float]:
@@ -167,10 +191,9 @@ class TcpSender:
     def _try_send(self) -> None:
         if self.completed:
             return
-        # Compute the SACK-adjusted pipe once per call and maintain it locally
-        # while sending; recomputing it for every transmitted packet would make
-        # the sender quadratic in the window size.
-        pipe = self.pipe_bytes
+        # Track the SACK-adjusted pipe locally while sending; the instance
+        # counter is updated by _transmit_new/_retransmit_segment as we go.
+        pipe = self._pipe
         budget_guard = 0
         while budget_guard < 100_000:
             budget_guard += 1
@@ -196,13 +219,19 @@ class TcpSender:
     def _next_lost_segment(self) -> Optional[_SegmentState]:
         if not self._has_lost:
             return None
-        best: Optional[_SegmentState] = None
-        for state in self._segments.values():
-            if state.lost and not state.sacked and (best is None or state.seq < best.seq):
-                best = state
-        if best is None:
-            self._has_lost = False
-        return best
+        # Heap entries are only hints: a seq may since have been cumulatively
+        # acked (gone), retransmitted (lost cleared) or SACKed.  Stale tops are
+        # discarded here; every segment whose ``lost`` flag is (re)set has its
+        # seq (re)pushed, so the heap top is the lowest genuinely lost seq.
+        heap = self._lost_heap
+        segments = self._segments
+        while heap:
+            state = segments.get(heap[0])
+            if state is not None and state.lost and not state.sacked:
+                return state
+            heapq.heappop(heap)
+        self._has_lost = False
+        return None
 
     def _make_packet(self, seq: int, size: int) -> Packet:
         return self.factory.make(
@@ -221,12 +250,16 @@ class TcpSender:
     def _transmit_new(self, seq: int, size: int) -> None:
         now = self.sim.now
         self._segments[seq] = _SegmentState(seq=seq, size=size, sent_time=now)
+        self._pipe += size
         self.packets_sent += 1
         self.host.send(self._make_packet(seq, size))
 
     def _retransmit_segment(self, state: _SegmentState) -> None:
         state.lost = False  # back in flight; may be marked lost again later
-        state.retransmitted = True
+        self._pipe += state.size
+        if not state.retransmitted:
+            state.retransmitted = True
+            self._retx_seqs.add(state.seq)
         state.sent_time = self.sim.now
         self.retransmissions += 1
         self.packets_sent += 1
@@ -245,8 +278,31 @@ class TcpSender:
         if ack > self.snd_una:
             newly_acked = ack - self.snd_una
             self._sample_rtt(ack, now)
-            for seq in [s for s in self._segments if s < ack]:
-                del self._segments[seq]
+            # Cumulatively acked segments are exactly a prefix of the
+            # scoreboard (insertion order is seq order), so stop at the first
+            # survivor instead of scanning the whole dict.
+            segments = self._segments
+            dead: List[int] = []
+            for seq, state in segments.items():
+                if seq >= ack:
+                    break
+                dead.append(seq)
+                if not state.sacked and not state.lost:
+                    self._pipe -= state.size
+                if state.retransmitted:
+                    self._retx_seqs.discard(seq)
+            for seq in dead:
+                del segments[seq]
+            if self._hs is not None and ack >= self._hs:
+                # ACK boundaries are segment boundaries, so an ack at or above
+                # the highest SACKed byte has deleted every SACKed segment.
+                self._hs = None
+            ranges = self._sacked_ranges
+            if ranges:
+                while ranges and ranges[0][1] <= ack:
+                    ranges.pop(0)
+                if ranges and ranges[0][0] < ack:
+                    ranges[0][0] = ack
             self.snd_una = ack
             self._arm_rto(reset=True)
 
@@ -267,19 +323,73 @@ class TcpSender:
         if not blocks or not self._segments:
             return
         self._has_sacked = True
-        # Both the segment list and the SACK blocks are sorted by sequence
-        # number, so one linear merge marks every covered segment.
+        # SACK blocks mostly repeat coverage the sender already knows about.
+        # ``_sacked_ranges`` records exactly the SACKed intervals, so each
+        # block is first subtracted from it and only the *new* bytes are
+        # walked (by scoreboard key — ACK/block boundaries are segment
+        # boundaries and the scoreboard partitions [snd_una, snd_nxt)).
+        # Every byte is walked at most once per connection epoch.
         blocks = sorted(blocks)
-        block_idx = 0
-        for seq in sorted(self._segments):
-            state = self._segments[seq]
-            while block_idx < len(blocks) and blocks[block_idx][1] < seq + state.size:
-                block_idx += 1
-            if block_idx >= len(blocks):
-                break
-            start, end = blocks[block_idx]
-            if not state.sacked and start <= seq and seq + state.size <= end:
-                state.sacked = True
+        segments = self._segments
+        snd_una = self.snd_una
+        hs = self._hs
+        ranges = self._sacked_ranges
+        nr = len(ranges)
+        ri = 0
+        clamped: List[List[int]] = []
+        for start, end in blocks:
+            if end <= snd_una:
+                continue
+            if start < snd_una:
+                start = snd_una
+            if start >= end:
+                continue
+            clamped.append([start, end])
+            while ri < nr and ranges[ri][1] <= start:
+                ri += 1
+            pos = start
+            j = ri
+            while pos < end:
+                if j < nr:
+                    lo, hi = ranges[j]
+                    if lo <= pos:
+                        if hi > pos:
+                            pos = hi
+                        j += 1
+                        continue
+                    gap_end = lo if lo < end else end
+                else:
+                    gap_end = end
+                seq = pos
+                while seq < gap_end:
+                    state = segments[seq]
+                    state.sacked = True
+                    if not state.lost:
+                        self._pipe -= state.size
+                    seq += state.size
+                if hs is None or gap_end > hs:
+                    hs = gap_end
+                pos = gap_end
+        self._hs = hs
+        if clamped:
+            # Fold the clamped blocks into the coverage map: one sweep over
+            # two sorted disjoint lists, coalescing touching intervals.
+            out: List[List[int]] = []
+            i = j = 0
+            nc = len(clamped)
+            while i < nr or j < nc:
+                if j >= nc or (i < nr and ranges[i][0] <= clamped[j][0]):
+                    nxt = ranges[i]
+                    i += 1
+                else:
+                    nxt = clamped[j]
+                    j += 1
+                if out and nxt[0] <= out[-1][1]:
+                    if nxt[1] > out[-1][1]:
+                        out[-1][1] = nxt[1]
+                else:
+                    out.append([nxt[0], nxt[1]])
+            self._sacked_ranges = out
 
     def _detect_losses(self) -> bool:
         """SACK- and time-based loss detection.
@@ -297,36 +407,62 @@ class TcpSender:
             # Fast path: nothing has ever been SACKed or retransmitted, so no
             # loss evidence can exist yet.
             return False
-        now = self.sim.now
-        reorder_window = 1.5 * (self._srtt if self._srtt is not None else INITIAL_RTO)
-        highest_sacked = max(
-            (s.seq + s.size for s in self._segments.values() if s.sacked), default=None
-        )
+        segments = self._segments
         found = False
-        for state in self._segments.values():
-            if state.sacked or state.lost:
-                continue
-            if state.retransmitted:
+        # Time rule: only outstanding retransmitted segments are eligible,
+        # and those are tracked in a (small) side set.  Marks are mutually
+        # independent, so set iteration order cannot affect the outcome.
+        if self._retx_seqs:
+            now = self.sim.now
+            reorder_window = 1.5 * (self._srtt if self._srtt is not None else INITIAL_RTO)
+            for rseq in self._retx_seqs:
+                state = segments[rseq]
+                if state.sacked or state.lost:
+                    continue
                 if now - state.sent_time > reorder_window:
                     state.lost = True
+                    self._pipe -= state.size
+                    heapq.heappush(self._lost_heap, rseq)
                     found = True
-                continue
-            if highest_sacked is not None and state.seq + REORDER_BYTES <= highest_sacked:
-                state.lost = True
-                found = True
+        # SACK rule: eligible segments sit below the reorder bound, and the
+        # scoreboard is a contiguous byte partition, so walk it by key from
+        # the exemption floor.  Everything the walk covers ends up SACKed,
+        # lost or retransmitted, so the floor advances to the walk's end and
+        # no ACK ever rescans the same region.
+        highest_sacked = self._hs
+        if highest_sacked is not None:
+            bound = highest_sacked - REORDER_BYTES
+            seq = self._sack_floor
+            if seq < self.snd_una:
+                seq = self.snd_una
+            while seq <= bound:
+                state = segments.get(seq)
+                if state is None:
+                    break
+                if not (state.sacked or state.lost or state.retransmitted):
+                    state.lost = True
+                    self._pipe -= state.size
+                    heapq.heappush(self._lost_heap, seq)
+                    found = True
+                seq += state.size
+            self._sack_floor = seq
         if found:
             self._has_lost = True
         return found
 
     def _sample_rtt(self, ack: int, now: float) -> None:
         # Use the send time of the highest segment covered by this ACK that
-        # was not retransmitted (Karn's algorithm).
-        candidates = [
-            s for s in self._segments.values() if s.seq < ack and not s.retransmitted
-        ]
-        if not candidates:
+        # was not retransmitted (Karn's algorithm).  Candidates are confined
+        # to the acked prefix of the (seq-ordered) scoreboard, so the scan
+        # stops at the first surviving segment.
+        newest: Optional[_SegmentState] = None
+        for state in self._segments.values():
+            if state.seq >= ack:
+                break
+            if not state.retransmitted:
+                newest = state
+        if newest is None:
             return
-        newest = max(candidates, key=lambda s: s.seq)
         rtt = now - newest.sent_time
         if rtt <= 0:
             return
@@ -368,6 +504,16 @@ class TcpSender:
             state.sacked = False
             state.lost = True
             state.retransmitted = False
+        # Everything is now lost: nothing is in the pipe, nothing is SACKed,
+        # nothing is retransmitted — which also makes the whole scoreboard
+        # exempt from the SACK loss rule.  An ascending list is already a
+        # valid min-heap, so the scoreboard's key order seeds the lost heap.
+        self._pipe = 0
+        self._hs = None
+        self._retx_seqs.clear()
+        self._sack_floor = self.snd_nxt
+        self._sacked_ranges = []
+        self._lost_heap = list(self._segments)
         self._has_lost = bool(self._segments)
         self._has_sacked = False
         self._recovery_until = self.snd_nxt
@@ -417,12 +563,32 @@ class TcpReceiver:
         self.completed = False
         # Out-of-order data as a sorted list of disjoint [start, end) ranges.
         self._ranges: List[List[int]] = []
+        # Rendered SACK blocks, rebuilt when the ranges change.  The cached
+        # list is shared across ACK payloads and never mutated in place.
+        self._blocks_cache: Optional[List[Tuple[int, int]]] = None
 
         host.register_agent(port, self)
 
     # -- out-of-order range bookkeeping ------------------------------------------
 
     def _insert_range(self, start: int, end: int) -> None:
+        # Fast paths for the dominant arrival pattern: data beyond a hole
+        # lands in order, either extending the newest range or opening a new
+        # one past it.  Stored ranges are disjoint, non-adjacent and sorted,
+        # so comparing against the last range alone is sufficient.
+        self._blocks_cache = None
+        if self._ranges:
+            last = self._ranges[-1]
+            if start > last[1]:
+                self._ranges.append([start, end])
+                return
+            if start == last[1]:
+                if end > last[1]:
+                    last[1] = end
+                return
+        else:
+            self._ranges.append([start, end])
+            return
         merged: List[List[int]] = []
         placed = False
         for lo, hi in self._ranges:
@@ -449,11 +615,17 @@ class TcpReceiver:
     def _advance_cumulative(self) -> None:
         while self._ranges and self._ranges[0][0] <= self.rcv_nxt:
             lo, hi = self._ranges.pop(0)
+            self._blocks_cache = None
             self.rcv_nxt = max(self.rcv_nxt, hi)
 
     def sack_blocks(self) -> List[Tuple[int, int]]:
         """Current out-of-order ranges, newest-capped to the SACK block limit."""
-        return [(lo, hi) for lo, hi in self._ranges[:MAX_SACK_BLOCKS]]
+        blocks = self._blocks_cache
+        if blocks is None:
+            blocks = self._blocks_cache = [
+                (lo, hi) for lo, hi in self._ranges[:MAX_SACK_BLOCKS]
+            ]
+        return blocks
 
     # -- datapath -------------------------------------------------------------------
 

@@ -65,31 +65,30 @@ class PacedUdpStream:
         """Start pacing packets; stop after ``duration`` seconds if given."""
         self._running = True
         stop_at = None if duration is None else self.sim.now + duration
-
-        def emit() -> None:
-            if not self._running:
-                return
-            if stop_at is not None and self.sim.now >= stop_at:
-                self._running = False
-                return
-            packet = self.factory.make(
-                flow_id=self.flow_id,
-                src=self.src_host.address,
-                dst=self.dst_host.address,
-                src_port=self.port,
-                dst_port=self.port,
-                seq=self.packets_sent,
-                size=self.packet_size,
-                traffic_class=self.traffic_class,
-                created_at=self.sim.now,
-            )
-            self.src_host.send(packet)
-            self.packets_sent += 1
-            self.bytes_sent += self.packet_size
-            self.sim.schedule(self.interval, emit)
-
-        emit()
+        self._emit(stop_at)
         return self
+
+    def _emit(self, stop_at: Optional[float]) -> None:
+        if not self._running:
+            return
+        if stop_at is not None and self.sim.now >= stop_at:
+            self._running = False
+            return
+        packet = self.factory.make(
+            flow_id=self.flow_id,
+            src=self.src_host.address,
+            dst=self.dst_host.address,
+            src_port=self.port,
+            dst_port=self.port,
+            seq=self.packets_sent,
+            size=self.packet_size,
+            traffic_class=self.traffic_class,
+            created_at=self.sim.now,
+        )
+        self.src_host.send(packet)
+        self.packets_sent += 1
+        self.bytes_sent += self.packet_size
+        self.sim.schedule_call(self.interval, self._emit, stop_at)
 
     def stop(self) -> None:
         self._running = False
@@ -187,7 +186,7 @@ class ClosedLoopPinger:
         )
         self._seq += 1
         self.src_host.send(request)
-        self.sim.schedule(self.timeout_s, lambda seq=request.seq: self._on_timeout(seq))
+        self.sim.schedule_call(self.timeout_s, self._on_timeout, request.seq)
 
     def _on_timeout(self, seq: int) -> None:
         # If the outstanding request (or its response) was dropped, give up on

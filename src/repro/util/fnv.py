@@ -57,11 +57,29 @@ def hash_fields(fields: Iterable[int], bits: int = 32) -> int:
     bits:
         Either 32 or 64; selects the FNV variant.
     """
-    buf = bytearray()
-    for field in fields:
-        buf.extend(int(field).to_bytes(4, "big", signed=False))
+    # Equivalent to hashing the concatenated 4-byte big-endian encodings, but
+    # unrolled over each field's bytes — this sits on the per-packet epoch
+    # check, so avoiding the intermediate buffers matters.
     if bits == 32:
-        return fnv1a_32(bytes(buf))
+        h = _FNV32_OFFSET
+        for field in fields:
+            v = int(field)
+            if v < 0 or v > _MASK32:
+                raise OverflowError("field does not fit in 4 bytes")
+            h = ((h ^ (v >> 24)) * _FNV32_PRIME) & _MASK32
+            h = ((h ^ ((v >> 16) & 0xFF)) * _FNV32_PRIME) & _MASK32
+            h = ((h ^ ((v >> 8) & 0xFF)) * _FNV32_PRIME) & _MASK32
+            h = ((h ^ (v & 0xFF)) * _FNV32_PRIME) & _MASK32
+        return h
     if bits == 64:
-        return fnv1a_64(bytes(buf))
+        h = _FNV64_OFFSET
+        for field in fields:
+            v = int(field)
+            if v < 0 or v > _MASK32:
+                raise OverflowError("field does not fit in 4 bytes")
+            h = ((h ^ (v >> 24)) * _FNV64_PRIME) & _MASK64
+            h = ((h ^ ((v >> 16) & 0xFF)) * _FNV64_PRIME) & _MASK64
+            h = ((h ^ ((v >> 8) & 0xFF)) * _FNV64_PRIME) & _MASK64
+            h = ((h ^ (v & 0xFF)) * _FNV64_PRIME) & _MASK64
+        return h
     raise ValueError(f"unsupported hash width: {bits} (expected 32 or 64)")

@@ -91,11 +91,14 @@ class TestCommittedBaselines:
 
 class TestRunBench:
     def test_record_shape_and_roundtrip(self, tmp_path):
-        record = run_bench("ablation_pi_gains")  # no event loop: near-instant
+        record = run_bench("ablation_pi_gains")  # smallest profile: near-instant
         assert record["format"] == BENCH_FORMAT
         assert record["scenario"] == "ablation_pi_gains"
         assert record["seed"] == BENCH_SEED
         assert record["run_key"]
+        # The fluid model is stepped through the simulator, so even this
+        # scenario records real events (a 0 here means the profile broke).
+        assert record["events_processed"] > 0
         assert "counters" in record and "spans" in record
         path = write_bench(record, str(tmp_path))
         assert path == bench_path("ablation_pi_gains", str(tmp_path))
@@ -119,6 +122,31 @@ class TestRunBench:
         [path] = run_scenarios(["ablation_pi_gains"], str(tmp_path), isolate=True)
         record = load_bench(path)
         assert record["peak_rss_kb"] is None or record["peak_rss_kb"] > 0
+
+    def test_run_scenarios_warns_loudly_on_zero_event_cell(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.obs.perf as perf
+
+        def fake_bench(name, *, seed=BENCH_SEED):
+            return _record(name, eps=0.0, events=0) | {"wall_s": 0.0}
+
+        monkeypatch.setattr(perf, "run_bench", fake_bench)
+        perf.run_scenarios(["ablation_pi_gains"], str(tmp_path), isolate=False)
+        err = capsys.readouterr().err
+        assert "WARNING" in err and "0 events" in err
+
+    def test_run_scenarios_silent_when_events_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.obs.perf as perf
+
+        def fake_bench(name, *, seed=BENCH_SEED):
+            return _record(name) | {"wall_s": 0.1}
+
+        monkeypatch.setattr(perf, "run_bench", fake_bench)
+        perf.run_scenarios(["ablation_pi_gains"], str(tmp_path), isolate=False)
+        assert "WARNING" not in capsys.readouterr().err
 
 
 def _record(name, *, eps=1000.0, events=500, key="k1"):
@@ -179,8 +207,9 @@ class TestCompare:
         assert any("new scenario" in n for n in notes)
 
     def test_zero_rate_baseline_skips_the_rate_gate(self):
-        # ablation_pi_gains runs no event loop: events/sec is 0 in its
-        # baseline, which must not divide-by-zero or fail every compare.
+        # A record with 0 events/sec (e.g. a historical baseline captured
+        # before its scenario drove the event loop) must not
+        # divide-by-zero or fail every compare.
         failures, _ = compare_benches(
             {"a": _record("a", eps=0.0, events=0)},
             {"a": _record("a", eps=0.0, events=0)},
@@ -196,6 +225,26 @@ class TestPerfCli:
         assert main(["perf", "report", "--dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "perf benchmarks" in out and "1,234" in out
+
+    def test_report_diff_renders_speedups(self, tmp_path, capsys):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        write_bench(_record("a", eps=1000.0), str(base))
+        write_bench(_record("b", eps=500.0), str(base))
+        write_bench(_record("a", eps=2000.0), str(cand))
+        write_bench(_record("b", eps=1000.0), str(cand))
+        assert main(["perf", "report", "--dir", str(cand), "--diff", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "perf diff" in out
+        assert "2.00x" in out  # both scenarios doubled
+        assert "geomean" in out
+
+    def test_report_diff_tolerates_one_sided_scenarios(self, tmp_path, capsys):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        write_bench(_record("old_only", eps=1000.0), str(base))
+        write_bench(_record("new_only", eps=500.0), str(cand))
+        assert main(["perf", "report", "--dir", str(cand), "--diff", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "old_only" in out and "new_only" in out and "-" in out
 
     def test_compare_exit_codes(self, tmp_path, capsys):
         base, cand = tmp_path / "base", tmp_path / "cand"

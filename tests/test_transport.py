@@ -54,6 +54,51 @@ class TestTcpFlow:
         assert flow.completed
         assert flow.sender.retransmissions > 0
 
+    def test_scoreboard_counters_match_recomputation_under_loss(self):
+        # The sender maintains pipe_bytes, the highest-SACKed watermark and
+        # the outstanding-retransmit count incrementally; a lossy transfer
+        # must keep them equal to a from-scratch scan of the scoreboard at
+        # every ACK.
+        sim = Simulator()
+        factory, a, b, _ = _two_host_topo(sim, queue_packets=10)
+        flow = TcpFlow(sim, factory, a, b, size_bytes=600_000).start()
+        sender = flow.sender
+        checked = 0
+        original = sender.on_packet
+
+        def checking_on_packet(packet, now):
+            nonlocal checked
+            original(packet, now)
+            segs = sender._segments.values()
+            assert sender.pipe_bytes == sum(
+                s.size for s in segs if not s.sacked and not s.lost
+            )
+            assert sender._hs == max(
+                (s.seq + s.size for s in segs if s.sacked), default=None
+            )
+            assert sender._retx_seqs == {s.seq for s in segs if s.retransmitted}
+            assert list(sender._segments) == sorted(sender._segments)
+            # Below the exemption floor every segment is in a state the
+            # SACK loss rule skips, forever.
+            assert all(
+                s.sacked or s.lost or s.retransmitted
+                for s in segs
+                if s.seq < sender._sack_floor
+            )
+            # The sender's SACK coverage map is exactly the sacked segments.
+            ranges = sender._sacked_ranges
+            assert all(lo < hi for lo, hi in ranges)
+            assert all(a[1] < b[0] for a, b in zip(ranges, ranges[1:]))
+            for s in segs:
+                covered = any(lo <= s.seq and s.seq + s.size <= hi for lo, hi in ranges)
+                assert covered == s.sacked
+            checked += 1
+
+        sender.on_packet = checking_on_packet
+        sim.run(until=30.0)
+        assert flow.completed and sender.retransmissions > 0
+        assert checked > 100  # the invariants were exercised under real loss
+
     def test_receiver_data_is_contiguous(self):
         sim = Simulator()
         factory, a, b, _ = _two_host_topo(sim, queue_packets=15)
