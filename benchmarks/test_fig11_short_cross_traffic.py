@@ -66,7 +66,7 @@ def test_fig11_short_cross_traffic(benchmark, bench_sweep):
     # Bundler does better; at loads light enough that the Status Quo queue is
     # empty there is nothing to win, and Bundler must merely stay in the same
     # ballpark (its standing queue costs a little latency).
-    for sq, bu in zip(status_quo, bundler):
+    for sq, bu in zip(status_quo, bundler, strict=True):
         if sq.mean("median_slowdown") > 1.3:
             assert bu.mean("median_slowdown") < sq.mean("median_slowdown")
         else:

@@ -1,0 +1,101 @@
+"""Command-line front end for the invariant linter.
+
+Exposed two ways: ``repro-runner lint ...`` (the runner CLI delegates
+here) and ``python -m repro.analysis ...``.  Exit codes: 0 clean,
+1 findings, 2 usage error (bad path, refused snapshot update).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import wire_schema
+from repro.analysis.corpus import LintUsageError, load_corpus
+from repro.analysis.engine import FORMATTERS, LintOptions, lint_corpus
+from repro.analysis.rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-runner lint",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATTERS),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RPRnnn[,RPRnnn...]",
+        help="only run these rule codes",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list justified suppressions (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--update-snapshot",
+        action="store_true",
+        help="regenerate the committed wire schema snapshot and exit",
+    )
+    parser.add_argument(
+        "--snapshot-path",
+        default=None,
+        help=argparse.SUPPRESS,  # test hook: override the snapshot location
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name} [{rule.severity}, {rule.scope}]")
+            print(f"    {rule.rationale}")
+            print(f"    fix: {rule.fix_hint}")
+        return 0
+
+    select = None
+    if args.select:
+        select = tuple(code.strip() for code in args.select.split(",") if code.strip())
+    options = LintOptions(select=select, snapshot_path=args.snapshot_path)
+
+    try:
+        corpus = load_corpus(args.paths)
+        if args.update_snapshot:
+            path = wire_schema.update_snapshot(corpus, args.snapshot_path)
+            print(f"wire schema snapshot written to {path}")
+            return 0
+        report = lint_corpus(corpus, options)
+    except LintUsageError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "text":
+        output = FORMATTERS["text"](report, verbose_suppressed=args.show_suppressed)
+    else:
+        output = FORMATTERS[args.format](report)
+    if output:
+        print(output)
+    return report.exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Source-tree loading and shared pre-passes for the linter.
+
+The linter never imports the code under check: every module is parsed with
+:mod:`ast` into a :class:`ModuleInfo`, and cross-module context (the class
+inheritance graph the qdisc rules need) is computed over the whole
+:class:`Corpus` once.
+
+Package scoping: rules like the determinism ban apply only to simulation
+packages (``net/``, ``core/``, ...).  A module's package is derived from
+its path relative to the ``repro`` package directory, so both the real
+tree (``src/repro/net/link.py`` → package ``net``) and test fixtures laid
+out under a ``repro/`` directory (``tests/fixtures/lint/repro/net/x.py``)
+scope identically.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class LintUsageError(ValueError):
+    """Bad linter input (missing path, unparseable file)."""
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module."""
+
+    path: str  #: filesystem path, as discovered
+    rel: str  #: path relative to the ``repro`` package root, ``/``-separated
+    package: str  #: first component of ``rel`` (``""`` for top-level modules)
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    #: Import aliases visible at module level: local name -> dotted origin,
+    #: e.g. ``{"random": "random", "dt": "datetime", "Random": "random.Random"}``.
+    aliases: Dict[str, str] = field(default_factory=dict)
+    _comments: Optional[Dict[int, str]] = field(default=None, repr=False)
+
+    @property
+    def comments(self) -> Dict[int, str]:
+        """Real ``#`` comments by line number, via :mod:`tokenize`.
+
+        Suppression parsing must look at comment *tokens*, not raw lines —
+        a docstring that quotes the noqa grammar is not a suppression.
+        """
+        if self._comments is None:
+            found: Dict[int, str] = {}
+            try:
+                for tok in tokenize.generate_tokens(io.StringIO(self.source).readline):
+                    if tok.type == tokenize.COMMENT:
+                        found[tok.start[0]] = tok.string
+            except tokenize.TokenError:
+                pass  # ast.parse already succeeded; truncated trailing token
+            self._comments = found
+        return self._comments
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute expression to its dotted origin.
+
+        ``rng.Random`` with ``import random as rng`` resolves to
+        ``random.Random``; unresolvable shapes (calls, subscripts) return
+        ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition (for the inheritance graph)."""
+
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    base_names: Tuple[str, ...]
+
+
+class Corpus:
+    """Every parsed module of one lint invocation, plus shared indexes."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: List[ModuleInfo] = list(modules)
+        self.by_rel: Dict[str, ModuleInfo] = {m.rel: m for m in self.modules}
+        #: Top-level classes across the corpus, by name.  Names are assumed
+        #: unique enough for contract checking (they are in this repo); on a
+        #: collision the first definition wins and the graph stays sound
+        #: because rules only walk *upward* through base names.
+        self.classes: Dict[str, ClassInfo] = {}
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    bases = tuple(
+                        base_name
+                        for base in node.bases
+                        if (base_name := _base_name(base)) is not None
+                    )
+                    info = ClassInfo(
+                        name=node.name, module=module, node=node, base_names=bases
+                    )
+                    self.classes.setdefault(node.name, info)
+
+    def module(self, rel: str) -> Optional[ModuleInfo]:
+        """Look up a module by package-relative path (``runner/wire.py``)."""
+        return self.by_rel.get(rel)
+
+    def subclasses_of(self, root: str) -> List[ClassInfo]:
+        """Transitive subclasses of class ``root`` (excluding ``root``)."""
+        out: List[ClassInfo] = []
+        for info in self.classes.values():
+            if info.name != root and self.inherits_from(info.name, root):
+                out.append(info)
+        out.sort(key=lambda c: (c.module.rel, c.node.lineno))
+        return out
+
+    def inherits_from(self, name: str, root: str) -> bool:
+        seen = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            for base in info.base_names:
+                if base == root:
+                    return True
+                frontier.append(base)
+        return False
+
+    def ancestors(self, name: str) -> List[ClassInfo]:
+        """Ancestor classes of ``name`` found in the corpus, nearest first."""
+        out: List[ClassInfo] = []
+        seen = set()
+        frontier = list(self.classes[name].base_names) if name in self.classes else []
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is not None:
+                out.append(info)
+                frontier.extend(info.base_names)
+        return out
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    """The rightmost name of a base-class expression (``qdisc.base.Qdisc``
+    and ``Qdisc`` both yield ``Qdisc``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                aliases[local] = name.name if name.asname else name.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never hit the banned stdlib set
+            for name in node.names:
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _package_rel(path: str) -> Tuple[str, str]:
+    """Derive ``(rel, package)`` from a filesystem path.
+
+    The path is split on the *last* ``repro`` directory component, so
+    fixture trees that embed a ``repro/`` directory scope like the real
+    package.  Paths with no ``repro`` component fall back to the bare file
+    name (package ``""``).
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            rel_parts = parts[index + 1 :]
+            rel = "/".join(rel_parts)
+            package = rel_parts[0] if len(rel_parts) > 1 else ""
+            return rel, package
+    return parts[-1], ""
+
+
+def load_module(path: str) -> ModuleInfo:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        raise LintUsageError(f"cannot read {path}: {exc}") from None
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintUsageError(f"cannot parse {path}: {exc}") from None
+    rel, package = _package_rel(path)
+    return ModuleInfo(
+        path=path,
+        rel=rel,
+        package=package,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+        aliases=_collect_aliases(tree),
+    )
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        out.append(os.path.join(dirpath, filename))
+        elif os.path.isfile(path):
+            out.append(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return out
+
+
+def load_corpus(paths: Sequence[str]) -> Corpus:
+    files = discover_files(paths)
+    if not files:
+        raise LintUsageError(f"no Python files under {list(paths)!r}")
+    return Corpus([load_module(path) for path in files])

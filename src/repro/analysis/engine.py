@@ -1,0 +1,162 @@
+"""Lint driver: corpus → rules → suppressions → report.
+
+:func:`lint_paths` is the single entry point used by the CLI
+(``repro-runner lint`` / ``python -m repro.analysis``) and by tests.  It
+loads the corpus, runs every registered rule, applies well-formed inline
+suppressions (:mod:`repro.analysis.noqa`), and returns a
+:class:`LintReport` whose :meth:`~LintReport.exit_code` is the process
+exit status: 0 only when no unsuppressed finding remains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import noqa
+from repro.analysis.corpus import Corpus, load_corpus
+from repro.analysis.rules import Finding, all_rules, run_rules
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Knobs for one lint invocation."""
+
+    #: Restrict to these rule codes (``None`` = all registered rules).
+    select: Optional[Tuple[str, ...]] = None
+    #: Override the wire-schema snapshot location (tests use this).
+    snapshot_path: Optional[str] = None
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not covered by a justified suppression."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+
+def lint_paths(
+    paths: Sequence[str], options: Optional[LintOptions] = None
+) -> LintReport:
+    """Lint files/directories and return the report."""
+    options = options or LintOptions()
+    corpus = load_corpus(paths)
+    return lint_corpus(corpus, options)
+
+
+def lint_corpus(corpus: Corpus, options: Optional[LintOptions] = None) -> LintReport:
+    options = options or LintOptions()
+    raw = run_rules(corpus.modules, corpus, options)
+
+    # Deduplicate: nested-scope scans may visit one call site twice.
+    seen = set()
+    findings: List[Finding] = []
+    for finding in raw:
+        key = (finding.code, finding.path, finding.line, finding.col, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        if options.select is not None and finding.code not in options.select:
+            continue
+        findings.append(finding)
+
+    # Apply inline suppressions (same line as the finding).  RPR000 itself
+    # is never suppressible — noqa.parse_suppressions enforces that.
+    suppressions_by_path: Dict[str, Dict[int, noqa.Suppression]] = {}
+    for module in corpus.modules:
+        valid, _ = noqa.parse_suppressions(module)
+        if valid:
+            suppressions_by_path[module.path] = valid
+    resolved: List[Finding] = []
+    for finding in findings:
+        suppression = suppressions_by_path.get(finding.path, {}).get(finding.line)
+        if suppression is not None and finding.code in suppression.codes:
+            finding = dataclasses.replace(
+                finding, suppressed=True, justification=suppression.justification
+            )
+        resolved.append(finding)
+
+    resolved.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return LintReport(findings=resolved)
+
+
+# -- output formats ---------------------------------------------------------
+
+
+def format_text(report: LintReport, *, verbose_suppressed: bool = False) -> str:
+    lines: List[str] = []
+    for finding in report.active:
+        lines.append(
+            f"{finding.location()}: {finding.code} [{finding.severity}] "
+            f"{finding.message}"
+        )
+        if finding.fix_hint:
+            lines.append(f"    fix: {finding.fix_hint}")
+    if verbose_suppressed:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.code} suppressed "
+                f"-- {finding.justification}"
+            )
+    active = report.active
+    summary = (
+        f"{len(active)} finding(s)"
+        if active
+        else "no findings"
+    )
+    if report.suppressed:
+        summary += f" ({len(report.suppressed)} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_github(report: LintReport) -> str:
+    """GitHub Actions workflow commands (annotations in the PR diff)."""
+    lines = []
+    for finding in report.active:
+        kind = "error" if finding.severity == "error" else "warning"
+        message = finding.message
+        if finding.fix_hint:
+            message += f" — fix: {finding.fix_hint}"
+        lines.append(
+            f"::{kind} file={finding.path},line={finding.line},"
+            f"col={finding.col},title={finding.code}::{message}"
+        )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    payload = {
+        "findings": [dataclasses.asdict(f) for f in report.active],
+        "suppressed": [dataclasses.asdict(f) for f in report.suppressed],
+        "rules": {
+            rule.code: {
+                "name": rule.name,
+                "severity": rule.severity,
+                "scope": rule.scope,
+            }
+            for rule in all_rules()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "github": format_github,
+    "json": format_json,
+}

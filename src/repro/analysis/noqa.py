@@ -1,0 +1,104 @@
+"""Inline suppression comments and the RPR000 meta rule.
+
+Grammar (one comment per line, after any code)::
+
+    # repro: noqa[RPR001] -- justification text
+    # repro: noqa[RPR001,RPR030] -- shared justification
+
+The justification is **required and non-empty**: an unexplained
+suppression is worse than the violation it hides, because the next reader
+cannot tell a deliberate exception from a silenced bug.  Malformed or
+unjustified suppressions are ignored (the underlying finding still fires)
+and additionally reported as RPR000.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.corpus import Corpus, ModuleInfo
+from repro.analysis.rules import Finding, get_rule, is_known_code, rule
+
+#: Any comment that *looks like* an attempted repro suppression.  Kept loose
+#: on purpose so typos ("noqa RPR001", missing justification) are caught by
+#: RPR000 instead of silently doing nothing.
+_ATTEMPT_RE = re.compile(r"#\s*repro\s*:\s*noqa\b(?P<rest>[^#]*)", re.IGNORECASE)
+
+#: The strict, accepted form.
+_VALID_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)\]"
+    r"\s*--\s*(?P<why>\S.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A well-formed suppression on one source line."""
+
+    line: int
+    codes: Tuple[str, ...]
+    justification: str
+
+
+def parse_suppressions(
+    module: ModuleInfo,
+) -> Tuple[Dict[int, Suppression], List[Tuple[int, str]]]:
+    """Scan a module for suppression comments.
+
+    Returns ``(valid, problems)`` where ``valid`` maps line number to the
+    :class:`Suppression` on that line and ``problems`` lists
+    ``(line, message)`` pairs for malformed attempts (reported as RPR000).
+    """
+    valid: Dict[int, Suppression] = {}
+    problems: List[Tuple[int, str]] = []
+    for lineno, text in sorted(module.comments.items()):
+        attempt = _ATTEMPT_RE.search(text)
+        if attempt is None:
+            continue
+        match = _VALID_RE.search(text)
+        if match is None:
+            problems.append(
+                (
+                    lineno,
+                    "malformed suppression (expected "
+                    "'# repro: noqa[RPRnnn] -- justification'): "
+                    + text[attempt.start() :].strip(),
+                )
+            )
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        why = match.group("why").strip()
+        unknown = [code for code in codes if not is_known_code(code)]
+        if unknown:
+            problems.append(
+                (lineno, f"suppression names unknown rule(s): {', '.join(unknown)}")
+            )
+            continue
+        if "RPR000" in codes:
+            problems.append((lineno, "RPR000 cannot be suppressed"))
+            continue
+        valid[lineno] = Suppression(line=lineno, codes=codes, justification=why)
+    return valid, problems
+
+
+@rule(
+    "RPR000",
+    name="bad-suppression",
+    rationale=(
+        "A suppression without a justification (or with a typo in the "
+        "grammar) hides findings without leaving the reader any way to "
+        "audit why; such suppressions are ignored and flagged."
+    ),
+    fix_hint="use '# repro: noqa[RPRnnn] -- why this exception is safe'",
+)
+def check_bad_suppressions(
+    module: ModuleInfo, corpus: Corpus, options
+) -> Iterator[Finding]:
+    _, problems = parse_suppressions(module)
+    meta = get_rule("RPR000")
+    for lineno, message in problems:
+        yield meta.finding(message, module.path, lineno)

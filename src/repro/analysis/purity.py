@@ -1,0 +1,145 @@
+"""Cache-purity rules (RPR030–RPR039).
+
+The result cache is content-addressed: a run's key is a digest over
+(scenario, version, cache-view params, seed) and its payload must be a
+pure function of that key.  Wall-clock or environment-dependent values in
+an experiment's metric payload make identical cells hash-equal but
+byte-different — the cache then "verifies" parity against garbage.
+Units on numeric :class:`~repro.runner.params.ParamSpec` declarations are
+part of the same honesty contract: an unlabelled ``24.0`` invites a
+Mbit/s-vs-MB/s mixup that silently mints wrong-but-cached results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.corpus import Corpus, ModuleInfo
+from repro.analysis.rules import Finding, get_rule, rule
+
+#: Packages whose outputs feed cache payloads / run keys.
+CACHED_PACKAGES = frozenset({"experiments", "runner"})
+
+#: Absolute-time reads that must not reach metric payloads.  Monotonic
+#: duration clocks (perf_counter) are deliberately allowed: a duration is
+#: telemetry and lives in the cache envelope, never in the payload.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ParamSpec kinds that carry a physical quantity and therefore a unit.
+NUMERIC_KINDS = frozenset({"int", "float", "list[int]", "list[float]"})
+
+
+@rule(
+    "RPR030",
+    name="impure-cache-input",
+    rationale=(
+        "Cache payloads must be a pure function of (scenario, version, "
+        "params, seed); wall-clock reads in experiments//runner/ and env "
+        "reads in experiments/ leak ambient state into cached results."
+    ),
+    fix_hint=(
+        "derive times from sim.now; timestamps that belong in the cache "
+        "*envelope* (created_at) get a justified noqa"
+    ),
+)
+def check_impure_cache_input(
+    module: ModuleInfo, corpus: Corpus, options
+) -> Iterator[Finding]:
+    if module.package not in CACHED_PACKAGES:
+        return
+    this = get_rule("RPR030")
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = module.dotted_name(node.func)
+            if name in WALL_CLOCK_CALLS:
+                yield this.finding(
+                    f"wall-clock read {name}() in {module.package}/",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                )
+            elif module.package == "experiments" and name == "os.getenv":
+                yield this.finding(
+                    "environment read os.getenv() in experiments/",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                )
+        elif module.package == "experiments":
+            # os.environ[...] / os.environ.get(...) in experiment code.
+            target = None
+            if isinstance(node, ast.Subscript):
+                target = node.value
+            elif isinstance(node, ast.Attribute) and node.attr == "get":
+                target = node.value
+            if target is not None and module.dotted_name(target) == "os.environ":
+                yield this.finding(
+                    "environment read via os.environ in experiments/",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                )
+
+
+def _keyword(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+@rule(
+    "RPR031",
+    name="numeric-param-without-unit",
+    rationale=(
+        "A numeric scenario knob without a declared unit invites "
+        "Mbit/s-vs-MB/s style mixups that produce wrong-but-cached "
+        "results; the unit is documentation the resolver can render."
+    ),
+    fix_hint=(
+        "declare unit=... on the ParamSpec ('Mbit/s', 'ms', 's', 'count', "
+        "'fraction', 'ratio', 'gain', ...)"
+    ),
+)
+def check_param_units(
+    module: ModuleInfo, corpus: Corpus, options
+) -> Iterator[Finding]:
+    this = get_rule("RPR031")
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = module.dotted_name(node.func)
+        if name is None or name.split(".")[-1] != "ParamSpec":
+            continue
+        kind_expr = _keyword(node, "kind")
+        if kind_expr is None and len(node.args) >= 2:
+            kind_expr = node.args[1]
+        if not (
+            isinstance(kind_expr, ast.Constant)
+            and isinstance(kind_expr.value, str)
+            and kind_expr.value in NUMERIC_KINDS
+        ):
+            continue
+        unit_expr = _keyword(node, "unit")
+        if unit_expr is None or (
+            isinstance(unit_expr, ast.Constant) and unit_expr.value == ""
+        ):
+            param = ""
+            if node.args and isinstance(node.args[0], ast.Constant):
+                param = f" {node.args[0].value!r}"
+            yield this.finding(
+                f"numeric ParamSpec{param} ({kind_expr.value}) declares no unit",
+                module.path,
+                node.lineno,
+                node.col_offset,
+            )

@@ -1,0 +1,145 @@
+"""Qdisc-contract rules (RPR020–RPR029).
+
+PR 7's link fast path leans on two qdisc guarantees: :meth:`peek` exists
+on every discipline (the drain loop peeks before committing to a dequeue),
+and ``backlog_bytes``/``backlog_packets`` are plain O(1) attributes kept
+accurate by *both* ``enqueue`` and ``dequeue``.  These are project-scope
+rules — they need the cross-module class graph, because disciplines
+subclass :class:`repro.qdisc.base.Qdisc` from separate files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.corpus import ClassInfo, Corpus
+from repro.analysis.rules import Finding, get_rule, rule
+
+#: Root of the discipline class hierarchy.
+QDISC_ROOT = "Qdisc"
+
+#: Names whose presence in a method body counts as backlog bookkeeping.
+_ACCOUNT_HELPERS = frozenset({"_account_enqueue", "_account_dequeue", "_account_drop"})
+_BACKLOG_ATTRS = frozenset({"backlog_packets", "backlog_bytes"})
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == name:
+            return node
+    return None
+
+
+def _defines_method(corpus: Corpus, info: ClassInfo, name: str) -> bool:
+    """Does ``info`` (or a corpus ancestor below the root) define ``name``?"""
+    if _method(info.node, name) is not None:
+        return True
+    for ancestor in corpus.ancestors(info.name):
+        if ancestor.name == QDISC_ROOT:
+            continue  # the root's peek() raises NotImplementedError
+        if _method(ancestor.node, name) is not None:
+            return True
+    return False
+
+
+def _has_accounting(fn: ast.FunctionDef, delegate: str) -> bool:
+    """Does a method body maintain the backlog counters?
+
+    Accepted forms, in decreasing order of preference:
+
+    * a call to an ``_account_*`` helper (the normal pattern);
+    * direct mutation of ``backlog_packets``/``backlog_bytes`` attributes
+      (FIFO inlines the bookkeeping on its hot path);
+    * delegation — calling another qdisc's method of the same name
+      (``self.inner.enqueue(...)``), as wrappers like TBF do, possibly
+      paired with property-backed backlog attributes.
+    """
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _ACCOUNT_HELPERS:
+                return True
+            if node.func.attr == delegate and not isinstance(node.func.value, ast.Name):
+                # `self.inner.enqueue(...)` / `self._queues[i].dequeue(...)`;
+                # a bare-name receiver would be recursion or a free function.
+                return True
+            if node.func.attr == delegate and isinstance(node.func.value, ast.Name) and node.func.value.id != "self":
+                return True
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr in _BACKLOG_ATTRS:
+                    return True
+    return False
+
+
+def _is_property(cls: ast.ClassDef, attr: str) -> bool:
+    """Is ``attr`` defined as a property on the class (TBF's backlog)?"""
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name == attr:
+            for deco in node.decorator_list:
+                if isinstance(deco, ast.Name) and deco.id == "property":
+                    return True
+    return False
+
+
+@rule(
+    "RPR020",
+    name="qdisc-missing-peek",
+    rationale=(
+        "The link drain loop peeks the head-of-line candidate before "
+        "committing to a dequeue; a Qdisc subclass without peek() raises "
+        "NotImplementedError mid-simulation."
+    ),
+    fix_hint="override peek() returning the head candidate without mutating state",
+    scope="project",
+)
+def check_qdisc_peek(corpus: Corpus, options) -> Iterator[Finding]:
+    this = get_rule("RPR020")
+    for info in corpus.subclasses_of(QDISC_ROOT):
+        if not _defines_method(corpus, info, "peek"):
+            yield this.finding(
+                f"Qdisc subclass {info.name} does not override peek()",
+                info.module.path,
+                info.node.lineno,
+                info.node.col_offset,
+            )
+
+
+@rule(
+    "RPR021",
+    name="qdisc-backlog-accounting",
+    rationale=(
+        "backlog_bytes/backlog_packets must be O(1) attributes kept "
+        "accurate by both enqueue and dequeue; a path that skips the "
+        "bookkeeping desynchronizes declared backlog from the real queue "
+        "(the SFQ byte-limit overflow class of bug)."
+    ),
+    fix_hint=(
+        "call _account_enqueue/_account_dequeue (or _account_drop for "
+        "rejected packets) on every accept/release path"
+    ),
+    scope="project",
+)
+def check_qdisc_backlog(corpus: Corpus, options) -> Iterator[Finding]:
+    this = get_rule("RPR021")
+    for info in corpus.subclasses_of(QDISC_ROOT):
+        for method_name in ("enqueue", "dequeue"):
+            fn = _method(info.node, method_name)
+            if fn is None:
+                continue  # inherited implementation was checked on the ancestor
+            if _has_accounting(fn, method_name):
+                continue
+            if _is_property(info.node, "backlog_packets") and _is_property(
+                info.node, "backlog_bytes"
+            ):
+                # Property-backed backlog (a wrapper computing over inner
+                # queues) cannot drift by construction.
+                continue
+            yield this.finding(
+                f"{info.name}.{method_name} neither updates the backlog "
+                "counters nor delegates to an inner qdisc",
+                info.module.path,
+                fn.lineno,
+                fn.col_offset,
+            )

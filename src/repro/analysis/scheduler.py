@@ -1,0 +1,156 @@
+"""Scheduler-discipline rules (RPR010–RPR019).
+
+PR 7 made the event loop closure-free: hot-path callbacks are bound
+methods pushed through ``at_call``/``schedule_call``, which skip token
+allocation *and* closure objects.  A lambda or locally defined closure
+passed there silently reintroduces per-event allocation and — worse —
+captures loop variables by reference (the classic late-binding bug).
+Periodic timers (``every()``) allocate a token and re-push themselves, so
+they belong in setup code, never on per-packet paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.corpus import Corpus, ModuleInfo
+from repro.analysis.rules import Finding, get_rule, rule
+
+#: Scheduler entry points that must receive pre-bound, closure-free
+#: callbacks (see Simulator.at_call / Simulator.schedule_call).
+FAST_SCHEDULE_METHODS = frozenset({"at_call", "schedule_call"})
+
+#: Function-name prefixes that mark setup paths (run once per scenario,
+#: not per packet/event).
+SETUP_NAME_PREFIXES = ("setup", "_setup", "build", "_build", "make", "_make")
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _callee_method(node: ast.Call) -> Optional[str]:
+    """The method name of ``obj.method(...)`` calls, else the bare name."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@rule(
+    "RPR010",
+    name="closure-to-fast-scheduler",
+    rationale=(
+        "at_call/schedule_call are the closure-free fast path of the event "
+        "loop; a lambda or locally defined function passed there allocates "
+        "per event and can capture loop variables by reference."
+    ),
+    fix_hint=(
+        "pass a bound method (self._tick) or module-level function with "
+        "explicit args: sim.at_call(t, self._tick, arg1, arg2)"
+    ),
+)
+def check_closure_to_scheduler(
+    module: ModuleInfo, corpus: Corpus, options
+) -> Iterator[Finding]:
+    this = get_rule("RPR010")
+
+    def scan_function(fn: ast.AST, local_defs: Set[str]) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if _callee_method(node) not in FAST_SCHEDULE_METHODS:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    yield this.finding(
+                        "lambda passed to the closure-free scheduler fast path",
+                        module.path,
+                        arg.lineno,
+                        arg.col_offset,
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                    yield this.finding(
+                        f"locally defined function {arg.id!r} (a closure) "
+                        "passed to the closure-free scheduler fast path",
+                        module.path,
+                        arg.lineno,
+                        arg.col_offset,
+                    )
+
+    # Module level: lambdas only (no enclosing scope to close over).
+    yield from scan_function(module.tree, set())
+    for node in ast.walk(module.tree):
+        if isinstance(node, _FUNCTION_NODES):
+            nested = {
+                child.name
+                for stmt in ast.walk(node)
+                for child in [stmt]
+                if isinstance(child, _FUNCTION_NODES) and child is not node
+            }
+            yield from scan_function(node, nested)
+
+
+@rule(
+    "RPR011",
+    name="periodic-timer-outside-setup",
+    rationale=(
+        "every() allocates a cancel token and re-pushes itself forever; "
+        "creating one outside scenario setup (e.g. per packet or per flow "
+        "event) leaks timers and floods the event queue."
+    ),
+    fix_hint=(
+        "create periodic timers once during scenario/component setup "
+        "(__init__, setup_*/build_*, or the scenario driver that calls "
+        "sim.run()) and keep the handle to cancel them"
+    ),
+)
+def check_every_outside_setup(
+    module: ModuleInfo, corpus: Corpus, options
+) -> Iterator[Finding]:
+    this = get_rule("RPR011")
+
+    def is_setup_function(fn: ast.AST) -> bool:
+        name = getattr(fn, "name", "")
+        if name == "__init__" or name.startswith(SETUP_NAME_PREFIXES):
+            return True
+        # Scenario drivers build the topology, start timers, then run the
+        # simulation to completion in the same function — that whole body
+        # is setup from the event loop's perspective.
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "run"
+            ):
+                return True
+        return False
+
+    # Map every `X.every(...)` call to its innermost enclosing function.
+    stack: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[Finding]:
+        is_fn = isinstance(node, _FUNCTION_NODES)
+        if is_fn:
+            stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        if is_fn:
+            stack.pop()
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "every"
+        ):
+            enclosing = stack[-1] if stack else None
+            if enclosing is not None and not is_setup_function(enclosing):
+                yield this.finding(
+                    f"every() called inside {enclosing.name!r}, which is "
+                    "not a setup path",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                )
+
+    yield from visit(module.tree)

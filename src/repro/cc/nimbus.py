@@ -111,7 +111,7 @@ class NimbusDetector:
         now: float,
         send_rate_bps: float,
         recv_rate_bps: float,
-        queue_delay_s: float = float("inf"),
+        queue_delay_s: float = math.inf,
     ) -> None:
         """Record one control-interval sample of the bundle's send/receive rates.
 

@@ -192,7 +192,7 @@ class BundleController:
         total = 0.0
         code = self._mode_code(mode)
         times, values = history.times, history.values
-        for i, (t, v) in enumerate(zip(times, values)):
+        for i, (t, v) in enumerate(zip(times, values, strict=True)):
             nxt = times[i + 1] if i + 1 < len(times) else end_time
             if v == code:
                 total += max(nxt - t, 0.0)

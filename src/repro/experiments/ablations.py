@@ -134,9 +134,10 @@ def _check_strictly_positive(value: float) -> None:
     figure="Ablation / §5",
     description="Pass-through PI controller gains: fluid-model settle time to the target queue",
     params=ParamSpace(
-        ParamSpec("alpha", kind="float", default=10.0, validator=_check_strictly_positive,
+        ParamSpec("alpha", kind="float", default=10.0, unit="gain",
+                  validator=_check_strictly_positive,
                   description="PI proportional gain (strictly positive)"),
-        ParamSpec("beta", kind="float", default=10.0, minimum=0.0,
+        ParamSpec("beta", kind="float", default=10.0, unit="gain", minimum=0.0,
                   description="PI integral gain"),
         ParamSpec("target_queue_s", kind="float", default=0.010, unit="s", minimum=0.0001,
                   description="target standing-queue delay"),

@@ -120,7 +120,8 @@ def run_phased_cross_traffic(config: Optional[PhasedConfig] = None) -> PhasedCro
 
     # Phase 2: buffer-filling (backlogged Cubic) cross traffic.
     bulk_pairs = list(zip(topo.cross_senders[: config.cross_bulk_flows],
-                          topo.cross_receivers[: config.cross_bulk_flows]))
+                          topo.cross_receivers[: config.cross_bulk_flows],
+                          strict=True))
     bulk = BackloggedFlows(sim, topo.packet_factory, bulk_pairs, endhost_cc="cubic")
     sim.at(config.phase_duration_s, lambda: bulk.start())
     sim.at(2 * config.phase_duration_s, bulk.stop)
@@ -334,7 +335,7 @@ def run_elastic_cross_point(
     cross = BackloggedFlows(
         sim,
         topo.packet_factory,
-        list(zip(topo.cross_senders, topo.cross_receivers)),
+        list(zip(topo.cross_senders, topo.cross_receivers, strict=True)),
         endhost_cc="cubic",
     ).start(at=0.5)
     if not 0.0 <= warmup_s < duration_s:

@@ -146,7 +146,7 @@ def run_multipath_sweep(
                   description="offered load as a fraction of the bottleneck rate"),
         ParamSpec("path_split_mode", kind="str", default="packet", choices=("packet", "flow"),
                   description="ECMP split granularity across the paths"),
-        ParamSpec("delay_spread", kind="float", default=2.0, minimum=1.0,
+        ParamSpec("delay_spread", kind="float", default=2.0, unit="ratio", minimum=1.0,
                   description="delay multiplier between the fastest and slowest path"),
         ParamSpec("enable_multipath_detection", kind="bool", default=True,
                   description="enable the out-of-order multipath detector"),

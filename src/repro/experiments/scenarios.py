@@ -414,8 +414,8 @@ def policy_metrics(result: ScenarioResult) -> Dict[str, object]:
     classifier = result.config.priority_class_for_size or _default_priority_classifier
     analysis = result.fct_analysis()
     short = analysis.short_flow_analysis()
-    high = [s for s, size in zip(analysis.slowdowns, analysis.sizes) if classifier(size) == 0]
-    low = [s for s, size in zip(analysis.slowdowns, analysis.sizes) if classifier(size) != 0]
+    high = [s for s, size in zip(analysis.slowdowns, analysis.sizes, strict=True) if classifier(size) == 0]
+    low = [s for s, size in zip(analysis.slowdowns, analysis.sizes, strict=True) if classifier(size) != 0]
     return {
         "completed": len(analysis),
         "median_slowdown": analysis.median_slowdown() if len(analysis) else None,

@@ -137,7 +137,7 @@ class EcmpGroup:
             return link
         # Flow mode: map the flow hash into [0, 1) and pick by cumulative weight.
         point = (packet.flow_hash() % 65536) / 65536.0
-        for link, boundary in zip(self.links, self._cumulative):
+        for link, boundary in zip(self.links, self._cumulative, strict=True):
             if point < boundary:
                 return link
         return self.links[-1]

@@ -325,7 +325,7 @@ class Simulator:
         stats = self.stats
         queue = self._queue
         pop = heapq.heappop
-        started = perf_counter()
+        started = perf_counter()  # repro: noqa[RPR001] -- wall-clock telemetry only: feeds stats.run_wall_s in the cache-record envelope, never simulated state
         try:
             while queue:
                 head = queue[0]
@@ -351,7 +351,7 @@ class Simulator:
             self._running = False
             self._until = None
             stats.run_calls += 1
-            stats.run_wall_s += perf_counter() - started
+            stats.run_wall_s += perf_counter() - started  # repro: noqa[RPR001] -- wall-clock telemetry only: run_wall_s is envelope telemetry, not simulated state
             stats.sim_time_s = self._now
             stats.events_pending = self.pending_events()
         return self._now

@@ -35,7 +35,7 @@ class TimeSeries:
         return len(self.times)
 
     def __iter__(self):
-        return iter(zip(self.times, self.values))
+        return iter(zip(self.times, self.values, strict=True))
 
     def between(self, start: float, end: float) -> "TimeSeries":
         """Samples with ``start <= time < end`` (times are assumed sorted)."""

@@ -61,15 +61,18 @@ class TelemetryCollector:
     collector on exit) and starts the run wall clock.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitizer: Optional[Any] = None) -> None:
         self.timeline = Timeline()
         self.simulators: List[Any] = []
         self.wall_s = 0.0
+        self.sanitizer = sanitizer
         self._started: Optional[float] = None
         self._previous: Optional["TelemetryCollector"] = None
 
     def register_simulator(self, sim) -> None:
         self.simulators.append(sim)
+        if self.sanitizer is not None:
+            self.sanitizer.attach(sim)
 
     def __enter__(self) -> "TelemetryCollector":
         self._previous = current_collector()
@@ -91,7 +94,7 @@ class TelemetryCollector:
         events = counters.get("events_processed", 0)
         sim_wall = counters.get("run_wall_s", 0.0)
         sim_time = counters.get("sim_time_s", 0.0)
-        return {
+        snapshot = {
             "format": TELEMETRY_FORMAT,
             "wall_s": round(self.wall_s, 6),
             "simulators": len(self.simulators),
@@ -103,16 +106,40 @@ class TelemetryCollector:
             "counters": counters,
             "spans": self.timeline.snapshot(),
         }
+        if self.sanitizer is not None:
+            # Envelope-only, like everything else in the telemetry dict:
+            # proof the sanitizer engaged, never part of the result payload.
+            snapshot["sanitizer"] = self.sanitizer.summary()
+        return snapshot
 
 
 @contextlib.contextmanager
 def collect() -> Iterator[Optional[TelemetryCollector]]:
-    """Open a collector for the enclosed run; yields ``None`` when disabled."""
+    """Open a collector for the enclosed run; yields ``None`` when disabled.
+
+    With ``REPRO_SANITIZE=1`` a runtime :class:`~repro.analysis.sanitizer.
+    Sanitizer` rides along on the collector: every simulator that registers
+    is instrumented, and end-of-run conservation is checked on clean exit
+    (a run that already raised reports its own error, not a conservation
+    echo of it).  The sanitizer works even with ``REPRO_OBS=0`` — a
+    collector is still opened to carry it, but the caller sees ``None`` so
+    no telemetry is attached.
+    """
+    from repro.analysis.sanitizer import maybe_sanitizer
+
+    sanitizer = maybe_sanitizer()
     if not obs_enabled():
-        yield None
+        if sanitizer is None:
+            yield None
+            return
+        with TelemetryCollector(sanitizer=sanitizer):
+            yield None
+        sanitizer.finalize()
         return
-    with TelemetryCollector() as collector:
+    with TelemetryCollector(sanitizer=sanitizer) as collector:
         yield collector
+    if sanitizer is not None:
+        sanitizer.finalize()
 
 
 @contextlib.contextmanager

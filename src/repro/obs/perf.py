@@ -108,6 +108,16 @@ def run_bench(scenario: str, *, seed: int = BENCH_SEED) -> Dict[str, Any]:
     from repro.runner.registry import load_builtin_scenarios
     from repro.runner.spec import RunSpec
 
+    from repro.analysis.sanitizer import SANITIZE_ENV, sanitize_enabled
+
+    if sanitize_enabled():
+        # Sanitizer wrappers slow the hot path; a bench recorded with them
+        # on would poison the committed BENCH_*.json trajectory.
+        raise RuntimeError(
+            f"refusing to benchmark with {SANITIZE_ENV} set: sanitizer "
+            "overhead must never reach committed perf baselines "
+            f"(unset {SANITIZE_ENV} and re-run)"
+        )
     if scenario not in PERF_PROFILES:
         raise KeyError(
             f"no perf profile for scenario {scenario!r}; "

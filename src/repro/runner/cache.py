@@ -162,7 +162,7 @@ class ResultCache:
         The write is atomic (temp file + rename) so a crashed or killed
         worker can never leave a half-written record behind.
         """
-        created_at = time.time()
+        created_at = time.time()  # repro: noqa[RPR030] -- created_at lives in the record envelope, never in "result" whose bytes are the cache identity
         record: Dict[str, Any] = {"result": result.to_payload(), "created_at": created_at}
         if elapsed_s is not None:
             record["elapsed_s"] = elapsed_s
@@ -351,7 +351,7 @@ class ResultCache:
         written by other processes are seen, and rewritten after eviction.
         With ``dry_run`` nothing is deleted; the stats report what would be.
         """
-        now = now if now is not None else time.time()
+        now = now if now is not None else time.time()  # repro: noqa[RPR030] -- gc age policy compares envelope created_at stamps; never touches cached payloads
         trace_grace_s = self.TRACE_GRACE_S if trace_grace_s is None else trace_grace_s
         entries = self.rebuild_manifest()
         stats = GcStats(examined=len(entries))

@@ -49,6 +49,12 @@ Subcommands:
 ``profile``
     Run one scenario cell fresh under ``cProfile`` and print the top-N
     functions by cumulative time; ``--out`` dumps raw pstats data.
+``lint``
+    The AST-based invariant linter (see ``docs/static-analysis.md``):
+    checks the determinism, scheduler-discipline, qdisc-contract,
+    cache-purity and wire-compatibility rules (``RPR0xx``) over the given
+    paths, exiting non-zero on unsuppressed findings.  Delegates to
+    ``repro.analysis`` — ``python -m repro.analysis`` is the same tool.
 
 Parameter values given as ``-p key=value`` / ``-g key=v1,v2`` are parsed
 as JSON-ish literals and then *coerced through the scenario's typed
@@ -908,12 +914,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be evicted without deleting anything",
     )
     p_gc.set_defaults(fn=_cmd_gc)
+
+    sub.add_parser(
+        "lint",
+        help="run the invariant linter (RPR0xx rules) over source paths",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
     try:
+        if argv and argv[0] == "lint":
+            # The linter owns its own argument parser (it is also exposed
+            # as `python -m repro.analysis`); hand the rest of the line
+            # straight through so both entry points behave identically.
+            from repro.analysis.cli import main as lint_main
+
+            return lint_main(argv[1:])
+        args = build_parser().parse_args(argv)
         return args.fn(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.

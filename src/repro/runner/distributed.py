@@ -651,7 +651,7 @@ class _Scheduler:
             ),
             key=lambda t: t.dispatched_at,
         )
-        for worker, tracked in zip(idle, in_flight):
+        for worker, tracked in zip(idle, in_flight, strict=False):  # truncation intended: one speculative copy per idle worker
             self._dispatch(worker, tracked, speculative=True)
 
     def _check_timeouts(self) -> None:

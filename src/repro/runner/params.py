@@ -253,9 +253,9 @@ def _infer_spec(name: str, default: Any) -> ParamSpec:
     if isinstance(default, bool):
         return ParamSpec(name, kind="bool", default=default)
     if isinstance(default, int):
-        return ParamSpec(name, kind="int", default=default)
+        return ParamSpec(name, kind="int", default=default)  # repro: noqa[RPR031] -- inferred from a legacy untyped default; no unit information exists to declare
     if isinstance(default, float):
-        return ParamSpec(name, kind="float", default=default)
+        return ParamSpec(name, kind="float", default=default)  # repro: noqa[RPR031] -- inferred from a legacy untyped default; no unit information exists to declare
     if isinstance(default, str):
         return ParamSpec(name, kind="str", default=default)
     # None (unknowable type) and containers stay as permissive JSON values.

@@ -42,7 +42,7 @@ class EmpiricalSizeDistribution:
 
     @property
     def points(self) -> List[Tuple[float, float]]:
-        return list(zip(self._sizes, self._probs))
+        return list(zip(self._sizes, self._probs, strict=True))
 
     def quantile(self, p: float) -> float:
         """Inverse CDF: the size at cumulative probability ``p``."""

@@ -1,0 +1,14 @@
+"""Bad fixture: closures on the fast scheduler path, timers outside setup."""
+
+
+def on_packet(sim, packet):
+    sim.at_call(1.0, lambda: packet)  # expect[RPR010]
+
+    def deliver():
+        return packet
+
+    sim.schedule_call(0.5, deliver)  # expect[RPR010]
+
+
+def per_flow_event(sim, flow):
+    sim.every(0.01, flow.poll)  # expect[RPR011]

@@ -1,0 +1,19 @@
+"""Bad fixture: impure cache inputs and unitless numeric knobs."""
+
+import os
+import time
+
+from repro.runner.params import ParamSpec
+
+
+def build_metrics(result) -> dict:
+    return {
+        "completed": result.completed,
+        "measured_at": time.time(),  # expect[RPR030]
+        "host_tag": os.getenv("HOSTNAME", ""),  # expect[RPR030]
+        "run_mode": os.environ.get("MODE", "default"),  # expect[RPR030]
+    }
+
+
+RATE_KNOB = ParamSpec("rate", kind="float", default=24.0)  # expect[RPR031]
+COUNT_KNOB = ParamSpec("flows", kind="int", default=8, unit="")  # expect[RPR031]

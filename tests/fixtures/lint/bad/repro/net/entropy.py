@@ -1,0 +1,28 @@
+"""Bad fixture: ambient entropy and bare-set iteration in a sim package."""
+
+import datetime as dt
+import os
+import random
+import time
+from time import time as wall
+
+
+def jitter_delay(base: float) -> float:
+    return base + random.random() * 0.001  # expect[RPR001]
+
+
+def stamp_packet(meta: dict) -> None:
+    meta["sent_at"] = time.time()  # expect[RPR001]
+    meta["sent_at_2"] = wall()  # expect[RPR001]
+    meta["created"] = dt.datetime.now()  # expect[RPR001]
+
+
+def entropy_token() -> bytes:
+    return os.urandom(8)  # expect[RPR001]
+
+
+def drain_flows(active: list) -> list:
+    order = []
+    for flow in set(active):  # expect[RPR003]
+        order.append(flow)
+    return [f for f in {1, 2, 3}]  # expect[RPR003]

@@ -1,0 +1,12 @@
+"""Bad fixture: RNGs constructed without a seed."""
+
+import random
+from random import Random
+
+
+def fresh_rng():
+    return random.Random()  # expect[RPR002]
+
+
+def aliased_rng():
+    return Random()  # expect[RPR002]

@@ -1,0 +1,20 @@
+"""Bad fixture: a Qdisc subclass breaking the peek/backlog contract."""
+
+from repro.qdisc.base import Qdisc
+
+
+class NoPeekQdisc(Qdisc):  # expect[RPR020]
+    """Implements the queue but never overrides peek()."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._packets = []
+
+    def enqueue(self, packet, now):  # expect[RPR021]
+        self._packets.append(packet)
+        return True
+
+    def dequeue(self, now):  # expect[RPR021]
+        if not self._packets:
+            return None
+        return self._packets.pop(0)

@@ -1,0 +1,18 @@
+"""Bad fixture: suppression attempts that do not meet the grammar.
+
+Package ``util`` is outside the sim set, so nothing here fires RPR001 —
+every expected finding is the RPR000 meta rule itself.  The marker sits on
+the line *above* each offence (``expect-next``) because the offence is
+itself a comment.
+"""
+
+# expect-next[RPR000]
+WINDOW = 1  # repro: noqa[RPR001]
+# expect-next[RPR000]
+SPAN = 2  # repro: noqa[RPR001] --
+# expect-next[RPR000]
+GAIN = 3  # repro: noqa RPR001 -- missing the brackets
+# expect-next[RPR000]
+DEPTH = 4  # repro: noqa[RPR999] -- no such rule
+# expect-next[RPR000]
+META = 5  # repro: noqa[RPR000] -- the meta rule is not suppressible

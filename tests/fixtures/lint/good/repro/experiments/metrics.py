@@ -1,0 +1,16 @@
+"""Good fixture: pure metrics and unit-annotated numeric knobs."""
+
+from repro.runner.params import ParamSpec
+
+
+def build_metrics(result) -> dict:
+    return {
+        "completed": result.completed,
+        "measured_at_s": result.sim_now,
+        "run_mode": result.params.get("mode", "default"),
+    }
+
+
+RATE_KNOB = ParamSpec("rate", kind="float", default=24.0, unit="Mbit/s")
+COUNT_KNOB = ParamSpec("flows", kind="int", default=8, unit="flows")
+LABEL_KNOB = ParamSpec("label", kind="str", default="baseline")

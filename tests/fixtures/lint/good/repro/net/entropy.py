@@ -1,0 +1,20 @@
+"""Good fixture: the sanctioned determinism patterns for sim packages."""
+
+import random
+
+from repro.util.rng import derive_seed
+
+
+def jitter_delay(base: float, rng: random.Random) -> float:
+    return base + rng.random() * 0.001
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(derive_seed(seed, "entropy-fixture"))
+
+
+def drain_flows(active: list) -> list:
+    order = []
+    for flow in sorted(set(active)):
+        order.append(flow)
+    return order

@@ -1,0 +1,7 @@
+"""Good fixture: a real violation silenced by a well-formed suppression."""
+
+import time
+
+
+def telemetry_stamp() -> float:
+    return time.time()  # repro: noqa[RPR001] -- wall-clock stamp feeds the log header only, never simulation state

@@ -1,0 +1,51 @@
+"""Good fixture: Qdisc subclasses honouring the peek/backlog contract."""
+
+from repro.qdisc.base import Qdisc
+
+
+class AccountedQdisc(Qdisc):
+    """The normal pattern: _account_* helpers on every path."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._packets = []
+
+    def enqueue(self, packet, now):
+        self._packets.append(packet)
+        self._account_enqueue(packet)
+        return True
+
+    def dequeue(self, now):
+        if not self._packets:
+            return None
+        packet = self._packets.pop(0)
+        self._account_dequeue(packet)
+        return packet
+
+    def peek(self):
+        return self._packets[0] if self._packets else None
+
+
+class WrapperQdisc(Qdisc):
+    """The wrapper pattern: delegate to an inner qdisc, property backlog."""
+
+    def __init__(self, inner) -> None:
+        super().__init__()
+        self.inner = inner
+
+    @property
+    def backlog_packets(self):
+        return self.inner.backlog_packets
+
+    @property
+    def backlog_bytes(self):
+        return self.inner.backlog_bytes
+
+    def enqueue(self, packet, now):
+        return self.inner.enqueue(packet, now)
+
+    def dequeue(self, now):
+        return self.inner.dequeue(now)
+
+    def peek(self):
+        return self.inner.peek()

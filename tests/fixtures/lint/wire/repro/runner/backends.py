@@ -1,0 +1,21 @@
+"""Wire fixture: frame dataclasses mirroring the real runner/backends.py."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class WorkItem:
+    index: int
+    scenario: str
+    params: dict
+    seed: int
+
+
+@dataclass
+class WorkOutcome:
+    index: int
+    payload: dict
+    elapsed_s: float
+    error: Optional[str]
+    telemetry: Optional[dict] = None

@@ -1,0 +1,3 @@
+"""Wire fixture: protocol version constant mirroring runner/wire.py."""
+
+PROTOCOL_VERSION = 1

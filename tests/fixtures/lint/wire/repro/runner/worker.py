@@ -1,0 +1,18 @@
+"""Wire fixture: message-type dict literals mirroring runner/worker.py."""
+
+
+def hello_frame(worker_id: str) -> dict:
+    return {"type": "hello", "worker": worker_id}
+
+
+def outcome_frame(payload: dict) -> dict:
+    return {"type": "outcome", "payload": payload}
+
+
+def shutdown_frame() -> dict:
+    return {"type": "shutdown"}
+
+
+def local_sentinel() -> dict:
+    # Underscore-prefixed kinds never cross the wire and are not schema.
+    return {"type": "_drain"}

@@ -1,0 +1,316 @@
+"""Invariant linter tests: one parametrized case per rule code.
+
+Fixture layout (``tests/fixtures/lint/``):
+
+* ``bad/repro/...``  — violations, each offending line carrying an
+  ``# expect[RPRnnn]`` marker (or ``# expect-next[RPRnnn]`` on the line
+  above, when the offence is itself a comment);
+* ``good/repro/...`` — the sanctioned counterpart patterns, lint-clean;
+* ``wire/repro/runner/...`` — a miniature wire protocol tree for the
+  RPR040 snapshot-drift cases.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import noqa, wire_schema
+from repro.analysis.cli import main as lint_main
+from repro.analysis.corpus import LintUsageError, load_corpus, load_module
+from repro.analysis.engine import (
+    LintOptions,
+    format_github,
+    format_json,
+    format_text,
+    lint_paths,
+)
+from repro.analysis.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+WIRE = FIXTURES / "wire"
+
+RULE_CODES = [r.code for r in all_rules()]
+
+#: ``# expect[RPR001]`` flags its own line; ``# expect-next[RPR001]`` flags
+#: the line below (used when the offending line is itself a comment).
+_MARKER = re.compile(r"#\s*expect(?P<next>-next)?\[(?P<codes>[A-Z0-9,\s]+)\]")
+
+
+def expected_findings(root: Path):
+    """All ``(path, line, code)`` triples promised by fixture markers."""
+    expected = set()
+    for path in sorted(root.rglob("*.py")):
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _MARKER.search(text)
+            if match is None:
+                continue
+            target = lineno + 1 if match.group("next") else lineno
+            for code in match.group("codes").split(","):
+                expected.add((str(path), target, code.strip()))
+    return expected
+
+
+@pytest.fixture(scope="module")
+def bad_report():
+    return lint_paths([str(BAD)])
+
+
+# -- per-rule exactness ------------------------------------------------------
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_rule_fires_at_exact_code_and_line(code, bad_report):
+    expected = {
+        (path, line)
+        for (path, line, marked) in expected_findings(BAD)
+        if marked == code
+    }
+    actual = {
+        (finding.path, finding.line)
+        for finding in bad_report.active
+        if finding.code == code
+    }
+    assert actual == expected
+    if code != "RPR040":  # RPR040 needs the wire tree; tested below
+        assert expected, f"no bad fixture exercises {code}"
+
+
+def test_bad_tree_has_no_unmarked_findings(bad_report):
+    promised = {(p, l) for (p, l, _) in expected_findings(BAD)}
+    surprises = [
+        f for f in bad_report.active if (f.path, f.line) not in promised
+    ]
+    assert surprises == []
+
+
+def test_good_fixtures_are_clean():
+    report = lint_paths([str(GOOD)])
+    assert report.active == []
+    assert report.exit_code() == 0
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def test_justified_suppression_silences_the_finding():
+    path = GOOD / "repro" / "net" / "suppressed.py"
+    report = lint_paths([str(path)])
+    assert report.active == []
+    assert len(report.suppressed) == 1
+    finding = report.suppressed[0]
+    assert finding.code == "RPR001"
+    assert "log header" in finding.justification
+
+
+def test_malformed_suppressions_are_ignored_and_flagged():
+    path = BAD / "repro" / "util" / "suppressions.py"
+    valid, problems = noqa.parse_suppressions(load_module(str(path)))
+    assert valid == {}
+    assert len(problems) == 5
+    messages = "\n".join(message for _, message in problems)
+    assert "malformed suppression" in messages
+    assert "unknown rule" in messages
+    assert "RPR000 cannot be suppressed" in messages
+
+
+def test_justification_is_required(tmp_path):
+    target = tmp_path / "repro" / "net" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()  # repro: noqa[RPR001]\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([str(target)])
+    codes = sorted(f.code for f in report.active)
+    assert codes == ["RPR000", "RPR001"]  # finding survives + meta finding
+
+
+def test_docstring_quoting_the_grammar_is_not_a_suppression(tmp_path):
+    target = tmp_path / "repro" / "net" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        '"""Docs: write # repro: noqa[RPR001] -- why."""\n'
+        "GRAMMAR = '# repro: noqa[RPR001] -- why'\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([str(target)])
+    assert report.active == []
+
+
+# -- engine options / formats ------------------------------------------------
+
+
+def test_select_restricts_to_named_rules(bad_report):
+    report = lint_paths([str(BAD)], LintOptions(select=("RPR003",)))
+    assert {f.code for f in report.active} == {"RPR003"}
+    full = {f.code for f in bad_report.active}
+    assert "RPR001" in full  # the restriction actually dropped something
+
+
+def test_format_text(bad_report):
+    out = format_text(bad_report)
+    assert f"{len(bad_report.active)} finding(s)" in out
+    assert re.search(r"entropy\.py:11:\d+: RPR001 \[error\]", out)
+    assert "fix:" in out
+
+
+def test_format_text_shows_suppressions_on_request():
+    report = lint_paths([str(GOOD / "repro" / "net" / "suppressed.py")])
+    assert "suppressed" in format_text(report)  # count in the summary
+    verbose = format_text(report, verbose_suppressed=True)
+    assert "RPR001 suppressed -- " in verbose
+
+
+def test_format_github(bad_report):
+    lines = format_github(bad_report).splitlines()
+    assert len(lines) == len(bad_report.active)
+    assert all(line.startswith("::error file=") for line in lines)
+    assert any(",title=RPR010::" in line for line in lines)
+
+
+def test_format_json(bad_report):
+    payload = json.loads(format_json(bad_report))
+    assert len(payload["findings"]) == len(bad_report.active)
+    assert payload["rules"]["RPR001"]["severity"] == "error"
+    assert {f["code"] for f in payload["findings"]} >= {"RPR001", "RPR021"}
+
+
+# -- CLI exit codes ----------------------------------------------------------
+
+
+def test_cli_exit_codes(capsys):
+    assert lint_main([str(GOOD)]) == 0
+    assert lint_main([str(BAD)]) == 1
+    assert lint_main([str(FIXTURES / "no-such-dir")]) == 2
+    err = capsys.readouterr().err
+    assert "no such file or directory" in err
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULE_CODES:
+        assert code in out
+
+
+def test_cli_select_and_format(capsys):
+    rc = lint_main(["--select", "RPR002", "--format", "github", str(BAD)])
+    assert rc == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    assert all("title=RPR002" in line for line in lines)
+
+
+# -- RPR040: wire schema snapshot --------------------------------------------
+
+
+def wire_lint(snapshot_path):
+    return lint_paths(
+        [str(WIRE)],
+        LintOptions(select=("RPR040",), snapshot_path=str(snapshot_path)),
+    )
+
+
+@pytest.fixture()
+def wire_corpus():
+    return load_corpus([str(WIRE)])
+
+
+@pytest.fixture()
+def wire_snapshot(wire_corpus, tmp_path):
+    """A snapshot matching the wire fixture tree exactly."""
+    path = tmp_path / "wire_snapshot.json"
+    wire_schema.update_snapshot(wire_corpus, str(path))
+    return path
+
+
+def test_missing_snapshot_is_a_finding(tmp_path):
+    report = wire_lint(tmp_path / "absent.json")
+    assert [f.code for f in report.active] == ["RPR040"]
+    assert "no committed wire schema snapshot" in report.active[0].message
+
+
+def test_matching_snapshot_is_clean(wire_snapshot):
+    schema = json.loads(wire_snapshot.read_text(encoding="utf-8"))
+    assert schema["protocol_version"] == 1
+    assert [f["name"] for f in schema["frames"]["WorkItem"]] == [
+        "index",
+        "scenario",
+        "params",
+        "seed",
+    ]
+    assert "_drain" not in schema["message_types"]  # in-process sentinel
+    assert wire_lint(wire_snapshot).active == []
+
+
+def test_compatible_drift_asks_for_snapshot_update(wire_snapshot):
+    schema = json.loads(wire_snapshot.read_text(encoding="utf-8"))
+    # Pretend the optional telemetry field is new since the snapshot.
+    schema["frames"]["WorkOutcome"] = [
+        f for f in schema["frames"]["WorkOutcome"] if f["name"] != "telemetry"
+    ]
+    wire_snapshot.write_text(json.dumps(schema), encoding="utf-8")
+    report = wire_lint(wire_snapshot)
+    assert len(report.active) == 1
+    message = report.active[0].message
+    assert "unrecorded wire schema change" in message
+    assert "telemetry" in message and "--update-snapshot" in message
+
+
+def test_incompatible_drift_demands_version_bump(wire_corpus, wire_snapshot):
+    schema = json.loads(wire_snapshot.read_text(encoding="utf-8"))
+    # The snapshot knows a required field the current frames dropped.
+    schema["frames"]["WorkItem"].append({"name": "priority", "required": True})
+    wire_snapshot.write_text(json.dumps(schema), encoding="utf-8")
+    report = wire_lint(wire_snapshot)
+    assert len(report.active) == 1
+    message = report.active[0].message
+    assert "incompatible wire schema change" in message
+    assert "priority" in message and "PROTOCOL_VERSION" in message
+
+    # --update-snapshot refuses to paper over it without a version bump.
+    with pytest.raises(LintUsageError, match="refused"):
+        wire_schema.update_snapshot(wire_corpus, str(wire_snapshot))
+
+
+def test_version_bump_without_delta_is_flagged(wire_snapshot):
+    schema = json.loads(wire_snapshot.read_text(encoding="utf-8"))
+    schema["protocol_version"] = 0
+    wire_snapshot.write_text(json.dumps(schema), encoding="utf-8")
+    report = wire_lint(wire_snapshot)
+    assert len(report.active) == 1
+    assert "PROTOCOL_VERSION changed" in report.active[0].message
+
+
+def test_cli_update_snapshot_roundtrip(tmp_path, capsys):
+    path = tmp_path / "snap.json"
+    rc = lint_main(
+        ["--update-snapshot", "--snapshot-path", str(path), str(WIRE)]
+    )
+    assert rc == 0
+    assert path.exists()
+    assert wire_lint(path).active == []
+
+
+def test_update_snapshot_needs_wire_modules(tmp_path):
+    with pytest.raises(LintUsageError, match="update-snapshot"):
+        wire_schema.update_snapshot(
+            load_corpus([str(GOOD)]), str(tmp_path / "snap.json")
+        )
+
+
+# -- the real tree stays clean -----------------------------------------------
+
+
+def test_src_tree_lints_clean():
+    report = lint_paths([str(REPO_ROOT / "src")])
+    assert report.active == [], "\n" + format_text(report)

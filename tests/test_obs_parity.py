@@ -117,7 +117,7 @@ class TestBackendParity:
         ]
         serial = self._sweep(tmp_path, "serial", "serial", specs)
         process = self._sweep(tmp_path, "process", "process", specs)
-        for ours, theirs in zip(serial.results, process.results):
+        for ours, theirs in zip(serial.results, process.results, strict=True):
             assert ours.canonical() == theirs.canonical()
             assert ours.telemetry["events_processed"] == theirs.telemetry["events_processed"]
             assert _deterministic_counters(ours.telemetry) == _deterministic_counters(

@@ -156,7 +156,7 @@ class TestTraceSweepParity:
             self._specs(), cache=cache, backend=ProcessPoolBackend(2), workers=2
         )
         assert warm.hits == 2 and warm.misses == 0
-        for a, b in zip(cold.results, warm.results):
+        for a, b in zip(cold.results, warm.results, strict=True):
             assert a.canonical() == b.canonical()
 
     def test_distributed_then_serial_is_all_hits(self, tmp_path):
@@ -170,7 +170,7 @@ class TestTraceSweepParity:
         assert cold.misses == 2
         warm = run_sweep(self._specs(), cache=cache, backend=SerialBackend())
         assert warm.hits == 2 and warm.misses == 0
-        for a, b in zip(cold.results, warm.results):
+        for a, b in zip(cold.results, warm.results, strict=True):
             assert a.canonical() == b.canonical()
 
     def test_file_backed_trace_sweep_serves_from_cache(self, tmp_path, monkeypatch):

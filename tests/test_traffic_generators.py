@@ -93,7 +93,7 @@ class TestGeneratorDeterminism:
         ]}}
         events = list(generate_trace(spec, 9))
         assert events == list(generate_trace(spec, 9))
-        assert all(a.time_s <= b.time_s for a, b in zip(events, events[1:]))
+        assert all(a.time_s <= b.time_s for a, b in zip(events, events[1:], strict=False))
         kinds = {e.kind for e in events}
         assert kinds == {"flow", "stream"}
 
@@ -158,7 +158,7 @@ class TestGeneratorShapes:
         assert all(e.kind == "stream" and e.group == "cross" for e in events)
         assert all(e.time_s + e.duration_s <= 6.0 + 1e-9 for e in events)
         # ON periods never overlap: each starts after the previous ended.
-        for a, b in zip(events, events[1:]):
+        for a, b in zip(events, events[1:], strict=False):
             assert b.time_s >= a.time_s + a.duration_s - 1e-9
 
     def test_merge_tie_break_is_stable(self):

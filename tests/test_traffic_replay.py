@@ -175,7 +175,7 @@ class TestGenerateThenReplayEquivalence:
         direct = self._direct()
         expected = list(self._events())
         assert direct.requests_issued == len(expected)
-        for flow, event in zip(direct.flows, expected):
+        for flow, event in zip(direct.flows, expected, strict=True):
             assert flow.size_bytes == event.size_bytes
             assert flow.start_time == pytest.approx(event.time_s, abs=1e-12)
 

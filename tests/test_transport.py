@@ -88,7 +88,7 @@ class TestTcpFlow:
             # The sender's SACK coverage map is exactly the sacked segments.
             ranges = sender._sacked_ranges
             assert all(lo < hi for lo, hi in ranges)
-            assert all(a[1] < b[0] for a, b in zip(ranges, ranges[1:]))
+            assert all(a[1] < b[0] for a, b in zip(ranges, ranges[1:], strict=False))
             for s in segs:
                 covered = any(lo <= s.seq and s.seq + s.size <= hi for lo, hi in ranges)
                 assert covered == s.sacked

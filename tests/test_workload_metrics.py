@@ -67,7 +67,7 @@ class TestArrivals:
     def test_poisson_mean_interarrival(self):
         arr = PoissonArrivals(100.0, make_rng(3))
         times = arr.arrival_times(count=5000)
-        inter = [b - a for a, b in zip(times, times[1:])]
+        inter = [b - a for a, b in zip(times, times[1:], strict=False)]
         assert sum(inter) / len(inter) == pytest.approx(0.01, rel=0.1)
 
     def test_horizon_bound(self):
