@@ -29,10 +29,15 @@ The surface, by layer:
   (:class:`LocalSubprocessTransport` for same-host isolation,
   :class:`SSHTransport` for remote hosts parsed from
   :func:`parse_hosts` / :class:`HostSpec` specs), with heartbeat-based
-  hang detection, worker quarantine, and straggler re-dispatch;
+  hang detection, worker quarantine, and straggler re-dispatch; the pool
+  is elastic (``listen=`` admits ``workers join`` processes mid-sweep,
+  leases survive connection blips, ``spill_dir=`` resumes restarted
+  sweeps) and batches frames (``batch_size=``);
   ``run_sweep(on_progress=...)`` observes scheduling as
   :class:`ProgressEvent` records and ``SweepOutcome.worker_stats`` carries
-  the per-worker accounting.  See ``docs/distributed.md``.
+  the per-worker accounting.  Deterministic fault schedules for testing
+  all of this: :class:`FaultPlan` / :class:`FaultRule`
+  (:mod:`repro.testing.chaos`).  See ``docs/distributed.md``.
 * **Aggregating** — :func:`aggregate_results` / :func:`aggregate_outcome`
   grouping by (scenario, params) with mean / stdev / 95% CI per metric
   (:class:`AggregateCell`, :class:`MetricAggregate`), plus
@@ -93,6 +98,10 @@ from repro.runner.distributed import (
     SSHTransport,
     WorkerTransport,
     parse_hosts,
+)
+from repro.testing.chaos import (
+    FaultPlan,
+    FaultRule,
 )
 from repro.runner.cache import (
     DEFAULT_CACHE_DIR,
@@ -199,6 +208,9 @@ __all__ = [
     "SSHTransport",
     "WorkerTransport",
     "parse_hosts",
+    # deterministic fault injection (repro.testing.chaos)
+    "FaultPlan",
+    "FaultRule",
     # results + cache
     "DEFAULT_CACHE_DIR",
     "MANIFEST_NAME",

@@ -263,17 +263,34 @@ class ProcessPoolBackend:
         return f"ProcessPoolBackend(workers={self.workers})"
 
 
-def _make_distributed_backend(*, workers: int, hosts: Optional[str]):
+def _make_distributed_backend(
+    *,
+    workers: int,
+    hosts: Optional[str],
+    batch_size: Optional[int] = None,
+    listen: Optional[str] = None,
+    spill_dir: Optional[str] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+):
     """Lazy factory: :mod:`repro.runner.distributed` imports this module
     for the work-item types, so importing it back at top level would be a
     cycle — it is resolved here, at call time, instead."""
     from repro.runner.distributed import DistributedBackend
 
-    if hosts is None:
+    if hosts is None and listen is None:
         # No --hosts spec: all slots on this machine, mirroring what the
         # process backend would do with the same worker count.
         hosts = f"localhost:{max(workers, 1)}"
-    return DistributedBackend(hosts)
+    extras: Dict[str, Any] = {}
+    if batch_size is not None:
+        extras["batch_size"] = batch_size
+    if listen is not None:
+        extras["listen"] = listen
+    if spill_dir is not None:
+        extras["spill_dir"] = spill_dir
+    if chaos is not None:
+        extras["chaos"] = chaos
+    return DistributedBackend(hosts or (), **extras)
 
 
 #: Name → constructor for the built-in backends.  ``distributed`` is a
@@ -291,17 +308,38 @@ BACKEND_CHOICES = ("auto", *sorted(BACKENDS))
 
 
 def make_backend(
-    name: str, *, workers: int = 1, hosts: Optional[str] = None
+    name: str,
+    *,
+    workers: int = 1,
+    hosts: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    listen: Optional[str] = None,
+    spill_dir: Optional[str] = None,
+    chaos: Optional[Dict[str, Any]] = None,
 ) -> ExecutionBackend:
     """Build a backend from a CLI-style name.
 
     ``auto`` preserves the engine's historical behavior: a process pool
     when ``workers > 1``, otherwise serial.  ``hosts`` is the
     ``--hosts``-style spec (``"localhost:2,nodeA:4"``) consumed only by
-    the ``distributed`` backend; it defaults to ``localhost:<workers>``.
+    the ``distributed`` backend; it defaults to ``localhost:<workers>``
+    unless ``listen`` makes the pool join-fed.  ``batch_size``, ``listen``,
+    ``spill_dir``, and ``chaos`` (a fault-plan dict) are likewise
+    distributed-only knobs.
     """
-    if hosts is not None and name not in ("distributed",):
-        raise ValueError(f"--hosts only applies to the distributed backend, not {name!r}")
+    extras = {
+        "--hosts": hosts,
+        "--batch-size": batch_size,
+        "--listen": listen,
+        "--spill-dir": spill_dir,
+        "--chaos-plan": chaos,
+    }
+    if name not in ("distributed",):
+        for flag, value in extras.items():
+            if value is not None:
+                raise ValueError(
+                    f"{flag} only applies to the distributed backend, not {name!r}"
+                )
     if name == "auto":
         return ProcessPoolBackend(workers) if workers > 1 else SerialBackend()
     try:
@@ -313,5 +351,12 @@ def make_backend(
     if factory is ProcessPoolBackend:
         return ProcessPoolBackend(max(workers, 1))
     if factory is _make_distributed_backend:
-        return _make_distributed_backend(workers=workers, hosts=hosts)
+        return _make_distributed_backend(
+            workers=workers,
+            hosts=hosts,
+            batch_size=batch_size,
+            listen=listen,
+            spill_dir=spill_dir,
+            chaos=chaos,
+        )
     return factory()

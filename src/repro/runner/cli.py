@@ -332,11 +332,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = sweep.expand()
     if not specs:
         raise SystemExit("sweep expanded to zero runs")
+    chaos_plan = None
+    if getattr(args, "chaos_plan", None):
+        with open(args.chaos_plan, "r", encoding="utf-8") as fh:
+            chaos_plan = json.load(fh)
     # Build the backend up front when a flag only some backends understand
-    # is involved (--hosts), so bad combinations fail before any work.
+    # is involved (--hosts and friends), so bad combinations fail before
+    # any work.
     backend = args.backend
-    if args.hosts is not None or args.backend == "distributed":
-        backend = make_backend(args.backend, workers=args.workers, hosts=args.hosts)
+    distributed_flags = (
+        args.hosts is not None
+        or args.listen is not None
+        or args.spill_dir is not None
+        or chaos_plan is not None
+        or args.batch_size is not None
+    )
+    if distributed_flags or args.backend == "distributed":
+        backend = make_backend(
+            args.backend,
+            workers=args.workers,
+            hosts=args.hosts,
+            batch_size=args.batch_size,
+            listen=args.listen,
+            spill_dir=args.spill_dir,
+            chaos=chaos_plan,
+        )
+        if getattr(backend, "endpoint", None):
+            host, port = backend.endpoint
+            print(
+                f"accepting worker joins on {host}:{port} "
+                f"(repro-runner workers join --connect {host}:{port})",
+                file=sys.stderr,
+            )
     # Mirror the concurrency the backend will actually run with, so the
     # header and the outcome summary line agree.
     if not isinstance(backend, str):
@@ -359,14 +386,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     line += f"  [{event.done / elapsed:.1f} cells/s]"
             print(f"  {line}", file=sys.stderr, flush=True)
     cache = ResultCache(args.cache_dir)
-    outcome = run_sweep(
-        specs,
-        workers=args.workers,
-        cache=cache,
-        use_cache=not args.no_cache,
-        backend=backend,
-        on_progress=on_progress,
-    )
+    try:
+        outcome = run_sweep(
+            specs,
+            workers=args.workers,
+            cache=cache,
+            use_cache=not args.no_cache,
+            backend=backend,
+            on_progress=on_progress,
+        )
+    finally:
+        if not isinstance(backend, str):
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
     schema = registry.get(sweep.scenario).metrics if sweep.scenario in registry else None
     print(
         format_run_results(
@@ -541,6 +574,29 @@ def _cmd_workers_doctor(args: argparse.Namespace) -> int:
     return 0 if report.healthy else 1
 
 
+def _cmd_workers_join(args: argparse.Namespace) -> int:
+    from repro.runner.worker import connect_and_serve, parse_endpoint
+
+    try:
+        address = parse_endpoint(args.connect)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"joining scheduler at {address[0]}:{address[1]}"
+        + (f" (spilling to {args.spill_dir})" if args.spill_dir else ""),
+        file=sys.stderr,
+    )
+    # The join conversation owns stdout (wire frames only in the stdio
+    # case; here it is just hygiene in case library code prints).
+    return connect_and_serve(
+        address,
+        heartbeat_s=args.heartbeat_s,
+        spill_dir=args.spill_dir,
+        leave_after=args.leave_after,
+        reconnect_s=args.reconnect_s,
+    )
+
+
 def _cmd_perf_run(args: argparse.Namespace) -> int:
     from repro.obs.perf import PERF_PROFILES, run_scenarios
 
@@ -706,6 +762,28 @@ def build_parser() -> argparse.ArgumentParser:
              "worker quarantines) to stderr",
     )
     p_sweep.add_argument("--no-cache", action="store_true", help="force re-simulation of every cell")
+    p_sweep.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="distributed backend: dispatch up to N cells per wire frame "
+             "(amortizes framing on large grids; default: 1)",
+    )
+    p_sweep.add_argument(
+        "--listen", default=None, metavar="[HOST:]PORT",
+        help="distributed backend: accept elastic worker joins on this "
+             "endpoint (port 0 = ephemeral; workers connect with "
+             "'repro-runner workers join')",
+    )
+    p_sweep.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="distributed backend: workers spill each successful outcome "
+             "to DIR before sending it, and the sweep resumes from "
+             "matching spills after a scheduler restart",
+    )
+    p_sweep.add_argument(
+        "--chaos-plan", default=None, metavar="FILE",
+        help="distributed backend (testing): JSON fault plan delivered to "
+             "every worker's wire layer (see repro.testing.chaos)",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_report = sub.add_parser("report", help="summarize cached results", parents=[common])
@@ -800,6 +878,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="max wait for the calibration cell (default: 60)",
     )
     p_doctor.set_defaults(fn=_cmd_workers_doctor)
+
+    p_join = workers_sub.add_parser(
+        "join",
+        help="join a sweep's --listen endpoint as an elastic worker "
+             "(stays until shutdown, --leave-after, or Ctrl-C)",
+        parents=[common],
+    )
+    p_join.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the scheduler endpoint printed by sweep --listen",
+    )
+    p_join.add_argument(
+        "--heartbeat-s", type=float, default=2.0, metavar="SECONDS",
+        help="heartbeat interval while a cell runs (0 disables; default: 2.0)",
+    )
+    p_join.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="spill each successful outcome to DIR before sending it "
+             "(defaults to the scheduler's --spill-dir, delivered in-band)",
+    )
+    p_join.add_argument(
+        "--leave-after", type=int, default=0, metavar="N",
+        help="serve N cells, then leave the pool gracefully (0 = stay)",
+    )
+    p_join.add_argument(
+        "--reconnect-s", type=float, default=10.0, metavar="SECONDS",
+        help="keep retrying a lost connection this long before giving up "
+             "the lease (default: 10)",
+    )
+    p_join.set_defaults(fn=_cmd_workers_join)
 
     p_perf = sub.add_parser(
         "perf",

@@ -6,46 +6,75 @@ the :class:`~repro.runner.backends.ExecutionBackend` protocol by shipping
 :class:`~repro.runner.backends.WorkItem` records to worker *processes*
 (:mod:`repro.runner.worker`) over the length-prefixed JSON frames of
 :mod:`repro.runner.wire`, and collecting
-:class:`~repro.runner.backends.WorkOutcome` payloads back.  Where those
-processes live is a :class:`WorkerTransport`'s business:
+:class:`~repro.runner.backends.WorkOutcome` payloads back.  Workers reach
+the pool two ways:
 
-* :class:`LocalSubprocessTransport` — plain subprocesses on this host;
-  process isolation without SSH, and the CI/test harness for everything
-  below;
-* :class:`SSHTransport` — ``ssh <host> python -m repro.runner.worker``;
-  the remote host needs the package importable (installed or via a
-  ``remote_env`` ``PYTHONPATH``), nothing else — no daemon, no listener.
+* **launched** — a :class:`WorkerTransport` spawns them, one per host
+  slot: :class:`LocalSubprocessTransport` (plain subprocesses; process
+  isolation without SSH, and the CI/test harness for everything here) or
+  :class:`SSHTransport` (``ssh <host> python -m repro.runner.worker``;
+  the remote host needs the package importable, nothing else — no
+  daemon, no listener);
+* **joined** — with ``listen=...`` the backend binds a registration
+  endpoint (``.endpoint``); any ``repro-runner workers join`` process
+  that connects and completes the hello handshake becomes a pool member
+  mid-sweep.  The pool is *elastic*: it grows on join, shrinks on
+  ``leave``, and is not fazed by either.
 
 Mirroring the paper's control plane, scheduling stays centralized while
 execution fans out: workers never touch the result cache; every outcome
 returns to the calling engine, which writes the single shared
 ``.repro-cache/``.  Cache keys hash ``(scenario, version, params, seed)``
 only, so a distributed sweep is byte-for-byte cache-compatible with a
-serial one — the acceptance gate in ``tests/test_runner_distributed.py``.
+serial one — the acceptance gate in ``tests/test_runner_distributed.py``
+and, under fault schedules, ``tests/test_runner_chaos.py``.
 
-Fault tolerance (what a same-host pool never needed):
+Every admitted worker is granted a **lease** in its welcome frame.  The
+lease is the unit of fault tolerance for connection loss: a worker whose
+connection drops is *suspended* (in-flight cells re-queued, identity and
+accounting kept) rather than written off; if it reconnects within
+``lease_timeout_s`` presenting its lease, the new connection is
+transplanted onto the existing worker state and the worker resumes.
+Results it produced before the blip are accepted and deduplicated (the
+determinism contract makes any duplicate byte-identical).  Only workers
+that misbehave — protocol mismatch, malformed frames, hangs — are
+quarantined; workers that exit or time their lease out are *departed*,
+with their statistics frozen at departure time into
+``SweepOutcome.worker_stats`` (marked ``departed: true``).
+
+Work flows in **batches** (``batch_size``): an idle worker receives up to
+``min(batch_size, ceil(pending / idle_workers))`` cells in one
+``work_batch`` frame and answers with one ``outcome_batch``, amortizing
+frame overhead on large grids; single cells still use the v1-shaped
+``work``/``outcome`` frames.  With ``spill_dir`` set, workers persist
+each successful outcome to that directory before sending it
+(:mod:`repro.runner.spill`), and :meth:`DistributedBackend.execute`
+harvests matching spills *before* dispatching — a scheduler restarted
+after a crash resumes the sweep from spilled results instead of
+re-executing them.
+
+Further fault tolerance (unchanged from the static pool):
 
 * **hello handshake** — a worker that cannot import the experiments, or
   speaks a different :data:`~repro.runner.wire.PROTOCOL_VERSION`, is
   quarantined before it is ever handed work;
 * **heartbeats** — workers beat while a cell runs; a worker silent past
   ``worker_timeout_s`` is presumed hung, killed, and quarantined;
-* **quarantine + re-route** — a crashed/hung/undecipherable worker is
-  removed for the rest of the sweep and its in-flight cell re-queued to
-  healthy workers (``max_attempts`` bounds re-dispatch so a cell that
-  kills every worker it touches becomes an error outcome, not a loop);
+* **re-route** — cells from a lost worker re-queue to healthy workers
+  (``max_attempts`` bounds re-dispatch so a cell that kills every worker
+  it touches becomes an error outcome, not a loop);
 * **straggler re-dispatch** — once the queue drains, idle workers
-  speculatively duplicate the longest-running in-flight cells; the
-  determinism contract makes whichever copy finishes first correct;
+  speculatively duplicate the longest-running in-flight cells;
 * **partial-sweep resume** — scenario failures and gave-up cells travel
   as error *outcomes*; the engine caches every completed cell before
   surfacing failures, so a re-run resumes from cache.
 
 Scheduling is pull-based: one dispatch loop feeds idle workers from a
-single pending queue (per-host fan-out follows from each host's ``slots``
-in its :class:`HostSpec`), drains one shared inbox fed by per-worker
+single pending queue, drains one shared inbox fed by per-connection
 reader threads, and accounts everything in :meth:`DistributedBackend.
-telemetry` for the engine's ``SweepOutcome.worker_stats``.
+telemetry` for the engine's ``SweepOutcome.worker_stats``.  Deterministic
+fault-injection for all of the above lives in :mod:`repro.testing.chaos`;
+a plan passed as ``chaos=`` ships to every worker in its welcome frame.
 """
 
 from __future__ import annotations
@@ -53,13 +82,14 @@ from __future__ import annotations
 import os
 import queue
 import shlex
+import socket
 import subprocess
 import sys
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
+from typing import Any, BinaryIO, Dict, List, Mapping, Optional, Protocol, Sequence, Set, Tuple, Union
 
 from repro.runner.backends import (
     ProgressEvent,
@@ -67,6 +97,8 @@ from repro.runner.backends import (
     WorkOutcome,
     inherited_pythonpath,
 )
+from repro.runner.spill import harvest as harvest_spills
+from repro.runner.spill import spill_key
 from repro.runner.wire import PROTOCOL_VERSION, WireError, read_message, write_message
 
 #: Hosts the local transport treats as "this machine".
@@ -96,15 +128,17 @@ class HostSpec:
 
         IPv6 literals contain colons themselves, so a bare one (``::1``)
         is taken whole and a slot count needs brackets (``[::1]:2``).
+        Zero and negative slot counts are rejected here (a zero-slot
+        worker would idle forever; see ``tests/test_runner_distributed``).
         """
         text = text.strip()
         if text.startswith("["):
             addr, bracket, rest = text[1:].partition("]")
-            if not bracket or (rest and not (rest[0] == ":" and rest[1:].isdigit())):
+            if not bracket or (rest and not (rest[0] == ":" and _is_int(rest[1:]))):
                 raise ValueError(f"bad bracketed host spec {text!r} (expected '[addr]:slots')")
             return cls(host=addr, slots=int(rest[1:])) if rest else cls(host=addr)
         host, sep, raw_slots = text.rpartition(":")
-        if sep and raw_slots.isdigit() and ":" not in host:
+        if sep and _is_int(raw_slots) and ":" not in host:
             return cls(host=host, slots=int(raw_slots))
         return cls(host=text)
 
@@ -112,11 +146,23 @@ class HostSpec:
         return f"{self.host}:{self.slots}"
 
 
+def _is_int(text: str) -> bool:
+    """True for decimal integers *including* a leading minus.
+
+    ``"-1".isdigit()`` is False, which once made ``x:-1`` parse as a
+    hostname instead of an (invalid) slot count — negative counts must
+    reach HostSpec's validation and its clear error, not become hosts.
+    """
+    return text.isdigit() or (text.startswith("-") and text[1:].isdigit())
+
+
 def parse_hosts(text: Union[str, Sequence[HostSpec]]) -> Tuple[HostSpec, ...]:
     """Parse a ``--hosts`` spec: comma-separated ``host[:slots]`` entries.
 
     Already-parsed sequences pass through, so callers can hand either form
-    to :class:`DistributedBackend`.
+    to :class:`DistributedBackend`.  A host may appear only once — slots
+    say how many workers it runs, so ``nodeA:2,nodeA:1`` is almost always
+    a typo for ``nodeA:3`` and is rejected rather than guessed at.
     """
     if not isinstance(text, str):
         hosts = tuple(text)
@@ -126,6 +172,19 @@ def parse_hosts(text: Union[str, Sequence[HostSpec]]) -> Tuple[HostSpec, ...]:
         )
     if not hosts:
         raise ValueError("host spec expanded to zero hosts (expected 'host[:slots],...')")
+    counts: Dict[str, int] = {}
+    for spec in hosts:
+        counts[spec.host] = counts.get(spec.host, 0) + 1
+    duplicates = sorted(h for h, n in counts.items() if n > 1)
+    if duplicates:
+        merged = ", ".join(
+            f"{h}:{sum(s.slots for s in hosts if s.host == h)}" for h in duplicates
+        )
+        raise ValueError(
+            f"duplicate host entr{'ies' if len(duplicates) > 1 else 'y'} "
+            f"{', '.join(repr(h) for h in duplicates)} in host spec; "
+            f"merge the slot counts into one entry (e.g. {merged})"
+        )
     return hosts
 
 
@@ -226,6 +285,30 @@ class SSHTransport:
         return f"SSHTransport(python={self.python!r}, ssh={self.ssh_command!r})"
 
 
+def _parse_listen(value: Union[bool, int, str, Tuple[str, int]]) -> Tuple[str, int]:
+    """Normalize a ``listen`` spec to a bind address.
+
+    ``True`` means loopback on an ephemeral port (tests); an int is a
+    port; a string is ``host:port``, ``:port``, or a bare port.
+    """
+    if value is True:
+        return ("127.0.0.1", 0)
+    if isinstance(value, int):
+        return ("127.0.0.1", value)
+    if isinstance(value, tuple):
+        host, port = value
+        return (host or "127.0.0.1", int(port))
+    text = str(value).strip()
+    host, sep, raw_port = text.rpartition(":")
+    if not sep:
+        host, raw_port = "", text
+    try:
+        port = int(raw_port) if raw_port else 0
+    except ValueError:
+        raise ValueError(f"bad listen spec {value!r} (expected 'host:port' or a port)") from None
+    return (host.strip("[]") or "127.0.0.1", port)
+
+
 @dataclass
 class _Tracked:
     """Scheduler-side state of one work item."""
@@ -239,82 +322,158 @@ class _Tracked:
     done: bool = False
 
 
+#: Inbox entries: (worker or None for joins, connection id, message).
+_InboxEntry = Tuple[Optional["_WorkerHandle"], int, Dict[str, Any]]
+
+
 class _WorkerHandle:
-    """One launched worker: its process, reader thread, and accounting."""
+    """One pool member: its connection(s), reader thread, and accounting.
+
+    A handle outlives any single connection.  ``attach_pipe`` binds a
+    launched subprocess's stdio; ``attach_socket`` binds (or, on lease
+    resume, *re*-binds) a joined worker's socket.  Each attachment bumps
+    ``conn_id`` so late messages from a dead connection's reader thread
+    can be told apart from the live one's.
+    """
 
     def __init__(
         self,
         worker_id: str,
         host: HostSpec,
-        proc: subprocess.Popen,
-        inbox: "queue.Queue[Tuple[_WorkerHandle, Dict[str, Any]]]",
+        inbox: "queue.Queue[_InboxEntry]",
+        *,
+        site: int,
+        lease: str,
     ) -> None:
         self.id = worker_id
         self.host = host
-        self.proc = proc
-        self.state = "starting"  # starting -> idle <-> busy; terminal: quarantined
-        self.item: Optional[_Tracked] = None
+        self.site = site
+        self.lease = lease
+        self.proc: Optional[subprocess.Popen] = None
+        self.state = "starting"  # starting -> idle <-> busy
+        # terminal: quarantined, departed; recoverable: suspended
+        self.items: List[_Tracked] = []
+        #: Every index ever dispatched here — outcomes for these are valid
+        #: even after a suspend/resume or a quarantine race.
+        self.past_indices: Set[int] = set()
         self.launched_at = time.monotonic()
         self.last_seen = self.launched_at
+        self.suspended_at = 0.0
         self.dispatched = 0
         self.completed = 0
+        self.batches = 0
+        self.resumes = 0
         self.quarantine_reason = ""
+        self.departed_reason = ""
+        self.conn_id = 0
         self._inbox = inbox
-        self._reader = threading.Thread(target=self._read_loop, daemon=True)
-        self._reader.start()
+        self._writer: Optional[BinaryIO] = None
+        self._sock: Optional[socket.socket] = None
 
-    def _read_loop(self) -> None:
+    # -- connections ----------------------------------------------------
+
+    def attach_pipe(self, proc: subprocess.Popen) -> None:
+        self.proc = proc
+        self._writer = proc.stdin
+        self._start_reader(proc.stdout)
+
+    def attach_socket(self, sock: socket.socket, reader: BinaryIO, writer: BinaryIO) -> None:
+        self._close_socket()
+        self._sock = sock
+        self._writer = writer
+        self._start_reader(reader)
+
+    def _start_reader(self, stream: BinaryIO) -> None:
+        self.conn_id += 1
+        conn = self.conn_id
+        thread = threading.Thread(
+            target=self._read_loop, args=(stream, conn), daemon=True
+        )
+        thread.start()
+
+    def _read_loop(self, stream: BinaryIO, conn: int) -> None:
         while True:
             try:
-                message = read_message(self.proc.stdout)
-            except WireError as exc:
-                self._inbox.put((self, {"type": "_wire_error", "error": str(exc)}))
+                message = read_message(stream)
+            except (WireError, OSError, ValueError) as exc:
+                self._inbox.put((self, conn, {"type": "_wire_error", "error": str(exc)}))
                 return
             if message is None:
-                self._inbox.put((self, {"type": "_eof"}))
+                self._inbox.put((self, conn, {"type": "_eof"}))
                 return
-            self._inbox.put((self, message))
+            self._inbox.put((self, conn, message))
+
+    @property
+    def is_socket(self) -> bool:
+        return self._sock is not None
 
     @property
     def live(self) -> bool:
-        return self.state != "quarantined"
+        return self.state not in ("quarantined", "departed")
+
+    @property
+    def active(self) -> bool:
+        return self.state in ("starting", "idle", "busy")
 
     def send(self, message: Dict[str, Any]) -> None:
-        write_message(self.proc.stdin, message)
+        if self._writer is None:
+            raise OSError("worker has no live connection")
+        write_message(self._writer, message)
+
+    def _close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._writer = None
+
+    def suspend_connection(self) -> None:
+        """Drop the transport but keep the identity (lease resume pending)."""
+        self._close_socket()
 
     def shutdown(self, timeout_s: float = 2.0) -> None:
         """Best-effort polite stop, then kill."""
         try:
             self.send({"type": "shutdown"})
-            self.proc.stdin.close()
+            if self.proc is not None:
+                self.proc.stdin.close()
         except (OSError, ValueError):
             pass
-        try:
-            self.proc.wait(timeout=timeout_s)
-        except subprocess.TimeoutExpired:
-            self.kill()
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        else:
+            self._close_socket()
 
     def kill(self) -> None:
-        try:
-            self.proc.kill()
-        except OSError:
-            pass
-        try:
-            self.proc.wait(timeout=2.0)
-        except subprocess.TimeoutExpired:
-            pass
+        if self.proc is not None:
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+            try:
+                self.proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                pass
+        self._close_socket()
 
 
 class DistributedBackend:
     """Fan cache-missing sweep cells out across hosts (see module docstring).
 
     ``hosts`` is a ``--hosts``-style string (``"localhost:2,nodeA:4"``) or
-    a sequence of :class:`HostSpec`; ``transport`` defaults to
-    :class:`LocalSubprocessTransport` when every host is local and
-    :class:`SSHTransport` otherwise.  The engine treats this backend like
-    any other :class:`~repro.runner.backends.ExecutionBackend`; extras the
-    protocol does not require — :meth:`telemetry` and the ``on_progress``
-    attribute — are discovered by ``run_sweep`` via ``getattr``.
+    a sequence of :class:`HostSpec`; with ``listen`` enabled it may be
+    empty, making a pool fed entirely by joining workers.  ``transport``
+    defaults to :class:`LocalSubprocessTransport` when every host is local
+    and :class:`SSHTransport` otherwise.  The engine treats this backend
+    like any other :class:`~repro.runner.backends.ExecutionBackend`;
+    extras the protocol does not require — :meth:`telemetry` and the
+    ``on_progress`` attribute — are discovered by ``run_sweep`` via
+    ``getattr``.
     """
 
     name = "distributed"
@@ -322,7 +481,7 @@ class DistributedBackend:
 
     def __init__(
         self,
-        hosts: Union[str, Sequence[HostSpec]] = "localhost:2",
+        hosts: Union[str, Sequence[HostSpec], None] = "localhost:2",
         transport: Optional[WorkerTransport] = None,
         *,
         heartbeat_s: float = 1.0,
@@ -331,8 +490,14 @@ class DistributedBackend:
         straggler_s: Optional[float] = 30.0,
         max_attempts: int = 3,
         poll_s: float = 0.05,
+        batch_size: int = 1,
+        listen: Union[bool, int, str, Tuple[str, int], None] = None,
+        join_grace_s: float = 10.0,
+        lease_timeout_s: Optional[float] = 30.0,
+        spill_dir: Optional[str] = None,
+        chaos: Optional[Mapping[str, Any]] = None,
     ) -> None:
-        self.hosts = parse_hosts(hosts)
+        self.hosts = parse_hosts(hosts) if hosts else ()
         if transport is None:
             transport = (
                 LocalSubprocessTransport()
@@ -348,6 +513,36 @@ class DistributedBackend:
             raise ValueError("max_attempts must be >= 1")
         self.max_attempts = max_attempts
         self.poll_s = poll_s
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.join_grace_s = join_grace_s
+        self.lease_timeout_s = lease_timeout_s
+        self.spill_dir = spill_dir
+        if chaos is None:
+            self.chaos_plan: Optional[Dict[str, Any]] = None
+        elif hasattr(chaos, "to_dict"):
+            self.chaos_plan = chaos.to_dict()  # a testing.chaos.FaultPlan
+        else:
+            self.chaos_plan = dict(chaos)
+        # The registration endpoint binds eagerly so callers can read
+        # .endpoint (and start `workers join` processes) before execute();
+        # connections queue in the OS backlog until a sweep accepts them.
+        self._listen_sock: Optional[socket.socket] = None
+        self.endpoint: Optional[Tuple[str, int]] = None
+        if listen is not None and listen is not False:
+            address = _parse_listen(listen)
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(address)
+            sock.listen(64)
+            sock.settimeout(0.2)  # lets the acceptor thread notice shutdown
+            self._listen_sock = sock
+            self.endpoint = sock.getsockname()[:2]
+        if not self.hosts and self._listen_sock is None:
+            raise ValueError(
+                "distributed backend needs hosts, a listen endpoint, or both"
+            )
         #: Optional per-event progress hook (``run_sweep(on_progress=...)``
         #: plugs the caller's callback in here).
         self.on_progress = None
@@ -355,15 +550,29 @@ class DistributedBackend:
 
     @property
     def workers(self) -> int:
-        return sum(h.slots for h in self.hosts)
+        # Elastic joins can grow the pool past the provisioned slots (a
+        # listen-only sweep provisions zero), so once a sweep has run the
+        # honest count is everyone who ever held a lease.
+        participated = len(self._telemetry.get("workers", ()))
+        return max(sum(h.slots for h in self.hosts), participated)
 
     def telemetry(self) -> Dict[str, Any]:
         """Accounting of the most recent :meth:`execute` call."""
         return dict(self._telemetry)
 
+    def close(self) -> None:
+        """Release the registration endpoint (no-op without ``listen``)."""
+        if self._listen_sock is not None:
+            try:
+                self._listen_sock.close()
+            except OSError:
+                pass
+            self._listen_sock = None
+
     def __repr__(self) -> str:
         hosts = ",".join(str(h) for h in self.hosts)
-        return f"DistributedBackend(hosts={hosts!r}, transport={self.transport!r})"
+        listening = f", listen={self.endpoint!r}" if self.endpoint else ""
+        return f"DistributedBackend(hosts={hosts!r}, transport={self.transport!r}{listening})"
 
     # -- scheduling -----------------------------------------------------
 
@@ -397,24 +606,42 @@ class _Scheduler:
             raise ValueError("work items must have unique indices")
         self.pending: deque = deque(self.tracked.values())
         self.outcomes: Dict[int, WorkOutcome] = {}
-        self.inbox: "queue.Queue[Tuple[_WorkerHandle, Dict[str, Any]]]" = queue.Queue()
+        self.inbox: "queue.Queue[_InboxEntry]" = queue.Queue()
         self.workers: List[_WorkerHandle] = []
         self.requeued = 0
         self.quarantined = 0
         self.speculative = 0
         self.gave_up = 0
         self.duplicate_outcomes = 0
+        self.joined = 0
+        self.lease_resumes = 0
+        self.suspended = 0
+        self.departed = 0
+        self.spill_harvested = 0
+        #: Stats of workers that died or left, frozen at departure time
+        #: (a live-computed view would drop them or keep their clocks
+        #: ticking); merged into telemetry() under the same ids.
+        self.departed_stats: Dict[str, Dict[str, Any]] = {}
+        self._pool_empty_since: Optional[float] = None
+        self._accept_stop: Optional[threading.Event] = None
+        self._accept_thread: Optional[threading.Thread] = None
 
     # -- lifecycle ------------------------------------------------------
+
+    def _new_lease(self, site: int) -> str:
+        # Uniqueness within this scheduler is all that matters: the lease
+        # is an identity token for resume, not a secret.
+        return f"lease-{os.getpid():x}-{site}"
 
     def _launch_workers(self) -> None:
         backend = self.backend
         for host in backend.hosts:
             for _ in range(host.slots):
-                # The slot counter is global, not per-HostSpec: repeating a
-                # host in --hosts must still give every worker a unique id
-                # (ids key telemetry and the assigned-worker sets).
-                worker_id = f"{host.host}/{len(self.workers)}"
+                # The slot counter is global, not per-HostSpec: every
+                # worker needs a unique id (ids key telemetry and the
+                # assigned-worker sets).
+                site = len(self.workers)
+                worker_id = f"{host.host}/{site}"
                 try:
                     proc = backend.transport.launch(
                         host, heartbeat_s=backend.heartbeat_s
@@ -424,43 +651,138 @@ class _Scheduler:
                         f"distributed backend could not launch worker {worker_id} "
                         f"via {backend.transport.name}: {exc}"
                     ) from exc
-                self.workers.append(_WorkerHandle(worker_id, host, proc, self.inbox))
+                handle = _WorkerHandle(
+                    worker_id, host, self.inbox, site=site, lease=self._new_lease(site)
+                )
+                handle.attach_pipe(proc)
+                self.workers.append(handle)
+
+    def _start_acceptor(self) -> None:
+        sock = self.backend._listen_sock
+        if sock is None:
+            return
+        stop = threading.Event()
+
+        def accept_loop() -> None:
+            while not stop.is_set():
+                try:
+                    conn, _addr = sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return  # endpoint closed
+                threading.Thread(
+                    target=self._join_handshake, args=(conn,), daemon=True
+                ).start()
+
+        self._accept_stop = stop
+        self._accept_thread = threading.Thread(target=accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _join_handshake(self, conn: socket.socket) -> None:
+        """Off-thread: read a joiner's hello, then hand it to the main loop."""
+        try:
+            conn.settimeout(self.backend.hello_timeout_s)
+            reader = conn.makefile("rb")
+            writer = conn.makefile("wb")
+            hello = read_message(reader)
+        except (WireError, OSError, ValueError):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        if hello is None or hello.get("type") != "hello":
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        self.inbox.put(
+            (None, 0, {"type": "_join", "hello": hello, "sock": conn,
+                       "reader": reader, "writer": writer})
+        )
 
     def close(self) -> None:
+        if self._accept_stop is not None:
+            self._accept_stop.set()
         for worker in self.workers:
-            if worker.state == "quarantined":
+            if worker.state in ("quarantined", "departed"):
+                continue
+            if worker.state == "suspended":
+                worker.suspend_connection()  # idempotent socket close
                 continue
             worker.shutdown()
+        # Joins still parked in the inbox would leave their workers
+        # blocked on a welcome that will never come.
+        while True:
+            try:
+                worker, _conn, message = self.inbox.get_nowait()
+            except queue.Empty:
+                break
+            if worker is None and message.get("type") == "_join":
+                for key in ("reader", "writer", "sock"):
+                    try:
+                        message[key].close()
+                    except OSError:
+                        pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
 
     # -- accounting -----------------------------------------------------
 
+    def _worker_stats(self, w: _WorkerHandle, now: float) -> Dict[str, Any]:
+        return {
+            "host": w.host.host,
+            "state": w.state,
+            "dispatched": w.dispatched,
+            "completed": w.completed,
+            "last_seen_age_s": round(now - w.last_seen, 3),
+            **({"batches": w.batches} if w.batches else {}),
+            **({"lease_resumes": w.resumes} if w.resumes else {}),
+            **(
+                {"quarantine_reason": w.quarantine_reason}
+                if w.quarantine_reason
+                else {}
+            ),
+        }
+
+    def _freeze_stats(self, w: _WorkerHandle, reason: str) -> None:
+        stats = self._worker_stats(w, time.monotonic())
+        stats["departed"] = True
+        stats["departed_reason"] = reason
+        self.departed_stats[w.id] = stats
+
     def telemetry(self) -> Dict[str, Any]:
         now = time.monotonic()
+        workers = {
+            w.id: self._worker_stats(w, now)
+            for w in self.workers
+            if w.id not in self.departed_stats
+        }
+        workers.update(self.departed_stats)
         return {
             "backend": self.backend.name,
             "transport": self.backend.transport.name,
             "hosts": [str(h) for h in self.backend.hosts],
             "items": len(self.items),
+            "batch_size": self.backend.batch_size,
             "requeued": self.requeued,
             "quarantined": self.quarantined,
             "speculative": self.speculative,
             "gave_up": self.gave_up,
             "duplicate_outcomes": self.duplicate_outcomes,
-            "workers": {
-                w.id: {
-                    "host": w.host.host,
-                    "state": w.state,
-                    "dispatched": w.dispatched,
-                    "completed": w.completed,
-                    "last_seen_age_s": round(now - w.last_seen, 3),
-                    **(
-                        {"quarantine_reason": w.quarantine_reason}
-                        if w.quarantine_reason
-                        else {}
-                    ),
-                }
-                for w in self.workers
-            },
+            "joined": self.joined,
+            "lease_resumes": self.lease_resumes,
+            "suspended": self.suspended,
+            "departed": self.departed,
+            "spill_harvested": self.spill_harvested,
+            **(
+                {"endpoint": list(self.backend.endpoint)}
+                if self.backend.endpoint
+                else {}
+            ),
+            "workers": workers,
         }
 
     def _emit(self, kind: str, *, tracked: Optional[_Tracked] = None,
@@ -477,6 +799,40 @@ class _Scheduler:
                 detail=detail,
             )
         )
+
+    # -- spill resume ---------------------------------------------------
+
+    def _harvest_spills(self) -> None:
+        spill_dir = self.backend.spill_dir
+        if not spill_dir:
+            return
+        wanted = {
+            spill_key(t.item.scenario, t.item.params, t.item.seed): t
+            for t in self.tracked.values()
+        }
+        for key, raw in harvest_spills(spill_dir, wanted).items():
+            tracked = wanted[key]
+            if tracked.done:
+                continue
+            try:
+                outcome = WorkOutcome(
+                    # Re-key to *this* sweep's index: spills identify cells
+                    # by content, and a restarted sweep may number them
+                    # differently.
+                    index=tracked.item.index,
+                    payload=raw.get("payload"),
+                    elapsed_s=float(raw.get("elapsed_s", 0.0)),
+                    error=raw.get("error"),
+                    telemetry=raw.get("telemetry"),
+                )
+            except (TypeError, ValueError):
+                continue
+            if outcome.error or outcome.payload is None:
+                continue
+            tracked.done = True
+            self.outcomes[tracked.item.index] = outcome
+            self.spill_harvested += 1
+            self._emit("harvested", tracked=tracked, detail="spilled outcome")
 
     # -- failure handling ----------------------------------------------
 
@@ -503,29 +859,169 @@ class _Scheduler:
         self.requeued += 1
         self._emit("requeued", tracked=tracked, worker=worker, detail=reason)
 
+    def _release_items(self, worker: _WorkerHandle, reason: str) -> None:
+        items, worker.items = worker.items, []
+        for tracked in items:
+            self._requeue(tracked, worker, reason)
+
     def _quarantine(self, worker: _WorkerHandle, reason: str) -> None:
-        if worker.state == "quarantined":
+        if not worker.live:
             return
         worker.state = "quarantined"
         worker.quarantine_reason = reason
         self.quarantined += 1
         worker.kill()
+        self._freeze_stats(worker, reason)
         self._emit("quarantined", worker=worker, detail=reason)
-        if worker.item is not None:
-            tracked, worker.item = worker.item, None
-            self._requeue(tracked, worker, f"worker {worker.id} {reason}")
+        self._release_items(worker, f"worker {worker.id} {reason}")
+
+    def _depart(self, worker: _WorkerHandle, reason: str) -> None:
+        """Retire a worker that died or left — a fact of pool life, not a
+        fault: stats freeze at this instant (``departed: true``) and its
+        in-flight cells re-queue without the quarantine stigma."""
+        if not worker.live:
+            return
+        worker.state = "departed"
+        worker.departed_reason = reason
+        self.departed += 1
+        worker.kill()
+        self._freeze_stats(worker, reason)
+        self._emit("departed", worker=worker, detail=reason)
+        self._release_items(worker, f"worker {worker.id} {reason}")
+
+    def _suspend(self, worker: _WorkerHandle, reason: str) -> None:
+        """Connection lost, lease kept: hold the identity for a reconnect."""
+        if worker.state in ("quarantined", "departed", "suspended"):
+            return
+        worker.state = "suspended"
+        worker.suspended_at = time.monotonic()
+        worker.suspend_connection()
+        self.suspended += 1
+        self._emit("suspended", worker=worker, detail=reason)
+        self._release_items(worker, f"worker {worker.id} {reason}")
+
+    def _connection_lost(self, worker: _WorkerHandle, reason: str) -> None:
+        """Route a dead connection: lease-capable workers suspend, launched
+        (pipe) workers are gone for good."""
+        if worker.is_socket and self.backend.lease_timeout_s:
+            self._suspend(worker, reason)
+        else:
+            self._quarantine(worker, reason)
 
     # -- message handling ----------------------------------------------
 
-    def _handle(self, worker: _WorkerHandle, message: Dict[str, Any]) -> None:
-        worker.last_seen = time.monotonic()
+    def _welcome(self, worker: _WorkerHandle) -> bool:
+        backend = self.backend
+        message: Dict[str, Any] = {
+            "type": "welcome",
+            "protocol": PROTOCOL_VERSION,
+            "lease": worker.lease,
+            "worker": worker.site,
+        }
+        if backend.spill_dir:
+            message["spill_dir"] = backend.spill_dir
+        if backend.chaos_plan:
+            message["chaos"] = backend.chaos_plan
+        try:
+            worker.send(message)
+        except (OSError, ValueError):
+            self._connection_lost(worker, "welcome write failed (broken pipe)")
+            return False
+        return True
+
+    def _handle_join(self, message: Dict[str, Any]) -> None:
+        hello = message["hello"]
+        sock: socket.socket = message["sock"]
+        reader: BinaryIO = message["reader"]
+        writer: BinaryIO = message["writer"]
+        protocol = hello.get("protocol")
+        if protocol != PROTOCOL_VERSION:
+            try:
+                write_message(
+                    writer,
+                    {
+                        "type": "error",
+                        "error": f"protocol mismatch (worker {protocol!r}, "
+                        f"scheduler {PROTOCOL_VERSION})",
+                    },
+                )
+            except (OSError, ValueError):
+                pass
+            # Close the makefile wrappers too: each holds a reference on
+            # the socket (``_io_refs``), so ``sock.close()`` alone defers
+            # the FIN until they are garbage-collected — the rejected
+            # worker would hang on its EOF read until then.
+            for closeable in (reader, writer, sock):
+                try:
+                    closeable.close()
+                except OSError:
+                    pass
+            return
+        try:
+            sock.settimeout(None)  # handshake deadline no longer applies
+        except OSError:
+            pass
+        lease = hello.get("lease")
+        if lease:
+            for worker in self.workers:
+                if worker.lease == lease and worker.live:
+                    # Lease resume: transplant the fresh connection onto
+                    # the existing identity.  Anything re-queued during
+                    # the outage stays re-queued; results the worker
+                    # still holds are valid via past_indices.  If the
+                    # redial won the race against the old connection's
+                    # EOF, in-flight cells were never released — do it
+                    # now: the restarted serve loop has no memory of them.
+                    self._release_items(worker, f"worker {worker.id} reconnected")
+                    worker.attach_socket(sock, reader, writer)
+                    worker.state = "idle"
+                    worker.suspended_at = 0.0
+                    worker.last_seen = time.monotonic()
+                    worker.resumes += 1
+                    self.lease_resumes += 1
+                    self._welcome(worker)
+                    self._emit("resumed", worker=worker, detail="lease resumed")
+                    return
+            # Unknown or expired lease: fall through and admit as new.
+        site = len(self.workers)
+        host_name = str(hello.get("host") or "joined")
+        worker_id = f"{host_name}/{site}"
+        worker = _WorkerHandle(
+            worker_id,
+            HostSpec(host=host_name),
+            self.inbox,
+            site=site,
+            lease=self._new_lease(site),
+        )
+        worker.attach_socket(sock, reader, writer)
+        worker.state = "idle"  # hello already verified in the handshake
+        self.workers.append(worker)
+        self.joined += 1
+        if self._welcome(worker):
+            self._emit("joined", worker=worker, detail=f"lease {worker.lease}")
+
+    def _handle(self, worker: _WorkerHandle, conn: int, message: Dict[str, Any]) -> None:
         kind = message.get("type")
+        if conn != worker.conn_id and kind in ("_eof", "_wire_error"):
+            return  # a transplanted-away connection's reader winding down
+        worker.last_seen = time.monotonic()
         if kind == "_eof":
-            if worker.state != "quarantined":
-                code = worker.proc.poll()
+            if worker.state in ("quarantined", "departed", "suspended"):
+                return
+            if worker.is_socket:
+                self._connection_lost(worker, "disconnected (connection closed)")
+            else:
+                # Pipe EOF can arrive before the child is reapable; give it
+                # a beat so the quarantine reason carries the real code.
+                code = None
+                if worker.proc is not None:
+                    try:
+                        code = worker.proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        code = worker.proc.poll()
                 self._quarantine(worker, f"exited (code {code})")
         elif kind == "_wire_error":
-            self._quarantine(worker, f"wire error: {message.get('error')}")
+            self._connection_lost(worker, f"wire error: {message.get('error')}")
         elif kind == "hello":
             protocol = message.get("protocol")
             if protocol != PROTOCOL_VERSION:
@@ -535,19 +1031,22 @@ class _Scheduler:
                 )
             elif worker.state == "starting":
                 worker.state = "idle"
+                self._welcome(worker)
         elif kind == "heartbeat" or kind == "pong":
             pass  # last_seen already updated
         elif kind == "outcome":
             self._handle_outcome(worker, message.get("outcome") or {})
+        elif kind == "outcome_batch":
+            for raw in message.get("outcomes") or []:
+                self._handle_outcome(worker, raw)
+        elif kind == "leave":
+            self._depart(worker, "left the pool")
         elif kind == "error":
             self._quarantine(worker, f"worker-reported error: {message.get('error')}")
         else:
             self._quarantine(worker, f"unknown message type {kind!r}")
 
     def _handle_outcome(self, worker: _WorkerHandle, raw: Dict[str, Any]) -> None:
-        # Leave worker.item in place until the frame is validated: the
-        # quarantine paths below rely on it to requeue the in-flight cell.
-        tracked = worker.item
         try:
             outcome = WorkOutcome(
                 index=int(raw["index"]),
@@ -562,20 +1061,24 @@ class _Scheduler:
             self._quarantine(worker, f"malformed outcome frame: {exc}")
             return
         target = self.tracked.get(outcome.index)
-        if target is None or (tracked is not None and tracked is not target):
+        # past_indices — not the current assignment — decides legitimacy:
+        # a lease-resumed worker may deliver results for cells re-queued
+        # (or even re-completed elsewhere) during its outage.
+        if target is None or outcome.index not in worker.past_indices:
             self._quarantine(
                 worker, f"returned outcome for unassigned index {outcome.index}"
             )
             return
+        if target in worker.items:
+            worker.items.remove(target)
         # A quarantined worker's last outcome may still arrive through the
         # inbox; record the (deterministic) result but keep it quarantined.
-        if worker.state == "busy":
+        if worker.state == "busy" and not worker.items:
             worker.state = "idle"
-        worker.item = None
         worker.completed += 1
         target.assigned.discard(worker.id)
         if target.done:
-            self.duplicate_outcomes += 1  # lost a straggler race; result identical
+            self.duplicate_outcomes += 1  # lost a race; result identical
             return
         target.done = True
         self.outcomes[outcome.index] = outcome
@@ -583,52 +1086,74 @@ class _Scheduler:
 
     # -- dispatch -------------------------------------------------------
 
-    def _dispatch(self, worker: _WorkerHandle, tracked: _Tracked, *, speculative: bool) -> None:
-        item = tracked.item
+    def _next_batch(self, want: int) -> List[_Tracked]:
+        batch: List[_Tracked] = []
+        while self.pending and len(batch) < want:
+            candidate = self.pending.popleft()
+            if not candidate.done and not candidate.assigned:
+                batch.append(candidate)
+        return batch
+
+    def _dispatch(self, worker: _WorkerHandle, batch: List[_Tracked], *, speculative: bool) -> None:
+        payload = [
+            {
+                "index": t.item.index,
+                "scenario": t.item.scenario,
+                "params": dict(t.item.params),
+                "seed": t.item.seed,
+            }
+            for t in batch
+        ]
+        # Single cells keep the v1-shaped frame: zero overhead for small
+        # grids, and tools speaking one-at-a-time (doctor) stay trivial.
+        if len(payload) == 1:
+            message: Dict[str, Any] = {"type": "work", "item": payload[0]}
+        else:
+            message = {"type": "work_batch", "items": payload}
         try:
-            worker.send(
-                {
-                    "type": "work",
-                    "item": {
-                        "index": item.index,
-                        "scenario": item.scenario,
-                        "params": dict(item.params),
-                        "seed": item.seed,
-                    },
-                }
-            )
+            worker.send(message)
         except (OSError, ValueError):
-            self._quarantine(worker, "dispatch write failed (broken pipe)")
-            if not speculative and not tracked.done and not tracked.assigned:
-                # _quarantine only requeues worker.item, which is not yet
-                # this cell — put it back ourselves.
-                self._requeue(tracked, worker, "dispatch write failed")
+            self._connection_lost(worker, "dispatch write failed (broken pipe)")
+            for tracked in batch:
+                if not tracked.done and not tracked.assigned:
+                    # _connection_lost only releases worker.items, which
+                    # does not yet include this batch — requeue ourselves.
+                    self._requeue(tracked, worker, "dispatch write failed")
             return
+        now = time.monotonic()
         worker.state = "busy"
-        worker.item = tracked
+        worker.items.extend(batch)
         # A worker can sit idle (silent) far longer than worker_timeout_s;
         # restart its liveness clock now or the next timeout check would
         # quarantine it as hung before it could possibly have replied.
-        worker.last_seen = time.monotonic()
-        worker.dispatched += 1
-        tracked.attempts += 1
-        tracked.assigned.add(worker.id)
-        tracked.dispatched_at = time.monotonic()
+        worker.last_seen = now
+        worker.dispatched += len(batch)
+        worker.batches += 1
+        for tracked in batch:
+            tracked.attempts += 1
+            tracked.assigned.add(worker.id)
+            tracked.dispatched_at = now
+            worker.past_indices.add(tracked.item.index)
         if speculative:
-            self.speculative += 1
+            self.speculative += len(batch)
 
     def _fill_idle_workers(self) -> None:
         idle = [w for w in self.workers if w.state == "idle"]
-        for worker in idle:
-            tracked = None
-            while self.pending:
-                candidate = self.pending.popleft()
-                if not candidate.done and not candidate.assigned:
-                    tracked = candidate
+        if idle and self.pending:
+            # Fairness under batching: late in the queue, shrink batches
+            # so one worker cannot hoard the tail while others idle.
+            fair = max(
+                1,
+                min(
+                    self.backend.batch_size,
+                    -(-len(self.pending) // len(idle)),  # ceil division
+                ),
+            )
+            for worker in idle:
+                batch = self._next_batch(fair)
+                if not batch:
                     break
-            if tracked is None:
-                break
-            self._dispatch(worker, tracked, speculative=False)
+                self._dispatch(worker, batch, speculative=False)
         if self.pending:
             return
         # Straggler re-dispatch: duplicate the longest-running in-flight
@@ -652,10 +1177,11 @@ class _Scheduler:
             key=lambda t: t.dispatched_at,
         )
         for worker, tracked in zip(idle, in_flight, strict=False):  # truncation intended: one speculative copy per idle worker
-            self._dispatch(worker, tracked, speculative=True)
+            self._dispatch(worker, [tracked], speculative=True)
 
     def _check_timeouts(self) -> None:
         now = time.monotonic()
+        lease_timeout_s = self.backend.lease_timeout_s
         for worker in self.workers:
             if worker.state == "starting":
                 if now - worker.launched_at > self.backend.hello_timeout_s:
@@ -669,46 +1195,81 @@ class _Scheduler:
                         worker,
                         f"silent for {now - worker.last_seen:.1f}s (presumed hung)",
                     )
+            elif worker.state == "suspended":
+                if lease_timeout_s and now - worker.suspended_at > lease_timeout_s:
+                    self._depart(
+                        worker,
+                        f"lease expired ({lease_timeout_s:.0f}s without reconnect)",
+                    )
 
     # -- main loop ------------------------------------------------------
 
+    def _drain_inbox(self) -> None:
+        while True:
+            try:
+                worker, conn, message = self.inbox.get_nowait()
+            except queue.Empty:
+                break
+            if worker is None:
+                self._handle_join(message)
+            else:
+                self._handle(worker, conn, message)
+
+    def _pool_exhausted(self) -> bool:
+        """True when nothing can make progress and nothing may appear.
+
+        Suspended workers may reconnect and a listening pool may grow, so
+        neither counts as exhaustion by itself; a listening pool with no
+        members gets ``join_grace_s`` before the sweep gives up.
+        """
+        if any(w.active for w in self.workers):
+            self._pool_empty_since = None
+            return False
+        if any(w.state == "suspended" for w in self.workers):
+            self._pool_empty_since = None
+            return False
+        if self.backend._listen_sock is None:
+            return True
+        now = time.monotonic()
+        if self._pool_empty_since is None:
+            self._pool_empty_since = now
+            return False
+        return now - self._pool_empty_since > self.backend.join_grace_s
+
     def run(self) -> List[WorkOutcome]:
-        self._launch_workers()
+        self._harvest_spills()
+        if len(self.outcomes) < len(self.items):
+            self._launch_workers()
+            self._start_acceptor()
         while len(self.outcomes) < len(self.items):
-            if not any(w.live for w in self.workers):
+            if self._pool_exhausted():
                 # Results can already sit in the inbox when the last worker
-                # is quarantined (e.g. an outcome racing the hang timeout);
-                # drain them before declaring anything lost.
-                while True:
-                    try:
-                        worker, message = self.inbox.get_nowait()
-                    except queue.Empty:
-                        break
-                    self._handle(worker, message)
-                if len(self.outcomes) >= len(self.items):
-                    break
+                # is lost (e.g. an outcome racing the hang timeout); drain
+                # them before declaring anything lost.
+                self._drain_inbox()
+                if len(self.outcomes) >= len(self.items) or not self._pool_exhausted():
+                    continue
                 for tracked in self.tracked.values():
                     if not tracked.done:
                         self._give_up(
                             tracked,
                             "no live workers remain "
-                            "(all quarantined; see SweepOutcome.worker_stats)",
+                            "(all quarantined or departed; "
+                            "see SweepOutcome.worker_stats)",
                         )
                 break
             self._fill_idle_workers()
             try:
-                worker, message = self.inbox.get(timeout=self.backend.poll_s)
+                worker, conn, message = self.inbox.get(timeout=self.backend.poll_s)
             except queue.Empty:
                 pass
             else:
-                self._handle(worker, message)
+                if worker is None:
+                    self._handle_join(message)
+                else:
+                    self._handle(worker, conn, message)
                 # Drain whatever else already arrived before re-checking
                 # timeouts; keeps big sweeps from being poll-bound.
-                while True:
-                    try:
-                        worker, message = self.inbox.get_nowait()
-                    except queue.Empty:
-                        break
-                    self._handle(worker, message)
+                self._drain_inbox()
             self._check_timeouts()
         return [self.outcomes[item.index] for item in self.items]

@@ -342,6 +342,10 @@ def run_sweep(
     # 100%-hit sweeps report empty worker_stats.
     telemetry = getattr(backend, "telemetry", None)
     worker_stats = telemetry() if callable(telemetry) else {}
+    if pending:
+        # Re-read after execution: an elastic distributed pool may have
+        # admitted workers beyond the count provisioned at resolve time.
+        requested_workers = max(requested_workers, getattr(backend, "workers", 0))
 
     # Cache every finished cell before surfacing failures, so a partially
     # failed sweep still resumes from the completed cells on rerun.  The

@@ -1,0 +1,129 @@
+"""Worker-side result spill: crash insurance for half-finished sweeps.
+
+A worker that has just spent minutes simulating a cell and then loses its
+scheduler (connection blip, scheduler restart, injected fault) would
+otherwise throw that work away.  With ``--spill-dir`` set, the worker
+writes each :class:`~repro.runner.backends.WorkOutcome` to the spill
+directory *before* sending it — so the result survives anything that
+happens to the wire afterwards.  A restarted scheduler pointed at the
+same directory harvests the spilled outcomes at sweep start and skips
+re-executing those cells.
+
+Spill files are keyed by content, not by sweep or index: the key is a
+SHA-256 over the canonical ``(scenario, params, seed)`` triple — the same
+identity the result cache uses, minus the code-version component the
+worker cannot know.  That makes harvest safe across scheduler restarts
+(indices may be renumbered; content cannot) and makes double-spill from a
+re-executed cell a harmless overwrite with identical bytes (determinism
+contract).  Error outcomes are never spilled: a crash-then-retry must
+re-execute, not resurrect the failure.
+
+Writes are atomic (tmp file + ``os.replace``) so a worker killed
+mid-spill leaves no torn JSON for the harvester to trip on; unreadable
+files are skipped with a note rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+SPILL_SUFFIX = ".spill.json"
+
+
+def spill_key(scenario: str, params: Mapping[str, Any], seed: int) -> str:
+    """Content identity of one cell: stable across index renumbering."""
+    canonical = json.dumps(
+        {"scenario": scenario, "params": dict(params), "seed": seed},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def spill_path(spill_dir: str, key: str) -> str:
+    return os.path.join(spill_dir, key + SPILL_SUFFIX)
+
+
+def write_spill(
+    spill_dir: str,
+    item: Mapping[str, Any],
+    outcome: Mapping[str, Any],
+) -> Optional[str]:
+    """Persist one successful outcome; returns the path, or None if skipped.
+
+    ``item`` and ``outcome`` are the wire-dict forms of WorkItem and
+    WorkOutcome (the worker holds them as dicts already).
+    """
+    if outcome.get("error"):
+        return None
+    os.makedirs(spill_dir, exist_ok=True)
+    key = spill_key(item["scenario"], item.get("params") or {}, item.get("seed", 0))
+    record = {
+        "spill_key": key,
+        "scenario": item["scenario"],
+        "params": dict(item.get("params") or {}),
+        "seed": item.get("seed", 0),
+        "outcome": dict(outcome),
+    }
+    path = spill_path(spill_dir, key)
+    fd, tmp = tempfile.mkstemp(dir=spill_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def iter_spills(spill_dir: str) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield ``(key, record)`` for every readable spill file.
+
+    Torn or foreign files are skipped — the harvester's job is recovering
+    work, not validating a directory.
+    """
+    try:
+        names = sorted(os.listdir(spill_dir))
+    except OSError:
+        return
+    for name in names:
+        if not name.endswith(SPILL_SUFFIX):
+            continue
+        path = os.path.join(spill_dir, name)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        key = record.get("spill_key")
+        if not key or not isinstance(record.get("outcome"), dict):
+            continue
+        # The filename must agree with the embedded key; a renamed file
+        # could otherwise satisfy the wrong cell.
+        if name != key + SPILL_SUFFIX:
+            continue
+        yield key, record
+
+
+def harvest(
+    spill_dir: str, wanted: Mapping[str, Any]
+) -> Dict[str, Dict[str, Any]]:
+    """Collect spilled outcomes for the keys in ``wanted``.
+
+    ``wanted`` maps spill keys to anything (the scheduler passes its
+    tracked cells); only matching keys are returned, so stale spills from
+    older sweeps in a shared directory are ignored.
+    """
+    found: Dict[str, Dict[str, Any]] = {}
+    for key, record in iter_spills(spill_dir):
+        if key in wanted:
+            found[key] = record["outcome"]
+    return found

@@ -20,6 +20,14 @@ execute arbitrary unpickled code.  Every message is a JSON *object* with a
 ``PROTOCOL_VERSION`` is checked during the hello handshake so a scheduler
 and a worker from incompatible revisions fail loudly instead of
 misinterpreting each other's frames.
+
+Fault injection: a process may install a chaos session
+(:func:`install_chaos`, normally via :mod:`repro.testing.chaos`) that is
+consulted for every frame written or read here.  The hooks live in the
+wire layer — not in the scheduler or the worker — precisely so the code
+under test cannot distinguish an injected fault from a real one: a
+dropped frame is simply never written, a truncated frame really corrupts
+the stream, a delayed frame really arrives late.
 """
 
 from __future__ import annotations
@@ -30,7 +38,9 @@ from typing import Any, BinaryIO, Dict, Optional
 
 #: Version of the message vocabulary; bump on incompatible changes.  The
 #: scheduler refuses workers whose hello carries a different version.
-PROTOCOL_VERSION = 1
+#: v2: welcome/lease handshake, work_batch/outcome_batch frames, join and
+#: leave messages for the elastic pool.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's JSON payload.  Far above any real
 #: WorkOutcome (metrics are flat scalar dicts); its job is to turn a
@@ -43,6 +53,27 @@ _LENGTH = struct.Struct(">I")
 
 class WireError(RuntimeError):
     """A malformed, truncated, or oversized frame on the wire."""
+
+
+#: The process-wide chaos session, or None (the overwhelmingly common
+#: case — one attribute read per frame is the whole overhead).
+_CHAOS: Optional[Any] = None
+
+
+def install_chaos(session: Optional[Any]) -> None:
+    """Install (or with None, remove) the process's fault-injection session.
+
+    The session must provide ``on_send(message, data) -> list[bytes]``
+    and ``on_recv(message) -> bool``; see
+    :class:`repro.testing.chaos.FaultSession`.
+    """
+    global _CHAOS
+    _CHAOS = session
+
+
+def chaos_session() -> Optional[Any]:
+    """The installed fault-injection session, if any."""
+    return _CHAOS
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:
@@ -61,8 +92,17 @@ def write_message(stream: BinaryIO, message: Dict[str, Any]) -> None:
     Callers sharing one stream across threads must serialize calls (the
     worker's heartbeat thread holds a lock for this) — a frame torn by an
     interleaved write is unrecoverable for the reader.
+
+    With a chaos session installed the frame may be dropped (nothing
+    written), duplicated, truncated, or delayed before it reaches the
+    stream; the caller never knows.
     """
-    stream.write(encode_message(message))
+    data = encode_message(message)
+    if _CHAOS is not None:
+        for chunk in _CHAOS.on_send(message, data):
+            stream.write(chunk)
+    else:
+        stream.write(data)
     stream.flush()
 
 
@@ -90,19 +130,24 @@ def read_message(stream: BinaryIO) -> Optional[Dict[str, Any]]:
     as does a length prefix beyond :data:`MAX_MESSAGE_BYTES` or a payload
     that is not a JSON object.
     """
-    header = _read_exact(stream, _LENGTH.size)
-    if header is None:
-        return None
-    (length,) = _LENGTH.unpack(header)
-    if length > MAX_MESSAGE_BYTES:
-        raise WireError(f"frame length {length} exceeds MAX_MESSAGE_BYTES")
-    payload = _read_exact(stream, length) if length else b""
-    if payload is None:
-        raise WireError("stream ended between a frame's length prefix and payload")
-    try:
-        message = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise WireError(f"undecodable frame payload: {exc}") from None
-    if not isinstance(message, dict):
-        raise WireError(f"frame payload is {type(message).__name__}, expected an object")
-    return message
+    while True:
+        header = _read_exact(stream, _LENGTH.size)
+        if header is None:
+            return None
+        (length,) = _LENGTH.unpack(header)
+        if length > MAX_MESSAGE_BYTES:
+            raise WireError(f"frame length {length} exceeds MAX_MESSAGE_BYTES")
+        payload = _read_exact(stream, length) if length else b""
+        if payload is None:
+            raise WireError("stream ended between a frame's length prefix and payload")
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"undecodable frame payload: {exc}") from None
+        if not isinstance(message, dict):
+            raise WireError(
+                f"frame payload is {type(message).__name__}, expected an object"
+            )
+        if _CHAOS is not None and not _CHAOS.on_recv(message):
+            continue  # receive-side drop: the frame "never arrived"
+        return message

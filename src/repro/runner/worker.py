@@ -1,26 +1,51 @@
 """``python -m repro.runner.worker`` — the remote end of distributed dispatch.
 
-A worker is a long-lived process that the
-:class:`~repro.runner.distributed.DistributedBackend` launches on each
-execution slot (directly via :class:`LocalSubprocessTransport`, or through
-``ssh`` via :class:`SSHTransport`).  It speaks the length-prefixed JSON
-protocol of :mod:`repro.runner.wire` over stdin/stdout:
+A worker is a long-lived process that executes sweep cells for the
+:class:`~repro.runner.distributed.DistributedBackend`.  It reaches its
+scheduler one of two ways:
 
-* on startup it sends ``{"type": "hello", "protocol": ..., "pid": ...,
-  "host": ..., "python": ..., "scenarios": N}`` after re-importing
+* **launched** — the scheduler spawns it on each execution slot (directly
+  via :class:`LocalSubprocessTransport`, or through ``ssh`` via
+  :class:`SSHTransport`) and speaks over stdin/stdout;
+* **joined** — it connects to a scheduler's listening endpoint
+  (``--connect host:port``, surfaced as ``repro-runner workers join``)
+  and speaks over the socket.  Joined workers are *elastic*: they can
+  arrive mid-sweep, leave gracefully, and — because the scheduler grants
+  them a lease — survive a connection blip by reconnecting and resuming.
+
+Either way the conversation is the length-prefixed JSON protocol of
+:mod:`repro.runner.wire`:
+
+* on (re)connect it sends ``{"type": "hello", "protocol": ..., "pid":
+  ..., "host": ..., "python": ..., "scenarios": N}`` after re-importing
   :mod:`repro.experiments` (the registry travels as *code*, never as
-  pickled state);
-* for each ``{"type": "work", "item": {...}}`` it resolves the scenario,
-  runs it via :func:`repro.runner.backends.execute_item` — which validates
+  pickled state); a reconnecting worker adds its ``"lease"`` token so the
+  scheduler can transplant the new connection onto its existing state;
+* the scheduler replies ``{"type": "welcome", "protocol": ..., "lease":
+  ..., "worker": site}``, optionally carrying a ``spill_dir`` (adopted if
+  the worker was not given one on the command line) and a ``chaos`` fault
+  plan (:mod:`repro.testing.chaos`) which the worker activates — in-band
+  delivery is how fault-injection tests reach launched workers without
+  touching the transport;
+* for ``{"type": "work", "item": {...}}`` it resolves the scenario, runs
+  it via :func:`repro.runner.backends.execute_item` — which validates
   fresh metrics against the scenario's
   :class:`~repro.runner.schema.MetricSchema` — and replies
-  ``{"type": "outcome", "outcome": {...}}``.  Failures travel *inside*
-  the outcome (``error`` carries the traceback), never as a dead pipe;
-* while a scenario runs, a daemon thread emits ``{"type": "heartbeat"}``
-  every ``--heartbeat-s`` seconds so the scheduler can tell "slow cell"
-  from "hung worker";
+  ``{"type": "outcome", "outcome": {...}}``; for ``{"type":
+  "work_batch", "items": [...]}`` it executes the batch in order and
+  replies a single ``{"type": "outcome_batch", "outcomes": [...]}``.
+  Failures travel *inside* outcomes (``error`` carries the traceback),
+  never as a dead pipe;
+* with a spill directory configured, every successful outcome is written
+  there (:mod:`repro.runner.spill`) *before* it is sent — crash
+  insurance a restarted scheduler harvests;
+* while a cell or batch runs, a daemon thread emits ``{"type":
+  "heartbeat"}`` every ``--heartbeat-s`` seconds so the scheduler can
+  tell "slow cell" from "hung worker";
 * ``{"type": "ping"}`` gets ``{"type": "pong"}``; ``{"type": "shutdown"}``
-  (or EOF on stdin) ends the process.
+  (or EOF) ends the process; a worker departing on its own terms sends
+  ``{"type": "leave"}`` first so the scheduler retires it gracefully
+  instead of suspecting a crash.
 
 stdout carries *only* wire frames: ``sys.stdout`` is rebound to stderr for
 the worker's lifetime, so a scenario that prints cannot corrupt the frame
@@ -32,6 +57,8 @@ worker serve ``N`` items normally and then die via ``os._exit`` on the
 next one *without replying* — the harness for the scheduler's quarantine
 and re-dispatch paths.  ``REPRO_WORKER_STARTUP_DELAY_S=X`` sleeps before
 the hello, simulating a slow host so tests can pin dispatch order.
+Frame-precise fault schedules use :mod:`repro.testing.chaos` instead,
+activated via the welcome frame or ``REPRO_CHAOS_PLAN``.
 """
 
 from __future__ import annotations
@@ -44,9 +71,10 @@ import sys
 import threading
 import time
 from dataclasses import asdict
-from typing import BinaryIO, Optional, Sequence
+from typing import Any, BinaryIO, Dict, Optional, Sequence, Tuple
 
 from repro.runner.backends import WorkItem, execute_item
+from repro.runner.spill import write_spill
 from repro.runner.wire import PROTOCOL_VERSION, WireError, read_message, write_message
 
 #: Environment variable: serve this many items, then crash (no reply) on
@@ -96,20 +124,64 @@ def _crash_after() -> Optional[int]:
         return None
 
 
-def serve(stdin: BinaryIO, stdout: BinaryIO, *, heartbeat_s: float = 0.0) -> int:
+def _maybe_activate_env_chaos() -> None:
+    # Lazy import: repro.testing is test-support code; a production worker
+    # with no chaos configured never loads it.
+    if os.environ.get("REPRO_CHAOS_PLAN"):
+        from repro.testing import chaos
+
+        chaos.activate_from_env()
+
+
+def _handle_welcome(message: Dict[str, Any], state: Dict[str, Any]) -> None:
+    """Adopt the scheduler's welcome: lease, site index, spill dir, chaos."""
+    state["lease"] = message.get("lease") or state.get("lease")
+    if message.get("worker") is not None:
+        state["worker"] = message["worker"]
+    if not state.get("spill_dir") and message.get("spill_dir"):
+        state["spill_dir"] = message["spill_dir"]
+    plan = message.get("chaos")
+    if plan:
+        from repro.testing import chaos
+
+        site = state.get("worker")
+        chaos.activate(
+            chaos.FaultPlan.from_dict(plan),
+            site=f"worker{site}" if site is not None else "worker",
+            worker_index=site if isinstance(site, int) else None,
+        )
+
+
+def serve(
+    stdin: BinaryIO,
+    stdout: BinaryIO,
+    *,
+    heartbeat_s: float = 0.0,
+    spill_dir: Optional[str] = None,
+    leave_after: int = 0,
+    state: Optional[Dict[str, Any]] = None,
+) -> int:
     """Run the worker protocol until shutdown/EOF; returns the exit code.
 
     Factored from :func:`main` so tests can drive a worker over in-memory
-    streams without spawning a process.
+    streams without spawning a process.  ``state`` (shared across
+    reconnects by :func:`connect_and_serve`) carries the lease and the
+    welcome-adopted settings; ``state["exit_reason"]`` reports why the
+    call returned — ``"shutdown"``, ``"eof"``, ``"leave"``,
+    ``"wire_error"``, or ``"conn_lost"``.
     """
     from repro.runner.registry import load_builtin_scenarios
 
+    state = state if state is not None else {}
+    if spill_dir:
+        state["spill_dir"] = spill_dir
     try:
         delay_s = float(os.environ.get(STARTUP_DELAY_ENV) or 0.0)
     except ValueError:
         delay_s = 0.0
     if delay_s > 0:
         time.sleep(delay_s)
+    _maybe_activate_env_chaos()
     registry = load_builtin_scenarios()
     send_lock = threading.Lock()
 
@@ -117,38 +189,11 @@ def serve(stdin: BinaryIO, stdout: BinaryIO, *, heartbeat_s: float = 0.0) -> int
         with send_lock:
             write_message(stdout, message)
 
-    send(
-        {
-            "type": "hello",
-            "protocol": PROTOCOL_VERSION,
-            "pid": os.getpid(),
-            "host": socket.gethostname(),
-            # Additive field (old schedulers ignore it): lets `workers
-            # doctor` report each host's interpreter at a glance.
-            "python": platform.python_version(),
-            "scenarios": len(registry),
-        }
-    )
-    crash_after = _crash_after()
-    served = 0
-    while True:
-        try:
-            message = read_message(stdin)
-        except WireError as exc:
-            send({"type": "error", "error": f"unreadable frame: {exc}"})
-            return 1
-        if message is None or message.get("type") == "shutdown":
-            return 0
-        kind = message.get("type")
-        if kind == "ping":
-            send({"type": "pong"})
-            continue
-        if kind != "work":
-            send({"type": "error", "error": f"unknown message type {kind!r}"})
-            continue
+    def run_item(raw: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Execute one wire-form item; None (plus an error frame) if malformed."""
+        nonlocal served
         if crash_after is not None and served >= crash_after:
             os._exit(CRASH_EXIT_CODE)
-        raw = message.get("item") or {}
         try:
             item = WorkItem(
                 index=raw["index"],
@@ -160,32 +205,230 @@ def serve(stdin: BinaryIO, stdout: BinaryIO, *, heartbeat_s: float = 0.0) -> int
             # Contract: failures travel inside frames, never as a dead pipe
             # — even for a scheduler speaking a skewed item layout.
             send({"type": "error", "error": f"malformed work item {raw!r}: {exc!r}"})
-            continue
-        if heartbeat_s > 0:
-            with _Heartbeat(send, heartbeat_s):
-                outcome = execute_item(item)
-        else:
-            outcome = execute_item(item)
+            return None
+        outcome = asdict(execute_item(item))
         served += 1
-        send({"type": "outcome", "outcome": asdict(outcome)})
+        if state.get("spill_dir"):
+            try:
+                write_spill(state["spill_dir"], raw, outcome)
+            except OSError as exc:
+                print(f"worker: spill failed ({exc}); outcome travels wire-only",
+                      file=sys.stderr)
+        return outcome
+
+    hello: Dict[str, Any] = {
+        "type": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        # Additive field (old schedulers ignore it): lets `workers
+        # doctor` report each host's interpreter at a glance.
+        "python": platform.python_version(),
+        "scenarios": len(registry),
+    }
+    if state.get("lease"):
+        # Additive field: a reconnect after a blip presents the lease so
+        # the scheduler resumes this worker instead of admitting a stranger.
+        hello["lease"] = state["lease"]
+    try:
+        send(hello)
+    except (OSError, ValueError):
+        state["exit_reason"] = "conn_lost"
+        return 1
+    crash_after = _crash_after()
+    served = 0
+    try:
+        while True:
+            try:
+                message = read_message(stdin)
+            except WireError as exc:
+                state["exit_reason"] = "wire_error"
+                try:
+                    send({"type": "error", "error": f"unreadable frame: {exc}"})
+                except (OSError, ValueError):
+                    pass
+                return 1
+            if message is None:
+                state["exit_reason"] = "eof"
+                return 0
+            kind = message.get("type")
+            if kind == "shutdown":
+                state["exit_reason"] = "shutdown"
+                return 0
+            if kind == "welcome":
+                _handle_welcome(message, state)
+                continue
+            if kind == "ping":
+                send({"type": "pong"})
+                continue
+            if kind == "work":
+                raws = [message.get("item") or {}]
+            elif kind == "work_batch":
+                raws = list(message.get("items") or [])
+            else:
+                send({"type": "error", "error": f"unknown message type {kind!r}"})
+                continue
+            outcomes = []
+            if heartbeat_s > 0:
+                with _Heartbeat(send, heartbeat_s):
+                    for raw in raws:
+                        outcome = run_item(raw)
+                        if outcome is not None:
+                            outcomes.append(outcome)
+            else:
+                for raw in raws:
+                    outcome = run_item(raw)
+                    if outcome is not None:
+                        outcomes.append(outcome)
+            if kind == "work":
+                if outcomes:
+                    send({"type": "outcome", "outcome": outcomes[0]})
+            else:
+                # One reply per batch regardless of size: the framing
+                # amortization the batch exists for.
+                send({"type": "outcome_batch", "outcomes": outcomes})
+            if leave_after and served >= leave_after:
+                send({"type": "leave"})
+                state["exit_reason"] = "leave"
+                return 0
+    except (OSError, ValueError):
+        # The peer vanished mid-conversation (broken pipe / reset /
+        # closed stream).  Joined workers reconnect on their lease.
+        state["exit_reason"] = "conn_lost"
+        return 1
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """Parse a ``host:port`` endpoint (bare port means 127.0.0.1)."""
+    text = text.strip()
+    host, sep, raw_port = text.rpartition(":")
+    if not sep:
+        host, raw_port = "", text
+    host = host.strip("[]") or "127.0.0.1"
+    try:
+        port = int(raw_port)
+    except ValueError:
+        raise ValueError(f"bad endpoint {text!r} (expected 'host:port')") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"bad endpoint {text!r}: port out of range")
+    return host, port
+
+
+def connect_and_serve(
+    address: Tuple[str, int],
+    *,
+    heartbeat_s: float = 2.0,
+    spill_dir: Optional[str] = None,
+    leave_after: int = 0,
+    reconnect_s: float = 10.0,
+    retry_delay_s: float = 0.2,
+) -> int:
+    """Join a scheduler's endpoint and serve; reconnect on blips.
+
+    Each outage (including the scheduler not accepting yet at startup)
+    opens a fresh ``reconnect_s`` window of connection attempts.  Once a
+    lease is held, a re-established connection presents it and the
+    scheduler resumes the worker in place; in-flight work the scheduler
+    re-queued in the meantime is deduplicated by its determinism contract.
+    """
+    state: Dict[str, Any] = {}
+    while True:
+        window_ends = time.monotonic() + reconnect_s
+        sock = None
+        while sock is None:
+            try:
+                sock = socket.create_connection(address, timeout=reconnect_s)
+            except OSError:
+                if time.monotonic() >= window_ends:
+                    print(
+                        f"worker: could not reach scheduler at {address[0]}:{address[1]} "
+                        f"within {reconnect_s:.0f}s; giving up",
+                        file=sys.stderr,
+                    )
+                    return 1
+                time.sleep(retry_delay_s)
+        sock.settimeout(None)
+        reader = sock.makefile("rb")
+        writer = sock.makefile("wb")
+        try:
+            code = serve(
+                reader,
+                writer,
+                heartbeat_s=heartbeat_s,
+                spill_dir=spill_dir,
+                leave_after=leave_after,
+                state=state,
+            )
+        except KeyboardInterrupt:
+            try:
+                write_message(writer, {"type": "leave"})
+            except (OSError, ValueError):
+                pass
+            return 0
+        finally:
+            for closeable in (reader, writer, sock):
+                try:
+                    closeable.close()
+                except OSError:
+                    pass
+        reason = state.get("exit_reason")
+        if reason in ("shutdown", "leave"):
+            return code
+        if not state.get("lease"):
+            return code
+        # Connection lost while holding a lease: loop and re-present it.
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-runner-worker",
-        description="Distributed-sweep worker process (launched by DistributedBackend).",
+        description="Distributed-sweep worker process (launched by DistributedBackend, "
+        "or joining a scheduler endpoint with --connect).",
     )
     parser.add_argument(
         "--heartbeat-s", type=float, default=2.0, metavar="SECONDS",
         help="heartbeat interval while a cell runs (0 disables; default: 2.0)",
     )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="join the scheduler listening at HOST:PORT instead of serving stdio",
+    )
+    parser.add_argument(
+        "--spill-dir", metavar="DIR", default=None,
+        help="spill every successful outcome to DIR before sending it "
+        "(crash insurance; a welcome-provided directory is used otherwise)",
+    )
+    parser.add_argument(
+        "--leave-after", type=int, default=0, metavar="N",
+        help="serve N cells, then leave the pool gracefully (0 = stay; "
+        "mainly for elasticity tests and bounded borrowed capacity)",
+    )
+    parser.add_argument(
+        "--reconnect-s", type=float, default=10.0, metavar="SECONDS",
+        help="with --connect: keep retrying a lost connection this long "
+        "before giving up the lease (default: 10.0)",
+    )
     args = parser.parse_args(argv)
-    stdin = sys.stdin.buffer
-    stdout = sys.stdout.buffer
     # Anything the scenarios (or stray library code) print must not tear
     # the frame stream — stdout is for wire messages only.
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
     sys.stdout = sys.stderr
-    return serve(stdin, stdout, heartbeat_s=args.heartbeat_s)
+    if args.connect:
+        return connect_and_serve(
+            parse_endpoint(args.connect),
+            heartbeat_s=args.heartbeat_s,
+            spill_dir=args.spill_dir,
+            leave_after=args.leave_after,
+            reconnect_s=args.reconnect_s,
+        )
+    return serve(
+        stdin,
+        stdout,
+        heartbeat_s=args.heartbeat_s,
+        spill_dir=args.spill_dir,
+        leave_after=args.leave_after,
+    )
 
 
 if __name__ == "__main__":

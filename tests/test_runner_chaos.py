@@ -1,0 +1,310 @@
+"""Deterministic fault injection: plan semantics and chaos acceptance.
+
+Two layers of coverage:
+
+* **Plan mechanics** (no subprocesses) — :class:`FaultRule` validation,
+  JSON round-trips, seeded-decision determinism, the frame-mangling
+  semantics of :meth:`FaultSession.on_send` / :meth:`on_recv`, and the
+  idempotent-activation contract that keeps ``count=1`` rules from
+  re-firing across a lease reconnect.
+
+* **Acceptance drills** (``distributed`` marker) — the three pinned
+  plans the CI chaos job runs, each proving an elasticity claim with a
+  byte-parity gate against a serial sweep of the same spec:
+
+  - ``worker_kill_mid_batch``: a worker dies at the exact point it would
+    reply with its first batch; the batch re-queues and the sweep still
+    matches serial byte-for-byte.
+  - ``frame_delay_30pct``: a seeded 30% of frames are delayed both ways;
+    scheduling order changes, results don't.
+  - ``scheduler_restart_spill``: every worker dies before replying but
+    after spilling; the failed sweep's spill files resume a fresh
+    scheduler to a complete, serial-identical result set.
+
+The pinned plans are committed under ``tests/fixtures/chaos/`` and must
+stay byte-identical to the :data:`repro.testing.chaos.PLANS` builders —
+CI feeds the *files* through ``REPRO_CHAOS_PLAN=@...``, so drift between
+the two would quietly change what CI tests.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.distributed import DistributedBackend, LocalSubprocessTransport
+from repro.runner.engine import run_sweep
+from repro.runner.spec import SweepSpec
+from repro.runner.worker import STARTUP_DELAY_ENV
+from repro.testing import chaos
+from repro.testing.chaos import (
+    KILL_EXIT_CODE,
+    ChaosDisconnect,
+    FaultPlan,
+    FaultRule,
+    FaultSession,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "chaos"
+
+
+class TestFaultRule:
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule(action="explode")
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultRule(action="drop", point="sideways")
+        with pytest.raises(ValueError, match="nth must be >= 0"):
+            FaultRule(action="drop", nth=-1)
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(action="drop", probability=1.5)
+        with pytest.raises(ValueError, match="count must be >= 0"):
+            FaultRule(action="drop", count=-1)
+        with pytest.raises(ValueError, match="truncate_to"):
+            FaultRule(action="truncate", truncate_to=0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultRule field"):
+            FaultRule.from_dict({"action": "drop", "blast_radius": 9000})
+
+    def test_worker_targeting(self):
+        rule = FaultRule(action="drop", workers=(0, 2))
+        assert rule.matches_site(0) and rule.matches_site(2)
+        assert not rule.matches_site(1)
+        assert not rule.matches_site(None)  # unindexed site, targeted rule
+        assert FaultRule(action="drop").matches_site(None)  # untargeted
+
+    def test_plan_json_roundtrip(self):
+        plan = chaos.PLANS.kill_worker_mid_batch(1, seed=7)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestFaultSession:
+    def test_nth_counts_per_message_type(self):
+        plan = FaultPlan(rules=(FaultRule(action="drop", message_type="outcome", nth=2),))
+        session = plan.session()
+        # Heartbeats between outcomes must not advance the outcome counter.
+        assert session.on_send({"type": "outcome"}, b"a") == [b"a"]
+        assert session.on_send({"type": "heartbeat"}, b"h") == [b"h"]
+        assert session.on_send({"type": "outcome"}, b"b") == []  # the 2nd
+        assert session.on_send({"type": "outcome"}, b"c") == [b"c"]  # count=1 spent
+
+    def test_send_semantics(self):
+        session = FaultPlan(rules=(
+            FaultRule(action="duplicate", message_type="a"),
+            FaultRule(action="truncate", message_type="b", truncate_to=3),
+        )).session()
+        assert session.on_send({"type": "a"}, b"xyzzy") == [b"xyzzy", b"xyzzy"]
+        assert session.on_send({"type": "b"}, b"xyzzy") == [b"xyz"]
+        assert session.on_send({"type": "c"}, b"xyzzy") == [b"xyzzy"]
+
+    def test_disconnect_raises_connection_error(self):
+        session = FaultPlan(rules=(
+            FaultRule(action="disconnect", message_type="outcome", nth=1),
+        )).session()
+        assert session.on_send({"type": "work"}, b"w") == [b"w"]
+        with pytest.raises(ChaosDisconnect):
+            session.on_send({"type": "outcome"}, b"o")
+        # count=1: the session survives and the rule is spent.
+        assert session.on_send({"type": "outcome"}, b"o") == [b"o"]
+        assert session.log == [("disconnect", "send", "outcome", 1)]
+
+    def test_recv_drop(self):
+        session = FaultPlan(rules=(
+            FaultRule(action="drop", point="recv", message_type="pong", nth=1),
+        )).session()
+        assert session.on_recv({"type": "pong"}) is False
+        assert session.on_recv({"type": "pong"}) is True
+
+    def test_probabilistic_decisions_are_seeded(self):
+        plan = FaultPlan(seed=42, rules=(
+            FaultRule(action="drop", probability=0.5, count=0),
+        ))
+        decisions = [
+            [s.on_send({"type": "x"}, b"d") == [] for _ in range(64)]
+            for s in (plan.session("w"), plan.session("w"))
+        ]
+        assert decisions[0] == decisions[1]  # same site: identical stream
+        assert any(decisions[0]) and not all(decisions[0])
+        other = [plan.session("elsewhere").on_send({"type": "x"}, b"d") == []
+                 for _ in range(64)]
+        assert other != decisions[0]  # sites decorrelate
+
+    def test_kill_fires_monkeypatched_exit(self, monkeypatch):
+        exits = []
+        monkeypatch.setattr(chaos, "_exit", exits.append)
+        session = chaos.PLANS.kill_worker_mid_batch(0).session(worker_index=0)
+        session.on_send({"type": "outcome_batch"}, b"batch")
+        assert exits == [KILL_EXIT_CODE]
+        # The same plan on a different worker index never fires.
+        calm = chaos.PLANS.kill_worker_mid_batch(0).session(worker_index=1)
+        assert calm.on_send({"type": "outcome_batch"}, b"batch") == [b"batch"]
+        assert exits == [KILL_EXIT_CODE]
+
+
+class TestActivation:
+    def teardown_method(self):
+        chaos.deactivate()
+
+    def test_activate_is_idempotent_per_plan(self):
+        plan = chaos.PLANS.delay_frames(0.1)
+        first = chaos.activate(plan, site="worker")
+        first.on_send({"type": "x"}, b"d")
+        # Re-delivered welcome (lease reconnect): same plan, same site —
+        # the session and its counters must survive.
+        assert chaos.activate(plan, site="worker") is first
+        # A different plan replaces the session.
+        assert chaos.activate(chaos.PLANS.delay_frames(0.9), site="worker") is not first
+
+    def test_activate_upgrades_worker_index(self):
+        plan = chaos.PLANS.delay_frames(0.1)
+        session = chaos.activate(plan, site="worker")
+        assert session.worker_index is None
+        assert chaos.activate(plan, site="worker", worker_index=3) is session
+        assert session.worker_index == 3
+
+    def test_activate_from_env(self, monkeypatch, tmp_path):
+        plan = chaos.PLANS.kill_all_before_reply()
+        monkeypatch.setenv(chaos.CHAOS_PLAN_ENV, plan.to_json())
+        session = chaos.activate_from_env()
+        assert session.plan == plan
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        monkeypatch.setenv(chaos.CHAOS_PLAN_ENV, f"@{path}")
+        monkeypatch.setenv(chaos.CHAOS_SITE_ENV, "worker3")
+        session = chaos.activate_from_env()
+        assert session.site == "worker3"
+        monkeypatch.delenv(chaos.CHAOS_PLAN_ENV)
+        monkeypatch.delenv(chaos.CHAOS_SITE_ENV)
+        assert chaos.activate_from_env() is None
+
+
+class TestPinnedPlanFixtures:
+    """The committed CI plans must match the library builders exactly."""
+
+    @pytest.mark.parametrize("name, plan", [
+        ("worker_kill_mid_batch", chaos.PLANS.kill_worker_mid_batch(0)),
+        ("frame_delay_30pct", chaos.PLANS.delay_frames(0.3, 0.02)),
+        ("scheduler_restart_spill", chaos.PLANS.kill_all_before_reply()),
+    ])
+    def test_fixture_matches_builder(self, name, plan):
+        committed = json.loads((FIXTURES / f"{name}.json").read_text())
+        assert committed == plan.to_dict(), (
+            f"tests/fixtures/chaos/{name}.json drifted from its "
+            f"repro.testing.chaos.PLANS builder; regenerate the fixture"
+        )
+        # And the file itself must parse into a valid plan.
+        assert FaultPlan.from_dict(committed).rules
+
+
+# -- acceptance drills ----------------------------------------------------
+
+pytestmark_distributed = pytest.mark.distributed
+
+
+def _grid_specs():
+    return SweepSpec(
+        scenario="ablation_pi_gains",
+        grid={"alpha": [5.0, 10.0], "beta": [5.0, 10.0]},
+        seeds=(1,),
+    ).expand()
+
+
+class _SlowSecondTransport(LocalSubprocessTransport):
+    """Delays every launch after the first, so the chaos-targeted worker 0
+    is guaranteed a share of the grid before the pool drains it."""
+
+    def __init__(self, delay_s=1.5):
+        super().__init__()
+        self._first = True
+        self._delay_s = delay_s
+
+    def launch(self, host, *, heartbeat_s):
+        self.extra_env = {} if self._first else {STARTUP_DELAY_ENV: str(self._delay_s)}
+        self._first = False
+        return super().launch(host, heartbeat_s=heartbeat_s)
+
+
+def _backend(**kwargs):
+    kwargs.setdefault("poll_s", 0.02)
+    kwargs.setdefault("heartbeat_s", 0.2)
+    kwargs.setdefault("worker_timeout_s", 20)
+    return DistributedBackend(kwargs.pop("hosts", "localhost:2"), **kwargs)
+
+
+@pytest.mark.distributed
+class TestChaosAcceptance:
+    def test_worker_kill_mid_batch_requeues_and_matches_serial(self, tmp_path):
+        specs = _grid_specs()
+        serial = run_sweep(specs, cache=ResultCache(str(tmp_path / "ser")), backend="serial")
+        plan = chaos.PLANS.kill_worker_mid_batch(0)
+        backend = _backend(
+            transport=_SlowSecondTransport(),
+            batch_size=2,
+            chaos=plan.to_dict(),
+        )
+        dist = run_sweep(specs, cache=ResultCache(str(tmp_path / "dist")), backend=backend)
+        assert [r.canonical() for r in serial.results] == [
+            r.canonical() for r in dist.results
+        ]
+        stats = dist.worker_stats
+        assert stats["quarantined"] == 1
+        assert stats["requeued"] >= 1
+        killed = [w for w in stats["workers"].values()
+                  if w.get("quarantine_reason", "").startswith("exited")]
+        assert killed and f"code {KILL_EXIT_CODE}" in killed[0]["quarantine_reason"]
+        # Satellite: stats freeze at departure time, flagged as such.
+        assert killed[0]["departed"] is True
+
+    def test_frame_delays_do_not_change_bytes(self, tmp_path):
+        specs = _grid_specs()
+        serial = run_sweep(specs, cache=ResultCache(str(tmp_path / "ser")), backend="serial")
+        plan = chaos.PLANS.delay_frames(0.3, 0.02)
+        dist = run_sweep(
+            specs,
+            cache=ResultCache(str(tmp_path / "dist")),
+            backend=_backend(batch_size=2, chaos=plan.to_dict()),
+        )
+        assert [r.canonical() for r in serial.results] == [
+            r.canonical() for r in dist.results
+        ]
+
+    def test_scheduler_restart_resumes_from_spill(self, tmp_path):
+        # Round 1: every worker dies after spilling, before replying — the
+        # sweep fails, but each executed cell left a spill file behind.
+        specs = _grid_specs()
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        plan = chaos.PLANS.kill_all_before_reply()
+        with pytest.raises(RuntimeError, match="failed"):
+            run_sweep(
+                specs,
+                cache=ResultCache(str(tmp_path / "crashed")),
+                backend=_backend(max_attempts=2, spill_dir=str(spill), chaos=plan.to_dict()),
+            )
+        assert list(spill.glob("*.spill.json")), "workers died without spilling"
+
+        # Round 2: a fresh scheduler (the "restart") harvests the spill —
+        # and must not re-execute harvested cells.
+        recovered = run_sweep(
+            specs,
+            cache=ResultCache(str(tmp_path / "resumed")),
+            backend=_backend(spill_dir=str(spill)),
+        )
+        assert recovered.worker_stats["spill_harvested"] >= 1
+        serial = run_sweep(specs, cache=ResultCache(str(tmp_path / "ser")), backend="serial")
+        assert [r.canonical() for r in serial.results] == [
+            r.canonical() for r in recovered.results
+        ]
+
+    def test_chaos_sweep_warms_serial_cache_to_100_percent(self, tmp_path):
+        # The CI gate in one test: a chaos-ridden distributed sweep's cache
+        # must serve a serial re-run entirely from warm hits.
+        specs = _grid_specs()
+        cache = ResultCache(str(tmp_path / "shared"))
+        plan = chaos.PLANS.delay_frames(0.3, 0.02)
+        run_sweep(specs, cache=cache, backend=_backend(batch_size=2, chaos=plan.to_dict()))
+        warm = run_sweep(specs, cache=cache, backend="serial")
+        assert warm.hits == len(specs) and warm.misses == 0

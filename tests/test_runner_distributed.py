@@ -99,15 +99,30 @@ class TestHostSpecs:
         with pytest.raises(ValueError, match="bracketed"):
             HostSpec.parse("[::1")
 
-    def test_repeated_hosts_get_unique_worker_ids(self, tmp_path):
+    def test_multi_slot_hosts_get_unique_worker_ids(self, tmp_path):
         outcome = run_sweep(
             _grid_specs(),
             cache=ResultCache(str(tmp_path / "c")),
-            backend=_backend("localhost:1,localhost:1"),
+            backend=_backend("localhost:2"),
         )
         workers = outcome.worker_stats["workers"]
         assert len(workers) == 2  # one entry per worker, no id collision
         assert sum(w["completed"] for w in workers.values()) == 4
+
+    def test_duplicate_host_entries_rejected(self):
+        with pytest.raises(ValueError, match="duplicate host entry 'localhost'"):
+            parse_hosts("localhost:1,localhost:1")
+        # Even with differing slot counts: slots already express fan-out.
+        with pytest.raises(ValueError, match="localhost:3"):
+            parse_hosts("localhost:2,localhost:1")
+
+    def test_zero_and_negative_slot_counts_rejected(self):
+        with pytest.raises(ValueError, match="slots must be >= 1, got 0"):
+            parse_hosts("localhost:0")
+        # "-1".isdigit() is False; the parser must not fall back to
+        # treating "x:-1" as a host named "x:-1".
+        with pytest.raises(ValueError, match="slots must be >= 1, got -1"):
+            parse_hosts("x:-1")
 
     def test_parse_passthrough_and_errors(self):
         hosts = (HostSpec("x", 2),)
@@ -122,7 +137,7 @@ class TestHostSpecs:
     def test_local_detection_picks_transport(self):
         assert isinstance(_backend("localhost:2").transport, LocalSubprocessTransport)
         assert isinstance(_backend("nodeA:2").transport, SSHTransport)
-        assert _backend("localhost:2,localhost:1").workers == 3
+        assert _backend("localhost:3").workers == 3
 
     def test_ssh_transport_command_shape(self):
         transport = SSHTransport(python="python3", remote_env={"PYTHONPATH": "/repo/src"})
