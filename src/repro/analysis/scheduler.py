@@ -21,6 +21,11 @@ from repro.analysis.rules import Finding, get_rule, rule
 #: callbacks (see Simulator.at_call / Simulator.schedule_call).
 FAST_SCHEDULE_METHODS = frozenset({"at_call", "schedule_call"})
 
+#: Probe registration entry points (see repro.obs.probe.ProbeSet): the
+#: sampled callback runs on every tick for the rest of the run, so the
+#: same closure discipline applies.
+PROBE_REGISTER_METHODS = frozenset({"register_probe"})
+
 #: Function-name prefixes that mark setup paths (run once per scenario,
 #: not per packet/event).
 SETUP_NAME_PREFIXES = ("setup", "_setup", "build", "_build", "make", "_make")
@@ -80,6 +85,62 @@ def check_closure_to_scheduler(
                     )
 
     # Module level: lambdas only (no enclosing scope to close over).
+    yield from scan_function(module.tree, set())
+    for node in ast.walk(module.tree):
+        if isinstance(node, _FUNCTION_NODES):
+            nested = {
+                child.name
+                for stmt in ast.walk(node)
+                for child in [stmt]
+                if isinstance(child, _FUNCTION_NODES) and child is not node
+            }
+            yield from scan_function(node, nested)
+
+
+@rule(
+    "RPR012",
+    name="closure-probe-callback",
+    rationale=(
+        "ProbeSet.register_probe samples its callback on every tick for "
+        "the rest of the run; a lambda or locally defined closure there "
+        "captures loop variables by reference (every registration in a "
+        "loop silently samples the last component) and defeats the "
+        "closure-free scheduler discipline probes ride on."
+    ),
+    fix_hint=(
+        "pass a module-level function or bound method: "
+        "probes.register_probe('queue', self._sample_queue) — "
+        "ProbeSet also rejects closures at registration time"
+    ),
+)
+def check_probe_callbacks(
+    module: ModuleInfo, corpus: Corpus, options
+) -> Iterator[Finding]:
+    this = get_rule("RPR012")
+
+    def scan_function(fn: ast.AST, local_defs: Set[str]) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if _callee_method(node) not in PROBE_REGISTER_METHODS:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    yield this.finding(
+                        "lambda registered as a probe callback",
+                        module.path,
+                        arg.lineno,
+                        arg.col_offset,
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                    yield this.finding(
+                        f"locally defined function {arg.id!r} (a closure) "
+                        "registered as a probe callback",
+                        module.path,
+                        arg.lineno,
+                        arg.col_offset,
+                    )
+
     yield from scan_function(module.tree, set())
     for node in ast.walk(module.tree):
         if isinstance(node, _FUNCTION_NODES):

@@ -98,6 +98,11 @@ class Sendbox:
         self.tbf = TokenBucketQdisc(rate_bps=config.initial_rate_bps, inner=inner)
         egress_link.qdisc = self.tbf
         egress_link.add_transmit_hook(self._on_transmit)
+        #: Optional probe hook (:mod:`repro.obs.probe`): called with the
+        #: transmit instant of every epoch boundary packet.  Must be set
+        #: before ``observe_bundle`` fires — the probe layer installs it
+        #: from inside that registration.
+        self.boundary_probe = None
         sim.observe_bundle(self)
         edge_router.register_agent(config.sendbox_control_port, self)
 
@@ -142,6 +147,8 @@ class Sendbox:
         if not is_epoch_boundary(boundary_hash, state.epoch_controller.current_size):
             return
         state.boundaries_sent += 1
+        if self.boundary_probe is not None:
+            self.boundary_probe(now)
         state.measurement.on_boundary_sent(now, boundary_hash, state.bytes_sent)
 
     # -- control agent: congestion ACKs from the receivebox ------------------------------

@@ -66,6 +66,10 @@ class Link:
         #: this link drops an arrival at enqueue, the one point where the
         #: link owns a dead packet (see PacketFactory pooling).
         self.drop_recycler: Optional[Callable[[Packet], None]] = None
+        #: Optional probe hook (:mod:`repro.obs.probe`): called with the
+        #: drop instant when an arrival is rejected at enqueue — a pure
+        #: observer, set by the probe layer at ``observe_link`` time.
+        self.drop_probe: Optional[Callable[[float], None]] = None
         self.bytes_sent = 0
         self.packets_sent = 0
         self.packets_dropped = 0
@@ -93,6 +97,8 @@ class Link:
         if not self.qdisc.enqueue(packet, now):
             self.packets_dropped += 1
             self.monitor.on_drop(now)
+            if self.drop_probe is not None:
+                self.drop_probe(now)
             if self.drop_recycler is not None:
                 self.drop_recycler(packet)
             return False

@@ -129,6 +129,11 @@ class Simulator:
         self.observed_links: List[Any] = []
         self.observed_flows: List[Any] = []
         self.observed_bundles: List[Any] = []
+        #: In-simulation probe set (:mod:`repro.obs.probe`), installed by
+        #: the telemetry collector when ``REPRO_PROBES`` is enabled.  Pure
+        #: reads on the tick grid — ``None`` costs one attribute check per
+        #: ``run()``/``observe_*`` call and nothing per event.
+        self.probe: Optional[Any] = None
         collector = current_collector()
         if collector is not None:
             collector.register_simulator(self)
@@ -184,14 +189,20 @@ class Simulator:
         registered links at snapshot time instead.
         """
         self.observed_links.append(link)
+        if self.probe is not None:
+            self.probe.on_link(link)
 
     def observe_flow(self, flow) -> None:
         """Register a transport endpoint (TCP sender, paced UDP stream)."""
         self.observed_flows.append(flow)
+        if self.probe is not None:
+            self.probe.on_flow(flow)
 
     def observe_bundle(self, sendbox) -> None:
         """Register a Bundler sendbox for epoch accounting."""
         self.observed_bundles.append(sendbox)
+        if self.probe is not None:
+            self.probe.on_bundle(sendbox)
 
     # -- scheduling --------------------------------------------------------
 
@@ -321,6 +332,12 @@ class Simulator:
         """
         self._running = True
         self._until = until
+        if self.probe is not None and until is not None and max_events is None:
+            # Arm the sampling grid for this run only.  Unbounded runs get
+            # no timer (it would keep the queue from draining), and
+            # max_events runs are stepping/debugging — extra probe events
+            # would change which simulation events fit under the limit.
+            self.probe.on_run(until)
         executed = 0
         stats = self.stats
         queue = self._queue

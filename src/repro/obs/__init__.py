@@ -1,6 +1,6 @@
 """repro.obs — always-on, near-zero-overhead observability.
 
-Three layers (see ``docs/observability.md`` for the full catalogue):
+Four layers (see ``docs/observability.md`` for the full catalogue):
 
 * **hot-path counters** — :class:`~repro.obs.stats.SimStats`, the
   ``__slots__`` struct every simulator owns, fed inline by the event loop;
@@ -12,6 +12,13 @@ Three layers (see ``docs/observability.md`` for the full catalogue):
   ``RunResult.telemetry``, which flows through the cache envelope, the
   manifest, sweep summaries, exports, and distributed workers'
   ``WorkOutcome`` frames;
+* **in-simulation probes** — :class:`~repro.obs.probe.ProbeSet` samples
+  per-link backlog/utilization, per-qdisc backlog, per-flow cwnd/rate and
+  sendbox epoch state on the simulator's deterministic tick grid into
+  bounded rings (with mergeable :mod:`~repro.obs.sketch` quantile
+  sketches), exported as Chrome/Perfetto traces by
+  :mod:`repro.obs.export_trace` (``repro-runner trace-export``) and as
+  long-format CSV/JSONL by ``report --timeseries``;
 * **the perf trajectory** — :mod:`repro.obs.perf` runs every registered
   scenario at pinned params/seeds, writes ``BENCH_<scenario>.json``
   baselines, and ``repro-runner perf compare`` gates CI on events/sec
@@ -34,12 +41,29 @@ from repro.obs.collect import (
     span,
     timed_iter,
 )
+from repro.obs.probe import (
+    PROBE_FORMAT,
+    PROBES_ENV,
+    EventRing,
+    ProbeSet,
+    SeriesRing,
+    probes_enabled,
+)
+from repro.obs.sketch import FixedHistogram, MergeableCounter, QuantileSketch
 from repro.obs.stats import SimStats, merge_counters, simulator_counters
 from repro.obs.timeline import Timeline
 
 __all__ = [
     "OBS_ENV",
+    "PROBES_ENV",
+    "PROBE_FORMAT",
     "TELEMETRY_FORMAT",
+    "EventRing",
+    "FixedHistogram",
+    "MergeableCounter",
+    "ProbeSet",
+    "QuantileSketch",
+    "SeriesRing",
     "SimStats",
     "TelemetryCollector",
     "Timeline",
@@ -47,6 +71,7 @@ __all__ = [
     "current_collector",
     "merge_counters",
     "obs_enabled",
+    "probes_enabled",
     "simulator_counters",
     "span",
     "timed_iter",

@@ -24,6 +24,7 @@ import threading
 from time import perf_counter
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.probe import PROBE_FORMAT, ProbeSet, probes_enabled
 from repro.obs.stats import merge_counters, simulator_counters
 from repro.obs.timeline import Timeline
 
@@ -61,16 +62,26 @@ class TelemetryCollector:
     collector on exit) and starts the run wall clock.
     """
 
-    def __init__(self, sanitizer: Optional[Any] = None) -> None:
+    def __init__(
+        self,
+        sanitizer: Optional[Any] = None,
+        probes: Optional[bool] = None,
+    ) -> None:
         self.timeline = Timeline()
         self.simulators: List[Any] = []
         self.wall_s = 0.0
         self.sanitizer = sanitizer
+        self.probes = probes_enabled() if probes is None else probes
         self._started: Optional[float] = None
         self._previous: Optional["TelemetryCollector"] = None
 
     def register_simulator(self, sim) -> None:
         self.simulators.append(sim)
+        if self.probes and getattr(sim, "probe", None) is None:
+            # In-simulation time-series probes (repro.obs.probe): pure
+            # readers on the every() tick grid, so attaching them never
+            # changes result bytes or cache keys.
+            sim.probe = ProbeSet(sim)
         if self.sanitizer is not None:
             self.sanitizer.attach(sim)
 
@@ -106,6 +117,22 @@ class TelemetryCollector:
             "counters": counters,
             "spans": self.timeline.snapshot(),
         }
+        probe_sets = [
+            sim.probe
+            for sim in self.simulators
+            if getattr(sim, "probe", None) is not None
+        ]
+        if probe_sets:
+            # Envelope-only like everything else here: probe series never
+            # enter the canonical result payload (REPRO_PROBES parity is
+            # pinned by tests/test_probes.py).
+            snapshot["probes"] = {
+                "format": PROBE_FORMAT,
+                "interval_s": probe_sets[0].interval_s,
+                "simulators": [
+                    probe.snapshot(index) for index, probe in enumerate(probe_sets)
+                ],
+            }
         if self.sanitizer is not None:
             # Envelope-only, like everything else in the telemetry dict:
             # proof the sanitizer engaged, never part of the result payload.

@@ -102,8 +102,12 @@ def run_bench(scenario: str, *, seed: int = BENCH_SEED) -> Dict[str, Any]:
 
     Always simulates fresh (no cache involvement) with telemetry forced
     on, whatever ``REPRO_OBS`` says — a bench without counters is useless.
+    Probes are the opposite: forced *off* (and refused when explicitly
+    enabled), so sampling overhead never reaches a committed baseline;
+    every record carries ``"probes": False`` to prove it.
     """
     from repro.obs.collect import OBS_ENV
+    from repro.obs.probe import PROBES_ENV, probes_enabled
     from repro.runner.engine import execute_run
     from repro.runner.registry import load_builtin_scenarios
     from repro.runner.spec import RunSpec
@@ -118,6 +122,15 @@ def run_bench(scenario: str, *, seed: int = BENCH_SEED) -> Dict[str, Any]:
             "overhead must never reach committed perf baselines "
             f"(unset {SANITIZE_ENV} and re-run)"
         )
+    if PROBES_ENV in os.environ and probes_enabled():
+        # Probes add a periodic sampling timer to every simulator; small
+        # (~0.2% events on the bench profiles) but nonzero, so they never
+        # belong in a committed baseline either.
+        raise RuntimeError(
+            f"refusing to benchmark with {PROBES_ENV} explicitly enabled: "
+            "probe sampling overhead must never reach committed perf "
+            f"baselines (unset {PROBES_ENV} and re-run)"
+        )
     if scenario not in PERF_PROFILES:
         raise KeyError(
             f"no perf profile for scenario {scenario!r}; "
@@ -125,7 +138,9 @@ def run_bench(scenario: str, *, seed: int = BENCH_SEED) -> Dict[str, Any]:
         )
     registry = load_builtin_scenarios()
     prior_obs = os.environ.get(OBS_ENV)
+    prior_probes = os.environ.get(PROBES_ENV)
     os.environ[OBS_ENV] = "1"
+    os.environ[PROBES_ENV] = "0"
     try:
         result = execute_run(
             RunSpec(scenario=scenario, params=PERF_PROFILES[scenario], seed=seed),
@@ -136,6 +151,10 @@ def run_bench(scenario: str, *, seed: int = BENCH_SEED) -> Dict[str, Any]:
             os.environ.pop(OBS_ENV, None)
         else:
             os.environ[OBS_ENV] = prior_obs
+        if prior_probes is None:
+            os.environ.pop(PROBES_ENV, None)
+        else:
+            os.environ[PROBES_ENV] = prior_probes
     telemetry = result.telemetry
     return {
         "format": BENCH_FORMAT,
@@ -150,6 +169,7 @@ def run_bench(scenario: str, *, seed: int = BENCH_SEED) -> Dict[str, Any]:
         "sim_time_s": telemetry.get("sim_time_s", 0.0),
         "speedup": telemetry.get("speedup", 0.0),
         "simulators": telemetry.get("simulators", 0),
+        "probes": False,
         "peak_rss_kb": _peak_rss_kb(),
         "counters": telemetry.get("counters", {}),
         "spans": telemetry.get("spans", {}),
@@ -198,6 +218,16 @@ def run_scenarios(
     subprocess so its ``peak_rss_kb`` is a per-scenario high-water mark
     rather than the max over everything run so far in this process.
     """
+    from repro.obs.probe import PROBES_ENV, probes_enabled
+
+    if PROBES_ENV in os.environ and probes_enabled():
+        # Fail before spawning any subprocess — same contract run_bench
+        # enforces, but with a clean message instead of a wrapped one.
+        raise RuntimeError(
+            f"refusing to benchmark with {PROBES_ENV} explicitly enabled: "
+            "probe sampling overhead must never reach committed perf "
+            f"baselines (unset {PROBES_ENV} and re-run)"
+        )
     paths = []
     for name in scenarios:
         if log:

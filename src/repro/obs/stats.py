@@ -81,25 +81,21 @@ class SimStats:
         }
 
 
-def _walk_qdiscs(qdisc, into: List[Any]) -> None:
-    """Collect ``qdisc`` and any wrapped inner disciplines (shapers nest)."""
-    if qdisc is None:
-        return
-    into.append(qdisc)
-    _walk_qdiscs(getattr(qdisc, "inner", None), into)
-
-
 def qdisc_class_counters(links) -> Dict[str, Dict[str, int]]:
     """Enqueue/dequeue/drop totals grouped by qdisc class across ``links``.
 
     Qdiscs are discovered from the links *at snapshot time* (not at
     construction) because control planes swap a link's qdisc after the
     link exists — the Bundler sendbox replaces the egress FIFO with its
-    token bucket, which itself wraps the scheduling policy.
+    token bucket, which itself wraps the scheduling policy.  Nested
+    disciplines come from :meth:`repro.qdisc.base.Qdisc.walk`, the same
+    chain the probe layer samples backlog from.
     """
     qdiscs: List[Any] = []
     for link in links:
-        _walk_qdiscs(getattr(link, "qdisc", None), qdiscs)
+        qdisc = getattr(link, "qdisc", None)
+        if qdisc is not None:
+            qdiscs.extend(qdisc.walk())
     grouped: Dict[str, Dict[str, int]] = {}
     for qdisc in qdiscs:
         name = type(qdisc).__name__

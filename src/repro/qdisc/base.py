@@ -88,6 +88,19 @@ class Qdisc:
         """Bytes currently queued (alias for :attr:`backlog_bytes`)."""
         return self.backlog_bytes
 
+    def walk(self):
+        """Yield this discipline and every wrapped inner one, outermost first.
+
+        Shapers nest (the sendbox's token bucket wraps the scheduling
+        policy), and control planes install them after link construction —
+        so telemetry and probes walk the chain at read time rather than
+        caching it.  Reading each level's ``backlog_bytes`` stays O(1).
+        """
+        qdisc = self
+        while qdisc is not None:
+            yield qdisc
+            qdisc = getattr(qdisc, "inner", None)
+
     def __len__(self) -> int:
         return self.backlog_packets
 

@@ -23,7 +23,13 @@ Subcommands:
     Render cached results; ``--aggregate`` groups by (scenario, params)
     with mean ± 95% CI per metric across seeds.  ``--format`` selects
     human tables (default), or schema-annotated long-format ``csv`` /
-    ``jsonl`` ready for pandas with no hand-editing.
+    ``jsonl`` ready for pandas with no hand-editing; ``--timeseries``
+    exports each run's in-simulation probe series (queue backlog,
+    utilization, cwnd, rates) one retained sample per row.
+``trace-export``
+    Run one cell fresh with probes forced on and write a Chrome/Perfetto
+    ``trace_event`` JSON (counter tracks, drop/epoch instants, flow
+    spans), viewable at ui.perfetto.dev — see ``docs/observability.md``.
 ``gc``
     Evict cached records whose scenario version is stale (and, with
     ``--max-age-days``, records older than a cutoff), updating the
@@ -421,6 +427,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not grouped:
         print(f"no cached results under {cache.root!r}")
         return 1
+    if args.timeseries:
+        if args.format not in ("csv", "jsonl"):
+            raise SystemExit("--timeseries needs --format csv or --format jsonl")
+        if args.aggregate:
+            raise SystemExit("--timeseries exports per-run samples; drop --aggregate")
+        from repro.runner.export import timeseries_long_table
+
+        results = [r for name in sorted(grouped) for r in grouped[name]]
+        table = timeseries_long_table(results)
+        if not table.rows:
+            print(
+                "note: no cached run carries probe series (REPRO_PROBES was "
+                "off, or records predate the probe layer)",
+                file=sys.stderr,
+            )
+        sys.stdout.write(table.to_csv() if args.format == "csv" else table.to_jsonl())
+        return 0
     if args.format in ("csv", "jsonl"):
         results = [r for name in sorted(grouped) for r in grouped[name]]
         if args.aggregate:
@@ -537,6 +560,58 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
         return 1
     assert digest is not None
     print(f"{args.path}: valid trace, {digest.events} event(s), digest {digest.id}")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs.collect import OBS_ENV
+    from repro.obs.export_trace import (
+        build_trace,
+        trace_summary,
+        validate_trace,
+        write_trace,
+    )
+    from repro.obs.probe import PROBES_ENV
+    from repro.runner.engine import execute_run
+
+    _point_trace_store_at_cache(args)
+    # Force the telemetry and probe layers on for this one run, whatever
+    # the environment says — a trace export without probes is empty.  The
+    # run executes fresh (no cache): probe payloads only exist on records
+    # produced with probes enabled, and result bytes are identical either
+    # way, so nothing is lost by re-simulating.
+    prior = {key: os.environ.get(key) for key in (OBS_ENV, PROBES_ENV)}
+    os.environ[OBS_ENV] = "1"
+    os.environ[PROBES_ENV] = "1"
+    try:
+        result = execute_run(
+            RunSpec(
+                scenario=args.scenario,
+                params=_parse_params(args.param),
+                seed=args.seed,
+            )
+        )
+    finally:
+        for key, value in prior.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    trace = build_trace(result)
+    errors = validate_trace(trace)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    out = args.out or f"trace_{args.scenario}.json"
+    write_trace(trace, out)
+    summary = trace_summary(trace)
+    print(f"wrote {out}  (open in ui.perfetto.dev or chrome://tracing)")
+    table = Table(["track type", "tracks", "samples"])
+    table.add_row("counter", summary["counter_tracks"], summary["counter_samples"])
+    table.add_row("instant", summary["instant_streams"], summary["instants"])
+    table.add_row("span", summary["spans"], summary["spans"])
+    print(table.render())
     return 0
 
 
@@ -803,6 +878,12 @@ def build_parser() -> argparse.ArgumentParser:
              "execution telemetry (events, events/s, wall time, speedup) "
              "as direction=info rows",
     )
+    p_report.add_argument(
+        "--timeseries", action="store_true",
+        help="csv/jsonl only: export each cached run's in-simulation probe "
+             "series (queue backlog, utilization, cwnd, rates — see "
+             "docs/observability.md) as one row per retained sample",
+    )
     p_report.set_defaults(fn=_cmd_report)
 
     p_trace = sub.add_parser(
@@ -846,6 +927,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after reporting N problems (default: 20)",
     )
     p_validate.set_defaults(fn=_cmd_trace_validate)
+
+    p_trace_export = sub.add_parser(
+        "trace-export",
+        help="run one cell with probes on and export a Chrome/Perfetto "
+             "trace_event JSON of its in-simulation time series",
+        parents=[common],
+    )
+    p_trace_export.add_argument("scenario", help="registered scenario name")
+    p_trace_export.add_argument(
+        "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    p_trace_export.add_argument("--seed", type=int, default=1)
+    p_trace_export.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="output trace path (default: trace_<scenario>.json)",
+    )
+    p_trace_export.set_defaults(fn=_cmd_trace_export)
 
     p_workers = sub.add_parser(
         "workers", help="distributed worker-fleet helpers", parents=[common]

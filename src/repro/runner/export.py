@@ -43,6 +43,11 @@ AGGREGATE_TAIL = ("n", "metric", "unit", "direction", "mean", "stdev", "ci95")
 #: Formats accepted by ``repro-runner report --format``.
 EXPORT_FORMATS = ("table", "csv", "jsonl")
 
+#: Leading / trailing columns of a probe time-series long row
+#: (``report --timeseries``).
+TIMESERIES_HEAD = ("scenario", "seed")
+TIMESERIES_TAIL = ("sim", "series", "unit", "kind", "t", "value")
+
 #: Headline telemetry fields exported per run by ``--telemetry``: row
 #: metric name → (telemetry dict key, unit).  Execution accounting, so
 #: every row carries ``direction: "info"`` — these are measurements *about*
@@ -167,6 +172,49 @@ def runs_long_table(
     return LongTable(columns=columns, rows=rows)
 
 
+def timeseries_long_table(results) -> LongTable:
+    """One row per retained probe sample across ``results``.
+
+    Reads the probe payload from each run's telemetry envelope (see
+    :mod:`repro.obs.probe`); runs recorded without probes (``REPRO_PROBES=0``
+    or pre-probe cache records) contribute no rows.  Series samples carry
+    their declared ``unit`` and ``kind`` (gauge/counter); instant streams
+    (drops, epoch boundaries) export as ``kind: "event"`` rows with
+    ``value: 1`` at each instant.
+    """
+    results = list(results)
+    columns = _assemble(
+        TIMESERIES_HEAD, (k for r in results for k in r.params), TIMESERIES_TAIL
+    )
+    rows: List[Dict[str, Any]] = []
+    for result in results:
+        probes = (result.telemetry or {}).get("probes")
+        if not probes:
+            continue
+        base = {"scenario": result.scenario, "seed": result.seed, **dict(result.params)}
+        for sim_snapshot in probes.get("simulators", []):
+            sim = sim_snapshot.get("sim", 0)
+            for series in sim_snapshot.get("series", []):
+                annotations = {
+                    "sim": sim,
+                    "series": series["name"],
+                    "unit": series.get("unit", ""),
+                    "kind": series.get("kind", "gauge"),
+                }
+                for t, v in zip(series.get("t", []), series.get("v", [])):
+                    rows.append({**base, **annotations, "t": t, "value": v})
+            for stream in sim_snapshot.get("events", []):
+                annotations = {
+                    "sim": sim,
+                    "series": stream["name"],
+                    "unit": "",
+                    "kind": "event",
+                }
+                for t in stream.get("t", []):
+                    rows.append({**base, **annotations, "t": t, "value": 1})
+    return LongTable(columns=columns, rows=rows)
+
+
 def aggregates_long_table(cells, *, registry: Optional[Any] = None) -> LongTable:
     """One row per (aggregate cell, metric) across ``cells``.
 
@@ -211,6 +259,11 @@ def export_aggregates(
     """Serialize aggregate cells in ``fmt`` (``csv`` or ``jsonl``)."""
     table = aggregates_long_table(cells, registry=registry)
     return _serialize(table, fmt)
+
+
+def export_timeseries(results, fmt: str) -> str:
+    """Serialize probe time series in ``fmt`` (``csv`` or ``jsonl``)."""
+    return _serialize(timeseries_long_table(results), fmt)
 
 
 def _serialize(table: LongTable, fmt: str) -> str:

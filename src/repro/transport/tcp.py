@@ -157,6 +157,15 @@ class TcpSender:
         self.host.deregister_agent(self.port)
 
     @property
+    def cwnd_bytes(self) -> int:
+        """The congestion controller's current window (read-only).
+
+        Exposed on the sender so observers (the probe layer samples this
+        per tick) never reach into ``cc`` internals.
+        """
+        return self.cc.cwnd_bytes
+
+    @property
     def bytes_acked(self) -> int:
         return self.snd_una
 

@@ -1,0 +1,17 @@
+"""Bad fixture: closures registered as probe callbacks."""
+
+
+def attach_probes(probes, links):
+    for link in links:
+        probes.register_probe(
+            f"link/{link.name}/backlog",
+            lambda: link.backlog_bytes,  # expect[RPR012]
+            unit="B",
+        )
+
+
+def sample_one(probes, flow):
+    def read_cwnd():
+        return flow.cwnd_bytes
+
+    probes.register_probe("flow/cwnd", read_cwnd, unit="B")  # expect[RPR012]

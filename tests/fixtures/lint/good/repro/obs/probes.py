@@ -1,0 +1,22 @@
+"""Good fixture: module-level functions and bound methods as probe callbacks."""
+
+
+def total_backlog(links) -> int:
+    return sum(link.backlog_bytes for link in links)
+
+
+class QueueSampler:
+    def __init__(self, probes, link) -> None:
+        self.link = link
+        # Bound method: no closure, rebinding-safe in loops.
+        probes.register_probe(f"link/{link.name}/backlog", self._sample, unit="B")
+
+    def _sample(self) -> int:
+        return self.link.backlog_bytes
+
+
+def attach(probes, links) -> list:
+    samplers = [QueueSampler(probes, link) for link in links]
+    # Module-level function is fine too.
+    probes.register_probe("links/backlog_total", total_backlog, unit="B")
+    return samplers

@@ -86,16 +86,25 @@ class TestSimStats:
 
 class TestQdiscDiscovery:
     def test_walks_inner_chains_and_groups_by_class(self):
-        class Shaper:
+        # Fakes satisfy the same walk() contract real qdiscs inherit from
+        # repro.qdisc.base.Qdisc (yield self, then the inner chain).
+        class _WalkableQdisc:
+            inner = None
+
+            def walk(self):
+                qdisc = self
+                while qdisc is not None:
+                    yield qdisc
+                    qdisc = getattr(qdisc, "inner", None)
+
+        class Shaper(_WalkableQdisc):
             def __init__(self, inner):
                 self.inner = inner
                 self.enqueued_packets = 10
                 self.dequeued_packets = 8
                 self.dropped_packets = 2
 
-        class Fifo:
-            inner = None
-
+        class Fifo(_WalkableQdisc):
             def __init__(self):
                 self.enqueued_packets = 5
                 self.dequeued_packets = 5
@@ -132,6 +141,23 @@ class TestMergeCounters:
 
     def test_empty(self):
         assert merge_counters([]) == {}
+
+    def test_mismatched_keys_take_the_union(self):
+        # Snapshots from heterogeneous simulators (a bundler sim and a
+        # plain cross-traffic sim) share almost no keys; absent keys must
+        # read as zero on both sides, at every nesting depth.
+        merged = merge_counters(
+            [
+                {"drops": 1, "links": {"bytes_sent": 10, "sent": {"a": 1}}},
+                {"epochs": 7},
+                {"links": {"sent": {"b": 2}}, "drops": 2},
+            ]
+        )
+        assert merged == {
+            "drops": 3,
+            "epochs": 7,
+            "links": {"bytes_sent": 10, "sent": {"a": 1, "b": 2}},
+        }
 
 
 class TestEventLoopCounters:

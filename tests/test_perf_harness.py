@@ -109,6 +109,33 @@ class TestRunBench:
         with pytest.raises(KeyError):
             run_bench("nope")
 
+    def test_refuses_explicitly_enabled_probes(self, monkeypatch):
+        from repro.obs.probe import PROBES_ENV
+
+        monkeypatch.setenv(PROBES_ENV, "1")
+        with pytest.raises(RuntimeError, match="probe sampling overhead"):
+            run_bench("ablation_pi_gains")
+        with pytest.raises(RuntimeError, match="probe sampling overhead"):
+            run_scenarios(["ablation_pi_gains"], "/tmp/unused", isolate=False)
+
+    def test_record_proves_probes_were_off(self, monkeypatch):
+        # Probes default on, so run_bench must force them off for the
+        # duration of the measured run (and restore the environment),
+        # stamping the record with "probes": False.
+        import os
+
+        from repro.obs.probe import PROBES_ENV
+
+        monkeypatch.delenv(PROBES_ENV, raising=False)
+        record = run_bench("ablation_pi_gains")
+        assert record["probes"] is False
+        assert PROBES_ENV not in os.environ
+
+    def test_refuses_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with pytest.raises(RuntimeError, match="sanitizer"):
+            run_bench("ablation_pi_gains")
+
     def test_run_scenarios_in_process(self, tmp_path):
         lines = []
         paths = run_scenarios(
